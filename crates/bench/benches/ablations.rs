@@ -1,0 +1,225 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! bench prints the metric being ablated (coverage / traffic) before
+//! timing, so `cargo bench` doubles as an ablation report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domino::{Domino, DominoConfig, EitConfig, NaiveDomino};
+use domino_sim::{run_coverage, SystemConfig};
+use domino_trace::workload::catalog;
+use std::hint::black_box;
+use std::time::Duration;
+
+const EVENTS: usize = 40_000;
+
+fn trace() -> Vec<domino_trace::event::AccessEvent> {
+    catalog::oltp().generator(42).take(EVENTS).collect()
+}
+
+fn run(cfg: DominoConfig) -> domino_sim::CoverageReport {
+    let system = SystemConfig::paper();
+    let mut p = Domino::new(cfg);
+    run_coverage(&system, trace(), &mut p)
+}
+
+/// Entries per super-entry (paper: 3).
+fn ablation_eit_entries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_eit_entries");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for entries in [1usize, 2, 3, 6] {
+        let cfg = DominoConfig {
+            eit: EitConfig {
+                entries_per_super: entries,
+                ..EitConfig::default()
+            },
+            ..DominoConfig::default()
+        };
+        let r = run(cfg);
+        println!(
+            "eit entries/super={entries}: coverage {:.1}%, overpred {:.1}%",
+            r.coverage() * 100.0,
+            r.overprediction_rate() * 100.0
+        );
+        g.bench_function(format!("entries_{entries}"), |b| {
+            b.iter(|| black_box(run(cfg)))
+        });
+    }
+    g.finish();
+}
+
+/// Metadata update sampling probability (paper: 12.5 %).
+fn ablation_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for (label, p) in [
+        ("3pct", 0.03125),
+        ("12.5pct", 0.125),
+        ("50pct", 0.5),
+        ("100pct", 1.0),
+    ] {
+        let cfg = DominoConfig {
+            sampling_probability: p,
+            ..DominoConfig::default()
+        };
+        let r = run(cfg);
+        println!(
+            "sampling={label}: coverage {:.1}%, metadata writes {} blocks",
+            r.coverage() * 100.0,
+            r.meta_write_blocks
+        );
+        g.bench_function(label, |b| b.iter(|| black_box(run(cfg))));
+    }
+    g.finish();
+}
+
+/// Number of active streams (paper: 4).
+fn ablation_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_streams");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for streams in [1usize, 2, 4, 8] {
+        let cfg = DominoConfig {
+            max_streams: streams,
+            ..DominoConfig::default()
+        };
+        let r = run(cfg);
+        println!("streams={streams}: coverage {:.1}%", r.coverage() * 100.0);
+        g.bench_function(format!("streams_{streams}"), |b| {
+            b.iter(|| black_box(run(cfg)))
+        });
+    }
+    g.finish();
+}
+
+/// Stream-end detection on/off.
+fn ablation_stream_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_stream_end");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for (label, on) in [("on", true), ("off", false)] {
+        let cfg = DominoConfig {
+            stream_end_detection: on,
+            ..DominoConfig::default()
+        };
+        let r = run(cfg);
+        println!(
+            "stream_end={label}: coverage {:.1}%, overpred {:.1}%",
+            r.coverage() * 100.0,
+            r.overprediction_rate() * 100.0
+        );
+        g.bench_function(label, |b| b.iter(|| black_box(run(cfg))));
+    }
+    g.finish();
+}
+
+/// Practical EIT design versus the naive two-index-table strawman
+/// (paper §III-A): same lookup semantics, different metadata cost.
+fn ablation_lookup_design(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lookup_design");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    let system = SystemConfig::paper();
+    let practical = run(DominoConfig::default());
+    let mut naive = NaiveDomino::new(DominoConfig::default());
+    let naive_r = run_coverage(&system, trace(), &mut naive);
+    println!(
+        "practical EIT : coverage {:.1}%, metadata reads {}",
+        practical.coverage() * 100.0,
+        practical.meta_read_blocks
+    );
+    println!(
+        "naive two-IT  : coverage {:.1}%, metadata reads {}",
+        naive_r.coverage() * 100.0,
+        naive_r.meta_read_blocks
+    );
+    g.bench_function("practical", |b| {
+        b.iter(|| black_box(run(DominoConfig::default())))
+    });
+    g.bench_function("naive_two_it", |b| {
+        b.iter(|| {
+            let mut p = NaiveDomino::new(DominoConfig::default());
+            black_box(run_coverage(&system, trace(), &mut p))
+        })
+    });
+    g.finish();
+}
+
+/// Stream replacement policy: the paper's round-robin versus LRU.
+fn ablation_stream_replacement(c: &mut Criterion) {
+    use domino_mem::streams::ReplacePolicy;
+    let mut g = c.benchmark_group("ablation_stream_replacement");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for (label, policy) in [
+        ("round_robin", ReplacePolicy::RoundRobin),
+        ("lru", ReplacePolicy::Lru),
+    ] {
+        let cfg = DominoConfig {
+            stream_replacement: policy,
+            ..DominoConfig::default()
+        };
+        let r = run(cfg);
+        println!(
+            "stream_replacement={label}: coverage {:.1}%, overpred {:.1}%",
+            r.coverage() * 100.0,
+            r.overprediction_rate() * 100.0
+        );
+        g.bench_function(label, |b| b.iter(|| black_box(run(cfg))));
+    }
+    g.finish();
+}
+
+/// Feedback throttling (extension): fixed-degree Domino versus the
+/// accuracy-adaptive wrapper on an overprediction-prone workload.
+fn ablation_adaptive(c: &mut Criterion) {
+    use domino_prefetchers::AdaptiveDegree;
+    let mut g = c.benchmark_group("ablation_adaptive");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    let system = SystemConfig::paper();
+    let sat: Vec<_> = catalog::sat_solver().generator(42).take(EVENTS).collect();
+    let fixed = {
+        let mut p = Domino::new(DominoConfig::default());
+        run_coverage(&system, sat.clone(), &mut p)
+    };
+    let adaptive = {
+        let mut p = AdaptiveDegree::new(Domino::new(DominoConfig::default()));
+        run_coverage(&system, sat.clone(), &mut p)
+    };
+    println!(
+        "fixed Domino   : coverage {:.1}%, overpred {:.1}%",
+        fixed.coverage() * 100.0,
+        fixed.overprediction_rate() * 100.0
+    );
+    println!(
+        "adaptive Domino: coverage {:.1}%, overpred {:.1}%",
+        adaptive.coverage() * 100.0,
+        adaptive.overprediction_rate() * 100.0
+    );
+    g.bench_function("fixed", |b| {
+        b.iter(|| {
+            let mut p = Domino::new(DominoConfig::default());
+            black_box(run_coverage(&system, sat.clone(), &mut p))
+        })
+    });
+    g.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let mut p = AdaptiveDegree::new(Domino::new(DominoConfig::default()));
+            black_box(run_coverage(&system, sat.clone(), &mut p))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_eit_entries,
+    ablation_sampling,
+    ablation_streams,
+    ablation_stream_end,
+    ablation_stream_replacement,
+    ablation_adaptive,
+    ablation_lookup_design
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Microbenchmarks of the substrates: per-event prefetcher costs, EIT
+//! operations, Sequitur throughput, workload generation, and the cache
+//! model — the hot paths of the whole reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use domino::{Domino, DominoConfig, Eit, EitConfig};
+use domino_mem::cache::{CacheConfig, SetAssocCache};
+use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
+use domino_prefetchers::{Stms, TemporalConfig};
+use domino_sequitur::oracle::{oracle_replay, OracleConfig};
+use domino_sequitur::Sequitur;
+use domino_trace::addr::{LineAddr, Pc};
+use domino_trace::workload::catalog;
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 20_000;
+
+fn miss_lines() -> Vec<u64> {
+    let spec = catalog::oltp();
+    spec.generator(42).take(N).map(|e| e.line().raw()).collect()
+}
+
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+    items: u64,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name.to_string());
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(items));
+    g
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut g = group(c, "micro/workload_generation", N as u64);
+    g.bench_function("oltp_events", |b| {
+        b.iter(|| {
+            let spec = catalog::oltp();
+            black_box(spec.generator(42).take(N).count())
+        })
+    });
+    g.finish();
+}
+
+fn cache_model(c: &mut Criterion) {
+    let lines = miss_lines();
+    let mut g = group(c, "micro/cache", lines.len() as u64);
+    g.bench_function("l1_access_insert", |b| {
+        b.iter(|| {
+            let mut l1 = SetAssocCache::new(CacheConfig::l1d());
+            for &l in &lines {
+                let line = LineAddr::new(l);
+                if !l1.access(line) {
+                    l1.insert(line);
+                }
+            }
+            black_box(l1.len())
+        })
+    });
+    g.finish();
+}
+
+fn prefetcher_event_throughput(c: &mut Criterion) {
+    let lines = miss_lines();
+    let mut g = group(c, "micro/prefetcher_events", lines.len() as u64);
+    g.bench_function("stms", |b| {
+        b.iter(|| {
+            let mut p = Stms::new(TemporalConfig::default());
+            let mut sink = CollectSink::new();
+            for &l in &lines {
+                sink.clear();
+                p.on_trigger(&TriggerEvent::miss(Pc::new(0), LineAddr::new(l)), &mut sink);
+            }
+            black_box(sink.requests.len())
+        })
+    });
+    g.bench_function("domino", |b| {
+        b.iter(|| {
+            let mut p = Domino::new(DominoConfig {
+                eit: EitConfig {
+                    rows: 1 << 16,
+                    ..EitConfig::default()
+                },
+                ht_entries: 1 << 20,
+                ..DominoConfig::default()
+            });
+            let mut sink = CollectSink::new();
+            for &l in &lines {
+                sink.clear();
+                p.on_trigger(&TriggerEvent::miss(Pc::new(0), LineAddr::new(l)), &mut sink);
+            }
+            black_box(sink.requests.len())
+        })
+    });
+    g.finish();
+}
+
+fn eit_operations(c: &mut Criterion) {
+    let lines = miss_lines();
+    let mut g = group(c, "micro/eit", lines.len() as u64);
+    g.bench_function("update_lookup", |b| {
+        b.iter(|| {
+            let mut eit = Eit::new(EitConfig {
+                rows: 1 << 14,
+                ..EitConfig::default()
+            });
+            let mut hits = 0u64;
+            for w in lines.windows(2) {
+                eit.update(LineAddr::new(w[0]), LineAddr::new(w[1]), 0);
+                if eit.lookup(LineAddr::new(w[1])).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn sequitur_throughput(c: &mut Criterion) {
+    let lines: Vec<u64> = miss_lines().into_iter().take(6_000).collect();
+    let mut g = group(c, "micro/sequitur", lines.len() as u64);
+    g.bench_function("grammar_build", |b| {
+        b.iter(|| {
+            let gr = Sequitur::from_sequence(lines.iter().copied());
+            black_box(gr.rule_count())
+        })
+    });
+    g.bench_function("oracle_replay", |b| {
+        b.iter(|| black_box(oracle_replay(&lines, &OracleConfig::default()).covered))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    workload_generation,
+    cache_model,
+    prefetcher_event_throughput,
+    eit_operations,
+    sequitur_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Domino configuration.
+
+use crate::eit::EitConfig;
+use domino_mem::streams::ReplacePolicy;
+
+/// Parameters of the Domino prefetcher.
+///
+/// Defaults are the paper's evaluated configuration (§IV-D and §V-A):
+/// degree 4, four active streams, 12.5 % sampled metadata updates,
+/// stream-end detection, a 16 M-entry History Table and a 2 M-row
+/// Enhanced Index Table with three entries per super-entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DominoConfig {
+    /// Prefetch degree (in-flight prefetches per stream).
+    pub degree: usize,
+    /// Number of concurrently tracked streams.
+    pub max_streams: usize,
+    /// Probability that a metadata update is recorded (statistical
+    /// updates; the paper uses 12.5 %).
+    pub sampling_probability: f64,
+    /// Stream-end detection (divergence hints), as in STMS.
+    pub stream_end_detection: bool,
+    /// History Table capacity in entries; `0` = unbounded.
+    /// The paper settles on 16 M entries (Figure 9).
+    pub ht_entries: usize,
+    /// Enhanced Index Table geometry. The paper settles on 2 M rows
+    /// (Figure 10).
+    pub eit: EitConfig,
+    /// Stream replacement policy. The paper replaces streams round-robin
+    /// (§III) while hits keep promoting in the LRU stack.
+    pub stream_replacement: ReplacePolicy,
+    /// Sampler seed.
+    pub seed: u64,
+}
+
+impl Default for DominoConfig {
+    fn default() -> Self {
+        DominoConfig {
+            degree: 4,
+            max_streams: 4,
+            sampling_probability: 0.125,
+            stream_end_detection: true,
+            ht_entries: 16 * 1024 * 1024,
+            eit: EitConfig::default(),
+            stream_replacement: ReplacePolicy::RoundRobin,
+            seed: 0xD0_0D0,
+        }
+    }
+}
+
+impl DominoConfig {
+    /// Same configuration with a different degree.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degree or stream count is zero, or the sampling
+    /// probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.degree > 0, "degree must be positive");
+        assert!(self.max_streams > 0, "need at least one stream");
+        assert!(
+            (0.0..=1.0).contains(&self.sampling_probability),
+            "sampling probability out of range"
+        );
+        self.eit.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DominoConfig::default();
+        assert_eq!(c.degree, 4);
+        assert_eq!(c.max_streams, 4);
+        assert_eq!(c.ht_entries, 16 * 1024 * 1024);
+        assert_eq!(c.eit.rows, 2 * 1024 * 1024);
+        assert_eq!(c.eit.entries_per_super, 3);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn zero_degree_rejected() {
+        DominoConfig::default().with_degree(0).validate();
+    }
+}

@@ -1,0 +1,359 @@
+//! The Enhanced Index Table (paper §III-B, Figures 7 and 8).
+//!
+//! A conventional Index Table maps a miss address to a pointer into the
+//! History Table. Domino's EIT is indexed by a *single* miss address but
+//! each tag's **super-entry** holds several `(address, pointer)`
+//! **entries**, where `address` is a miss that has *followed* the tag and
+//! `pointer` locates that continuation in the History Table. This gives
+//! Domino both halves of its lookup from one table read:
+//!
+//! * the most recent entry's `address` *is* the predicted next miss — it
+//!   can be prefetched immediately, one round trip after the miss;
+//! * when the next triggering event arrives, matching it against the
+//!   entries *is* the two-address lookup, selecting the right stream
+//!   without touching a second index.
+//!
+//! Rows hold a few super-entries and each super-entry a few entries
+//! (three in the paper's configuration); both levels are managed LRU,
+//! exactly as Figure 7 shows ("the most recent super-entry in this row",
+//! "the most recent entry of 'A'").
+
+use domino_trace::addr::LineAddr;
+use std::collections::HashMap;
+
+/// One `(address, pointer)` pair: `address` followed the tag in the miss
+/// stream, `pointer` is the History Table position of that `address`
+/// occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EitEntry {
+    /// The miss that followed the super-entry's tag.
+    pub addr: LineAddr,
+    /// History Table position of that `addr` occurrence.
+    pub pointer: u64,
+}
+
+/// A tag plus its recent continuations, most recent last.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperEntry {
+    /// The indexed miss address.
+    pub tag: LineAddr,
+    /// LRU list of continuations: front = oldest, back = most recent.
+    entries: Vec<EitEntry>,
+}
+
+impl SuperEntry {
+    fn new(tag: LineAddr) -> Self {
+        SuperEntry {
+            tag,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The most recent continuation — Domino's immediate prediction.
+    pub fn most_recent(&self) -> Option<&EitEntry> {
+        self.entries.last()
+    }
+
+    /// Finds the entry whose address matches the next triggering event
+    /// (the two-address lookup).
+    pub fn find(&self, addr: LineAddr) -> Option<&EitEntry> {
+        self.entries.iter().rev().find(|e| e.addr == addr)
+    }
+
+    /// All entries, oldest first (analysis/tests).
+    pub fn entries(&self) -> &[EitEntry] {
+        &self.entries
+    }
+
+    /// Inserts or refreshes the continuation `(addr, pointer)` with LRU
+    /// replacement bounded by `capacity`.
+    fn update(&mut self, addr: LineAddr, pointer: u64, capacity: usize) {
+        if let Some(pos) = self.entries.iter().position(|e| e.addr == addr) {
+            let mut e = self.entries.remove(pos);
+            e.pointer = pointer;
+            self.entries.push(e);
+            return;
+        }
+        if self.entries.len() == capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(EitEntry { addr, pointer });
+    }
+}
+
+/// EIT geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EitConfig {
+    /// Number of rows; `0` = unbounded (idealized, used by the Figure 9
+    /// sensitivity sweep where the EIT is unlimited).
+    pub rows: usize,
+    /// Super-entries per row (LRU within the row).
+    pub super_entries_per_row: usize,
+    /// Entries per super-entry (LRU; the paper uses three).
+    pub entries_per_super: usize,
+}
+
+impl Default for EitConfig {
+    fn default() -> Self {
+        EitConfig {
+            rows: 2 * 1024 * 1024,
+            super_entries_per_row: 4,
+            entries_per_super: 3,
+        }
+    }
+}
+
+impl EitConfig {
+    /// Unbounded EIT (capacity never evicts).
+    pub fn unbounded() -> Self {
+        EitConfig {
+            rows: 0,
+            ..EitConfig::default()
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if per-row or per-super-entry capacities are zero.
+    pub fn validate(&self) {
+        assert!(self.super_entries_per_row > 0, "row needs super-entries");
+        assert!(self.entries_per_super > 0, "super-entry needs entries");
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// Finite row array; a row is an LRU list of super-entries
+    /// (front = oldest).
+    Finite(Vec<Vec<SuperEntry>>),
+    /// Idealized: one super-entry per tag, no row conflicts.
+    Unbounded(HashMap<LineAddr, SuperEntry>),
+}
+
+/// The Enhanced Index Table.
+///
+/// ```
+/// use domino::eit::{Eit, EitConfig};
+/// use domino_trace::addr::LineAddr;
+///
+/// let mut eit = Eit::new(EitConfig::default());
+/// eit.update(LineAddr::new(7), LineAddr::new(8), 42);
+/// let se = eit.lookup(LineAddr::new(7)).unwrap();
+/// assert_eq!(se.most_recent().unwrap().addr, LineAddr::new(8));
+/// assert_eq!(se.most_recent().unwrap().pointer, 42);
+/// ```
+#[derive(Debug)]
+pub struct Eit {
+    cfg: EitConfig,
+    backing: Backing,
+    updates: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Eit {
+    /// Creates an empty EIT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is degenerate (see [`EitConfig::validate`]).
+    pub fn new(cfg: EitConfig) -> Self {
+        cfg.validate();
+        let backing = if cfg.rows == 0 {
+            Backing::Unbounded(HashMap::new())
+        } else {
+            Backing::Finite(vec![Vec::new(); cfg.rows])
+        };
+        Eit {
+            cfg,
+            backing,
+            updates: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Multiplicative hash mapping a tag to a row.
+    fn row_index(tag: LineAddr, rows: usize) -> usize {
+        let h = tag.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h % rows as u64) as usize
+    }
+
+    /// Looks up the super-entry for `tag` (one off-chip row read in the
+    /// real design) and promotes it to MRU within its row.
+    pub fn lookup(&mut self, tag: LineAddr) -> Option<&SuperEntry> {
+        self.lookups += 1;
+        let found: Option<&SuperEntry> = match &mut self.backing {
+            Backing::Unbounded(map) => map.get(&tag),
+            Backing::Finite(rows) => {
+                let idx = Self::row_index(tag, rows.len());
+                let row = &mut rows[idx];
+                if let Some(pos) = row.iter().position(|se| se.tag == tag) {
+                    let se = row.remove(pos);
+                    row.push(se);
+                    row.last()
+                } else {
+                    None
+                }
+            }
+        };
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Records that `tag` was followed by `next`, whose History Table
+    /// position is `pointer`. Allocates super-entries/entries LRU as the
+    /// paper describes (§III-B, "Recording").
+    pub fn update(&mut self, tag: LineAddr, next: LineAddr, pointer: u64) {
+        self.updates += 1;
+        let entry_cap = self.cfg.entries_per_super;
+        match &mut self.backing {
+            Backing::Unbounded(map) => {
+                map.entry(tag)
+                    .or_insert_with(|| SuperEntry::new(tag))
+                    .update(next, pointer, entry_cap);
+            }
+            Backing::Finite(rows) => {
+                let idx = Self::row_index(tag, rows.len());
+                let super_cap = self.cfg.super_entries_per_row;
+                let row = &mut rows[idx];
+                let mut se = match row.iter().position(|se| se.tag == tag) {
+                    Some(pos) => row.remove(pos),
+                    None => {
+                        if row.len() == super_cap {
+                            row.remove(0);
+                        }
+                        SuperEntry::new(tag)
+                    }
+                };
+                se.update(next, pointer, entry_cap);
+                row.push(se);
+            }
+        }
+    }
+
+    /// `(lookups, hits, updates)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.lookups, self.hits, self.updates)
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &EitConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn small() -> Eit {
+        Eit::new(EitConfig {
+            rows: 16,
+            super_entries_per_row: 2,
+            entries_per_super: 3,
+        })
+    }
+
+    #[test]
+    fn update_then_lookup() {
+        let mut eit = small();
+        eit.update(line(1), line(2), 10);
+        let se = eit.lookup(line(1)).expect("present");
+        assert_eq!(se.most_recent().unwrap().addr, line(2));
+        assert_eq!(se.find(line(2)).unwrap().pointer, 10);
+        assert!(se.find(line(3)).is_none());
+        assert!(eit.lookup(line(99)).is_none());
+    }
+
+    #[test]
+    fn most_recent_entry_tracks_latest_continuation() {
+        let mut eit = small();
+        eit.update(line(1), line(2), 10);
+        eit.update(line(1), line(3), 20);
+        let se = eit.lookup(line(1)).unwrap();
+        assert_eq!(se.most_recent().unwrap().addr, line(3));
+        // Both continuations remain findable (the two-address lookup).
+        assert_eq!(se.find(line(2)).unwrap().pointer, 10);
+    }
+
+    #[test]
+    fn entry_lru_caps_at_three() {
+        let mut eit = small();
+        for (i, next) in [2u64, 3, 4, 5].iter().enumerate() {
+            eit.update(line(1), line(*next), i as u64);
+        }
+        let se = eit.lookup(line(1)).unwrap();
+        assert_eq!(se.entries().len(), 3);
+        assert!(se.find(line(2)).is_none(), "oldest evicted");
+        assert!(se.find(line(5)).is_some());
+    }
+
+    #[test]
+    fn refreshing_an_entry_promotes_it() {
+        let mut eit = small();
+        eit.update(line(1), line(2), 10);
+        eit.update(line(1), line(3), 20);
+        eit.update(line(1), line(4), 30);
+        eit.update(line(1), line(2), 40); // refresh 2 → MRU
+        eit.update(line(1), line(5), 50); // evicts LRU (3)
+        let se = eit.lookup(line(1)).unwrap();
+        assert!(se.find(line(3)).is_none(), "3 was LRU");
+        assert_eq!(se.find(line(2)).unwrap().pointer, 40, "refreshed pointer");
+    }
+
+    #[test]
+    fn super_entry_capacity_evicts_lru_tag() {
+        let mut eit = Eit::new(EitConfig {
+            rows: 1, // force every tag into the same row
+            super_entries_per_row: 2,
+            entries_per_super: 3,
+        });
+        eit.update(line(1), line(10), 0);
+        eit.update(line(2), line(20), 1);
+        eit.lookup(line(1)); // promote tag 1
+        eit.update(line(3), line(30), 2); // evicts tag 2
+        assert!(eit.lookup(line(2)).is_none());
+        assert!(eit.lookup(line(1)).is_some());
+        assert!(eit.lookup(line(3)).is_some());
+    }
+
+    #[test]
+    fn unbounded_never_evicts_tags() {
+        let mut eit = Eit::new(EitConfig::unbounded());
+        for i in 0..10_000u64 {
+            eit.update(line(i), line(i + 1), i);
+        }
+        for i in 0..10_000u64 {
+            assert!(eit.lookup(line(i)).is_some(), "tag {i} lost");
+        }
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut eit = small();
+        eit.update(line(1), line(2), 0);
+        eit.lookup(line(1));
+        eit.lookup(line(9));
+        let (lookups, hits, updates) = eit.counters();
+        assert_eq!((lookups, hits, updates), (2, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "super-entry needs entries")]
+    fn zero_entry_capacity_panics() {
+        Eit::new(EitConfig {
+            rows: 1,
+            super_entries_per_row: 1,
+            entries_per_super: 0,
+        });
+    }
+}

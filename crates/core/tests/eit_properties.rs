@@ -1,0 +1,152 @@
+//! Property tests for the Enhanced Index Table: its two-level LRU
+//! behaviour is checked against a straightforward reference model over
+//! arbitrary update/lookup interleavings.
+
+use domino::{Eit, EitConfig};
+use domino_trace::addr::LineAddr;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference model: per row, an ordered list of (tag, entries) where the
+/// back is most recent; per super-entry, ordered (addr, pointer) pairs.
+#[derive(Debug, Default, Clone)]
+struct RefRow {
+    supers: VecDeque<(u64, VecDeque<(u64, u64)>)>,
+}
+
+#[derive(Debug)]
+struct RefEit {
+    rows: Vec<RefRow>,
+    super_cap: usize,
+    entry_cap: usize,
+}
+
+impl RefEit {
+    fn new(rows: usize, super_cap: usize, entry_cap: usize) -> Self {
+        RefEit {
+            rows: vec![RefRow::default(); rows],
+            super_cap,
+            entry_cap,
+        }
+    }
+
+    fn row_of(&self, tag: u64) -> usize {
+        let h = tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h % self.rows.len() as u64) as usize
+    }
+
+    fn update(&mut self, tag: u64, next: u64, pointer: u64) {
+        let super_cap = self.super_cap;
+        let entry_cap = self.entry_cap;
+        let idx = self.row_of(tag);
+        let row = &mut self.rows[idx];
+        let mut se = match row.supers.iter().position(|(t, _)| *t == tag) {
+            Some(pos) => row.supers.remove(pos).expect("position exists"),
+            None => {
+                if row.supers.len() == super_cap {
+                    row.supers.pop_front();
+                }
+                (tag, VecDeque::new())
+            }
+        };
+        if let Some(pos) = se.1.iter().position(|(a, _)| *a == next) {
+            se.1.remove(pos);
+        } else if se.1.len() == entry_cap {
+            se.1.pop_front();
+        }
+        se.1.push_back((next, pointer));
+        row.supers.push_back(se);
+    }
+
+    fn lookup(&mut self, tag: u64) -> Option<Vec<(u64, u64)>> {
+        let idx = self.row_of(tag);
+        let row = &mut self.rows[idx];
+        let pos = row.supers.iter().position(|(t, _)| *t == tag)?;
+        let se = row.supers.remove(pos).expect("position exists");
+        let entries: Vec<(u64, u64)> = se.1.iter().copied().collect();
+        row.supers.push_back(se);
+        Some(entries)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Update { tag: u64, next: u64, pointer: u64 },
+    Lookup { tag: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..24, 0u64..24, 0u64..1000).prop_map(|(tag, next, pointer)| Op::Update {
+                tag,
+                next,
+                pointer
+            }),
+            (0u64..24).prop_map(|tag| Op::Lookup { tag }),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The EIT agrees with the reference model on every lookup: same
+    /// presence, same entries in the same LRU order, same pointers.
+    #[test]
+    fn eit_matches_reference_model(
+        ops in ops(),
+        rows in 1usize..6,
+        super_cap in 1usize..4,
+        entry_cap in 1usize..4,
+    ) {
+        let mut eit = Eit::new(EitConfig {
+            rows,
+            super_entries_per_row: super_cap,
+            entries_per_super: entry_cap,
+        });
+        let mut reference = RefEit::new(rows, super_cap, entry_cap);
+        for op in &ops {
+            match *op {
+                Op::Update { tag, next, pointer } => {
+                    eit.update(LineAddr::new(tag), LineAddr::new(next), pointer);
+                    reference.update(tag, next, pointer);
+                }
+                Op::Lookup { tag } => {
+                    let got = eit
+                        .lookup(LineAddr::new(tag))
+                        .map(|se| {
+                            se.entries()
+                                .iter()
+                                .map(|e| (e.addr.raw(), e.pointer))
+                                .collect::<Vec<_>>()
+                        });
+                    let want = reference.lookup(tag);
+                    prop_assert_eq!(got, want, "divergence at tag {}", tag);
+                }
+            }
+        }
+    }
+
+    /// The unbounded EIT never loses a tag and its most-recent entry is
+    /// always the latest update for that tag.
+    #[test]
+    fn unbounded_eit_remembers_latest(updates in proptest::collection::vec(
+        (0u64..16, 0u64..64, 0u64..1000), 1..300))
+    {
+        let mut eit = Eit::new(EitConfig::unbounded());
+        let mut latest: std::collections::HashMap<u64, (u64, u64)> =
+            std::collections::HashMap::new();
+        for &(tag, next, pointer) in &updates {
+            eit.update(LineAddr::new(tag), LineAddr::new(next), pointer);
+            latest.insert(tag, (next, pointer));
+        }
+        for (&tag, &(next, pointer)) in &latest {
+            let se = eit.lookup(LineAddr::new(tag)).expect("tag present");
+            let mr = se.most_recent().expect("entries present");
+            prop_assert_eq!(mr.addr.raw(), next);
+            prop_assert_eq!(mr.pointer, pointer);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Set-associative cache model with pluggable replacement.
+
+use domino_trace::addr::{LineAddr, LINE_BYTES};
+
+/// Replacement policy for [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the paper's caches and tables all use LRU).
+    #[default]
+    Lru,
+    /// First-in first-out (insertion order, no promotion on hit).
+    Fifo,
+    /// Pseudo-random victim selection (deterministic xorshift).
+    Random,
+}
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// The paper's L1-D: 64 KB, 2-way (Table I).
+    pub fn l1d() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// The paper's LLC: 4 MB, 16-way (Table I).
+    pub fn llc() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            ways: 16,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, capacity smaller
+    /// than one way of lines, or a non-power-of-two set count).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache needs at least one way");
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = (lines as usize) / self.ways;
+        assert!(sets > 0, "cache smaller than one way");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// A set-associative cache over line addresses.
+///
+/// Tracks presence only (no dirty/clean state): the reproduction's
+/// experiments are read-miss driven, as in the paper.
+///
+/// ```
+/// use domino_mem::cache::{CacheConfig, SetAssocCache};
+/// use domino_trace::addr::LineAddr;
+///
+/// let mut l1 = SetAssocCache::new(CacheConfig::l1d());
+/// let line = LineAddr::new(42);
+/// assert!(!l1.access(line));   // cold miss
+/// l1.insert(line);
+/// assert!(l1.access(line));    // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    set_mask: u64,
+    /// Per-set way list. For LRU/FIFO, index 0 is the victim end and the
+    /// back is the most-recent end.
+    sets: Vec<Vec<LineAddr>>,
+    rand_state: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            config,
+            set_mask: sets as u64 - 1,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            rand_state: 0x9e37_79b9_7f4a_7c15,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    /// Looks up a line, updating replacement state. Returns `true` on hit.
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        let promote = self.config.replacement == Replacement::Lru;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if promote {
+                let l = set.remove(pos);
+                set.push(l);
+            }
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks presence without touching replacement state or counters.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.set_index(line)];
+        set.contains(&line)
+    }
+
+    /// Inserts a line, returning the evicted victim if the set was full.
+    /// Inserting a line already present refreshes its recency instead.
+    pub fn insert(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let replacement = self.config.replacement;
+        let ways = self.config.ways;
+        let idx = self.set_index(line);
+        if replacement == Replacement::Random {
+            self.rand_state ^= self.rand_state << 13;
+            self.rand_state ^= self.rand_state >> 7;
+            self.rand_state ^= self.rand_state << 17;
+        }
+        let victim_pos = (self.rand_state % ways as u64) as usize;
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if replacement == Replacement::Lru {
+                let l = set.remove(pos);
+                set.push(l);
+            }
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            Some(match replacement {
+                Replacement::Lru | Replacement::Fifo => set.remove(0),
+                Replacement::Random => set.remove(victim_pos.min(set.len() - 1)),
+            })
+        } else {
+            None
+        };
+        set.push(line);
+        evicted
+    }
+
+    /// Removes a line if present; returns whether it was there.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counted by [`SetAssocCache::access`].
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize, replacement: Replacement) -> SetAssocCache {
+        // 4 sets x `ways` lines.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: (4 * ways) as u64 * LINE_BYTES,
+            ways,
+            replacement,
+        })
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1d().sets(), 512);
+        assert_eq!(CacheConfig::llc().sets(), 4096);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(2, Replacement::Lru);
+        let line = LineAddr::new(5);
+        assert!(!c.access(line));
+        c.insert(line);
+        assert!(c.access(line));
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, Replacement::Lru);
+        // All map to set 0 (multiples of 4).
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        let d = LineAddr::new(8);
+        c.insert(a);
+        c.insert(b);
+        assert!(c.access(a)); // a most recent
+        let evicted = c.insert(d);
+        assert_eq!(evicted, Some(b), "b was least recent");
+        assert!(c.contains(a));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn fifo_ignores_hits_for_victims() {
+        let mut c = tiny(2, Replacement::Fifo);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        let d = LineAddr::new(8);
+        c.insert(a);
+        c.insert(b);
+        assert!(c.access(a)); // does not promote under FIFO
+        let evicted = c.insert(d);
+        assert_eq!(evicted, Some(a), "a entered first");
+    }
+
+    #[test]
+    fn random_replacement_stays_within_capacity() {
+        let mut c = tiny(4, Replacement::Random);
+        for i in 0..100 {
+            c.insert(LineAddr::new(i * 4)); // all in set 0
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = tiny(2, Replacement::Lru);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        c.insert(a);
+        c.insert(b);
+        assert_eq!(c.insert(a), None, "refresh, not eviction");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny(2, Replacement::Lru);
+        let a = LineAddr::new(16);
+        c.insert(a);
+        assert!(c.invalidate(a));
+        assert!(!c.invalidate(a));
+        assert!(!c.contains(a));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny(1, Replacement::Lru);
+        // Different sets: 0,1,2,3.
+        for i in 0..4 {
+            assert_eq!(c.insert(LineAddr::new(i)), None);
+        }
+        assert_eq!(c.len(), 4);
+        // Fifth insert into set 0 evicts only from set 0.
+        assert_eq!(c.insert(LineAddr::new(4)), Some(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 3 * LINE_BYTES,
+            ways: 1,
+            replacement: Replacement::Lru,
+        });
+    }
+}

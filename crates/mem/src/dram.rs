@@ -1,0 +1,215 @@
+//! Main-memory model: fixed access latency plus a shared bandwidth queue,
+//! with per-category traffic accounting.
+//!
+//! Table I of the paper: "Memory — 45 ns delay, 37.5 GB/s peak bandwidth".
+//! Figure 15 splits off-chip traffic into demand fills, incorrect
+//! prefetches, metadata reads, and metadata updates; [`TrafficStats`]
+//! mirrors that decomposition.
+
+use std::fmt;
+
+use domino_trace::addr::LINE_BYTES;
+
+/// What a memory transfer was for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficCategory {
+    /// Demand miss fill.
+    Demand,
+    /// Prefetch fill (correctness unknown at transfer time; overprediction
+    /// traffic is derived from prefetch-buffer statistics afterwards).
+    Prefetch,
+    /// Metadata (index/history table) read.
+    MetadataRead,
+    /// Metadata (index/history table) update.
+    MetadataWrite,
+}
+
+/// Byte counters per [`TrafficCategory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Demand-fill bytes.
+    pub demand: u64,
+    /// Prefetch-fill bytes.
+    pub prefetch: u64,
+    /// Metadata-read bytes.
+    pub metadata_read: u64,
+    /// Metadata-update bytes.
+    pub metadata_write: u64,
+}
+
+impl TrafficStats {
+    /// Adds `bytes` to the category's counter.
+    pub fn add(&mut self, category: TrafficCategory, bytes: u64) {
+        match category {
+            TrafficCategory::Demand => self.demand += bytes,
+            TrafficCategory::Prefetch => self.prefetch += bytes,
+            TrafficCategory::MetadataRead => self.metadata_read += bytes,
+            TrafficCategory::MetadataWrite => self.metadata_write += bytes,
+        }
+    }
+
+    /// Total bytes across categories.
+    pub fn total(&self) -> u64 {
+        self.demand + self.prefetch + self.metadata_read + self.metadata_write
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "demand {} B, prefetch {} B, meta-read {} B, meta-write {} B",
+            self.demand, self.prefetch, self.metadata_read, self.metadata_write
+        )
+    }
+}
+
+/// Memory timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Access latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Peak bandwidth in bytes per nanosecond (GB/s numerically equals
+    /// bytes/ns).
+    pub bandwidth_bytes_per_ns: f64,
+}
+
+impl DramConfig {
+    /// The paper's memory: 45 ns, 37.5 GB/s.
+    pub fn paper() -> Self {
+        DramConfig {
+            latency_ns: 45.0,
+            bandwidth_bytes_per_ns: 37.5,
+        }
+    }
+}
+
+/// Shared memory channel: every transfer occupies the channel for
+/// `bytes / bandwidth` and completes one latency after it wins the channel.
+///
+/// ```
+/// use domino_mem::dram::{Dram, DramConfig, TrafficCategory};
+///
+/// let mut mem = Dram::new(DramConfig::paper());
+/// let done = mem.request(0.0, 64, TrafficCategory::Demand);
+/// assert!(done > 45.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    channel_free_at: f64,
+    traffic: TrafficStats,
+    requests: u64,
+    queue_delay_total: f64,
+}
+
+impl Dram {
+    /// Creates an idle memory channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive latency or bandwidth.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.latency_ns > 0.0, "latency must be positive");
+        assert!(
+            config.bandwidth_bytes_per_ns > 0.0,
+            "bandwidth must be positive"
+        );
+        Dram {
+            config,
+            channel_free_at: 0.0,
+            traffic: TrafficStats::default(),
+            requests: 0,
+            queue_delay_total: 0.0,
+        }
+    }
+
+    /// Issues a transfer of `bytes` at time `now`; returns the completion
+    /// time (data available).
+    pub fn request(&mut self, now: f64, bytes: u64, category: TrafficCategory) -> f64 {
+        let start = now.max(self.channel_free_at);
+        self.queue_delay_total += start - now;
+        let occupancy = bytes as f64 / self.config.bandwidth_bytes_per_ns;
+        self.channel_free_at = start + occupancy;
+        self.traffic.add(category, bytes);
+        self.requests += 1;
+        start + occupancy + self.config.latency_ns
+    }
+
+    /// Convenience: transfer of one cache line.
+    pub fn request_line(&mut self, now: f64, category: TrafficCategory) -> f64 {
+        self.request(now, LINE_BYTES, category)
+    }
+
+    /// Accumulated traffic.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    /// Mean queueing delay per request in ns (contention indicator).
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.queue_delay_total / self.requests as f64
+        }
+    }
+
+    /// Timing parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_request_takes_latency_plus_transfer() {
+        let mut mem = Dram::new(DramConfig::paper());
+        let done = mem.request(0.0, 64, TrafficCategory::Demand);
+        let expected = 64.0 / 37.5 + 45.0;
+        assert!((done - expected).abs() < 1e-9, "{done} vs {expected}");
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut mem = Dram::new(DramConfig::paper());
+        let first = mem.request(0.0, 64, TrafficCategory::Demand);
+        let second = mem.request(0.0, 64, TrafficCategory::Demand);
+        assert!(second > first, "second must wait for the channel");
+        assert!(mem.mean_queue_delay() > 0.0);
+    }
+
+    #[test]
+    fn idle_channel_does_not_queue() {
+        let mut mem = Dram::new(DramConfig::paper());
+        mem.request(0.0, 64, TrafficCategory::Demand);
+        let done = mem.request(1000.0, 64, TrafficCategory::Prefetch);
+        let expected = 1000.0 + 64.0 / 37.5 + 45.0;
+        assert!((done - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_is_categorised() {
+        let mut mem = Dram::new(DramConfig::paper());
+        mem.request(0.0, 64, TrafficCategory::Demand);
+        mem.request(0.0, 64, TrafficCategory::MetadataRead);
+        mem.request(0.0, 128, TrafficCategory::MetadataWrite);
+        let t = mem.traffic();
+        assert_eq!(t.demand, 64);
+        assert_eq!(t.metadata_read, 64);
+        assert_eq!(t.metadata_write, 128);
+        assert_eq!(t.total(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        Dram::new(DramConfig {
+            latency_ns: 45.0,
+            bandwidth_bytes_per_ns: 0.0,
+        });
+    }
+}

@@ -1,0 +1,200 @@
+//! The prefetcher interface shared by all prefetchers in the reproduction.
+//!
+//! The evaluation engine drives prefetchers with **triggering events** —
+//! the paper's term (§III): L1-D demand misses and prefetch-buffer hits.
+//! In response, a prefetcher issues [`PrefetchRequest`]s and reports its
+//! off-chip metadata accesses through the [`PrefetchSink`].
+//!
+//! Requests carry `delay_trips`: how many *serial* off-chip metadata round
+//! trips stand between the triggering event and the prefetch being issued.
+//! This is the paper's timeliness argument in one number — STMS needs two
+//! trips (Index Table, then History Table) before the first prefetch of a
+//! stream, Domino needs one (its Enhanced Index Table already contains the
+//! next miss), and stream continuations that replay from an on-chip buffer
+//! need zero.
+
+use domino_trace::addr::{LineAddr, Pc};
+
+/// Why the prefetcher was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriggerKind {
+    /// Demand access missed the L1-D and the prefetch buffer.
+    Miss,
+    /// Demand access hit in the prefetch buffer.
+    PrefetchHit,
+}
+
+/// A triggering event (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerEvent {
+    /// PC of the demand access.
+    pub pc: Pc,
+    /// Missed / hit cache line.
+    pub line: LineAddr,
+    /// Miss or prefetch hit.
+    pub kind: TriggerKind,
+}
+
+impl TriggerEvent {
+    /// Creates a miss trigger.
+    pub fn miss(pc: Pc, line: LineAddr) -> Self {
+        TriggerEvent {
+            pc,
+            line,
+            kind: TriggerKind::Miss,
+        }
+    }
+
+    /// Creates a prefetch-hit trigger.
+    pub fn prefetch_hit(pc: Pc, line: LineAddr) -> Self {
+        TriggerEvent {
+            pc,
+            line,
+            kind: TriggerKind::PrefetchHit,
+        }
+    }
+}
+
+/// A prefetch issued by a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Line to fetch into the prefetch buffer.
+    pub line: LineAddr,
+    /// Serial off-chip metadata round trips before this request can issue.
+    pub delay_trips: u8,
+    /// Issuing stream (used for stream-replacement discards), if the
+    /// prefetcher tracks streams.
+    pub stream: Option<u32>,
+}
+
+impl PrefetchRequest {
+    /// A request with no metadata delay and no stream tag.
+    pub fn immediate(line: LineAddr) -> Self {
+        PrefetchRequest {
+            line,
+            delay_trips: 0,
+            stream: None,
+        }
+    }
+}
+
+/// Receiver for a prefetcher's outputs during one triggering event.
+pub trait PrefetchSink {
+    /// Issue a prefetch request.
+    fn prefetch(&mut self, request: PrefetchRequest);
+    /// Account `blocks` cache-block reads from off-chip metadata tables.
+    fn metadata_read(&mut self, blocks: u32);
+    /// Account `blocks` cache-block writes to off-chip metadata tables.
+    fn metadata_write(&mut self, blocks: u32);
+    /// Ask the engine to drop buffered prefetches of a replaced stream.
+    fn discard_stream(&mut self, stream: u32);
+}
+
+/// A data prefetcher driven by triggering events.
+///
+/// Implementations include the baselines in `domino-prefetchers`
+/// (next-line, stride, STMS, Digram, ISB, VLDP) and the Domino prefetcher
+/// in the `domino` crate.
+pub trait Prefetcher {
+    /// Display name used in reports (matches the paper's figure labels).
+    fn name(&self) -> &str;
+
+    /// Reacts to one triggering event.
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink);
+}
+
+/// Simple sink that records everything (tests, analyses, adapters).
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    /// Issued requests in order.
+    pub requests: Vec<PrefetchRequest>,
+    /// Metadata blocks read.
+    pub meta_read_blocks: u64,
+    /// Metadata blocks written.
+    pub meta_write_blocks: u64,
+    /// Streams discarded.
+    pub discarded_streams: Vec<u32>,
+}
+
+impl CollectSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Clears all recorded outputs (reuse between events).
+    pub fn clear(&mut self) {
+        self.requests.clear();
+        self.discarded_streams.clear();
+        self.meta_read_blocks = 0;
+        self.meta_write_blocks = 0;
+    }
+}
+
+impl PrefetchSink for CollectSink {
+    fn prefetch(&mut self, request: PrefetchRequest) {
+        self.requests.push(request);
+    }
+
+    fn metadata_read(&mut self, blocks: u32) {
+        self.meta_read_blocks += u64::from(blocks);
+    }
+
+    fn metadata_write(&mut self, blocks: u32) {
+        self.meta_write_blocks += u64::from(blocks);
+    }
+
+    fn discard_stream(&mut self, stream: u32) {
+        self.discarded_streams.push(stream);
+    }
+}
+
+/// A prefetcher that never prefetches — the paper's baseline system.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+
+    fn on_trigger(&mut self, _event: &TriggerEvent, _sink: &mut dyn PrefetchSink) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_records_everything() {
+        let mut sink = CollectSink::new();
+        sink.prefetch(PrefetchRequest::immediate(LineAddr::new(3)));
+        sink.metadata_read(2);
+        sink.metadata_write(1);
+        sink.discard_stream(7);
+        assert_eq!(sink.requests.len(), 1);
+        assert_eq!(sink.meta_read_blocks, 2);
+        assert_eq!(sink.meta_write_blocks, 1);
+        assert_eq!(sink.discarded_streams, vec![7]);
+        sink.clear();
+        assert!(sink.requests.is_empty());
+        assert_eq!(sink.meta_read_blocks, 0);
+    }
+
+    #[test]
+    fn no_prefetcher_is_silent() {
+        let mut p = NoPrefetcher;
+        let mut sink = CollectSink::new();
+        p.on_trigger(&TriggerEvent::miss(Pc::new(1), LineAddr::new(2)), &mut sink);
+        assert!(sink.requests.is_empty());
+        assert_eq!(p.name(), "Baseline");
+    }
+
+    #[test]
+    fn trigger_constructors() {
+        let m = TriggerEvent::miss(Pc::new(1), LineAddr::new(2));
+        assert_eq!(m.kind, TriggerKind::Miss);
+        let h = TriggerEvent::prefetch_hit(Pc::new(1), LineAddr::new(2));
+        assert_eq!(h.kind, TriggerKind::PrefetchHit);
+    }
+}

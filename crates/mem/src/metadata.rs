@@ -1,0 +1,143 @@
+//! Off-chip metadata channel helpers.
+//!
+//! Temporal prefetchers keep their history and index tables in main memory
+//! (paper §III-A): every table read or update is an off-chip access moving
+//! one cache block. To bound the update traffic the paper adopts STMS's
+//! *statistical updates*: "for every several index updates (e.g., eight),
+//! only one of them is recorded" — a 12.5 % sampling probability.
+//!
+//! [`MetadataChannel`] packages the two things every off-chip-metadata
+//! prefetcher needs: an update sampler and read/write accounting.
+
+/// Deterministic sampler for statistical metadata updates.
+#[derive(Debug, Clone)]
+pub struct UpdateSampler {
+    probability: f64,
+    state: u64,
+}
+
+impl UpdateSampler {
+    /// Creates a sampler accepting updates with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0`.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        UpdateSampler {
+            probability,
+            state: seed | 1,
+        }
+    }
+
+    /// The paper's 12.5 % sampling.
+    pub fn paper(seed: u64) -> Self {
+        UpdateSampler::new(0.125, seed)
+    }
+
+    /// Returns `true` if this update should be recorded.
+    pub fn sample(&mut self) -> bool {
+        // xorshift64*; cheap, deterministic, decorrelated from workload RNG.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let draw =
+            (self.state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        draw < self.probability
+    }
+
+    /// Sampling probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+/// Read/write accounting for a prefetcher's off-chip metadata tables.
+///
+/// Prefetchers use this internally and mirror the counts into their
+/// [`PrefetchSink`](crate::interface::PrefetchSink) so the engine can
+/// charge DRAM bandwidth.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataChannel {
+    reads: u64,
+    writes: u64,
+}
+
+impl MetadataChannel {
+    /// Creates an idle channel.
+    pub fn new() -> Self {
+        MetadataChannel::default()
+    }
+
+    /// Records `blocks` cache-block reads.
+    pub fn read(&mut self, blocks: u32) {
+        self.reads += u64::from(blocks);
+    }
+
+    /// Records `blocks` cache-block writes.
+    pub fn write(&mut self, blocks: u32) {
+        self.writes += u64::from(blocks);
+    }
+
+    /// Total blocks read.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total blocks written.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_matches_probability() {
+        let mut s = UpdateSampler::paper(42);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| s.sample()).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.01, "sampled {frac}");
+    }
+
+    #[test]
+    fn sampler_extremes() {
+        let mut never = UpdateSampler::new(0.0, 1);
+        let mut always = UpdateSampler::new(1.0, 1);
+        for _ in 0..100 {
+            assert!(!never.sample());
+            assert!(always.sample());
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = UpdateSampler::paper(7);
+        let mut b = UpdateSampler::paper(7);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        UpdateSampler::new(1.5, 0);
+    }
+
+    #[test]
+    fn channel_counts() {
+        let mut c = MetadataChannel::new();
+        c.read(2);
+        c.write(1);
+        c.read(1);
+        assert_eq!(c.reads(), 3);
+        assert_eq!(c.writes(), 1);
+    }
+}

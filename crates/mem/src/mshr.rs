@@ -1,0 +1,170 @@
+//! Miss-status holding registers.
+//!
+//! MSHRs bound how many distinct line misses can be outstanding at once —
+//! the hardware ceiling on memory-level parallelism. Table I gives the
+//! paper's configuration: 32 MSHRs at the L1-D, 64 at the L2. The interval
+//! timing model uses an [`MshrFile`] to cap how many overlapping misses a
+//! ROB window can issue.
+
+use domino_trace::addr::LineAddr;
+
+/// One in-flight miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    line: LineAddr,
+    done_at: f64,
+    merged: u32,
+}
+
+/// A file of miss-status holding registers.
+///
+/// ```
+/// use domino_mem::mshr::MshrFile;
+/// use domino_trace::addr::LineAddr;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert!(mshrs.allocate(LineAddr::new(1), 100.0).is_some());
+/// assert!(mshrs.allocate(LineAddr::new(2), 120.0).is_some());
+/// assert!(mshrs.allocate(LineAddr::new(3), 130.0).is_none(), "full");
+/// mshrs.retire_until(125.0);
+/// assert!(mshrs.allocate(LineAddr::new(3), 130.0).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+    allocations: u64,
+    merges: u64,
+    stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs capacity");
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            allocations: 0,
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Attempts to track a miss on `line` completing at `done_at`.
+    ///
+    /// Returns the completion time on success. A miss on an
+    /// already-tracked line merges (secondary miss) and returns the
+    /// existing completion time. Returns `None` — and counts a structural
+    /// stall — when all registers are busy.
+    pub fn allocate(&mut self, line: LineAddr, done_at: f64) -> Option<f64> {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.merged += 1;
+            self.merges += 1;
+            return Some(e.done_at);
+        }
+        if self.entries.len() == self.capacity {
+            self.stalls += 1;
+            return None;
+        }
+        self.entries.push(Entry {
+            line,
+            done_at,
+            merged: 0,
+        });
+        self.allocations += 1;
+        Some(done_at)
+    }
+
+    /// If `line` is already in flight, merges (secondary miss) and
+    /// returns the existing completion time without a new transfer.
+    pub fn completion_of(&mut self, line: LineAddr) -> Option<f64> {
+        let e = self.entries.iter_mut().find(|e| e.line == line)?;
+        e.merged += 1;
+        self.merges += 1;
+        Some(e.done_at)
+    }
+
+    /// Releases all registers whose miss completed at or before `now`.
+    pub fn retire_until(&mut self, now: f64) {
+        self.entries.retain(|e| e.done_at > now);
+    }
+
+    /// Earliest completion time among outstanding misses, if any — the
+    /// time a stalled allocator must wait for.
+    pub fn earliest_completion(&self) -> Option<f64> {
+        self.entries
+            .iter()
+            .map(|e| e.done_at)
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    }
+
+    /// Outstanding miss count.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(allocations, merges, structural_stalls)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.allocations, self.merges, self.stalls)
+    }
+
+    /// Register count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(line(1), 100.0), Some(100.0));
+        assert_eq!(m.allocate(line(1), 999.0), Some(100.0), "merged");
+        assert_eq!(m.in_flight(), 1);
+        let (alloc, merges, _) = m.counters();
+        assert_eq!((alloc, merges), (1, 1));
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m = MshrFile::new(1);
+        m.allocate(line(1), 50.0);
+        assert_eq!(m.allocate(line(2), 60.0), None);
+        assert_eq!(m.counters().2, 1);
+        assert_eq!(m.earliest_completion(), Some(50.0));
+    }
+
+    #[test]
+    fn retire_frees_registers() {
+        let mut m = MshrFile::new(2);
+        m.allocate(line(1), 50.0);
+        m.allocate(line(2), 80.0);
+        m.retire_until(60.0);
+        assert_eq!(m.in_flight(), 1);
+        assert!(m.allocate(line(3), 90.0).is_some());
+    }
+
+    #[test]
+    fn earliest_completion_empty() {
+        let m = MshrFile::new(2);
+        assert_eq!(m.earliest_completion(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The small prefetch buffer next to the L1-D cache.
+//!
+//! The paper's methodology (§IV-D): "all prefetchers prefetch into a small
+//! prefetch buffer near the L1-D cache with the capacity of 32 cache
+//! blocks". Prefetched blocks that are evicted (or discarded with their
+//! stream) before any demand hit are the paper's **overpredictions**.
+//!
+//! Entries carry an arrival timestamp so the timing model can distinguish
+//! *timely* hits (block already arrived) from *partial* hits (block still
+//! in flight; the demand access waits the residual latency).
+
+use std::collections::VecDeque;
+
+use domino_trace::addr::LineAddr;
+
+/// One buffered prefetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferedPrefetch {
+    /// Prefetched line.
+    pub line: LineAddr,
+    /// Simulated time (ns) at which the data arrives from memory.
+    pub ready_at: f64,
+    /// Stream that issued the prefetch (for stream-replacement discards).
+    pub stream: Option<u32>,
+}
+
+/// Lifetime accounting for the buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchBufferStats {
+    /// Prefetches inserted.
+    pub inserted: u64,
+    /// Demand hits (useful prefetches).
+    pub hits: u64,
+    /// Entries evicted by capacity pressure before any use.
+    pub evicted_unused: u64,
+    /// Entries discarded when their stream was replaced.
+    pub discarded_unused: u64,
+    /// Inserts that were dropped because the line was already buffered.
+    pub duplicate_inserts: u64,
+}
+
+impl PrefetchBufferStats {
+    /// All prefetched-but-never-used blocks — the overprediction count.
+    pub fn overpredictions(&self) -> u64 {
+        self.evicted_unused + self.discarded_unused
+    }
+}
+
+/// LRU prefetch buffer with a fixed capacity in cache blocks.
+///
+/// ```
+/// use domino_mem::prefetch_buffer::PrefetchBuffer;
+/// use domino_trace::addr::LineAddr;
+///
+/// let mut buf = PrefetchBuffer::new(32);
+/// buf.insert(LineAddr::new(7), 0.0, None);
+/// assert!(buf.take(LineAddr::new(7)).is_some());
+/// assert!(buf.take(LineAddr::new(7)).is_none(), "hit consumes the entry");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    capacity: usize,
+    /// Front = LRU victim end; back = most recent.
+    entries: VecDeque<BufferedPrefetch>,
+    stats: PrefetchBufferStats,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer needs capacity");
+        PrefetchBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            stats: PrefetchBufferStats::default(),
+        }
+    }
+
+    /// The paper's configuration: 32 blocks.
+    pub fn paper() -> Self {
+        PrefetchBuffer::new(32)
+    }
+
+    /// Inserts a prefetched line arriving at `ready_at`. Duplicate lines
+    /// are dropped (counted), full buffers evict the LRU entry (counted as
+    /// an unused eviction — it was never hit).
+    pub fn insert(&mut self, line: LineAddr, ready_at: f64, stream: Option<u32>) {
+        self.stats.inserted += 1;
+        if self.entries.iter().any(|e| e.line == line) {
+            self.stats.duplicate_inserts += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.stats.evicted_unused += 1;
+        }
+        self.entries.push_back(BufferedPrefetch {
+            line,
+            ready_at,
+            stream,
+        });
+    }
+
+    /// Demand lookup: on hit, removes and returns the entry (the block
+    /// moves into the L1) and counts a useful prefetch.
+    pub fn take(&mut self, line: LineAddr) -> Option<BufferedPrefetch> {
+        let pos = self.entries.iter().position(|e| e.line == line)?;
+        self.stats.hits += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Peeks without consuming (used by tests and debug displays).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Discards all entries belonging to `stream` (stream replacement —
+    /// "which means discarding the contents of the prefetch buffer ...
+    /// related to the replaced stream", paper §III-B).
+    pub fn discard_stream(&mut self, stream: u32) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.stream != Some(stream));
+        let discarded = before - self.entries.len();
+        self.stats.discarded_unused += discarded as u64;
+        discarded
+    }
+
+    /// Number of buffered blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> PrefetchBufferStats {
+        self.stats
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(line(1), 10.0, Some(0));
+        let e = b.take(line(1)).unwrap();
+        assert_eq!(e.ready_at, 10.0);
+        assert_eq!(e.stream, Some(0));
+        assert_eq!(b.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_counts_overprediction() {
+        let mut b = PrefetchBuffer::new(2);
+        b.insert(line(1), 0.0, None);
+        b.insert(line(2), 0.0, None);
+        b.insert(line(3), 0.0, None); // evicts line 1
+        assert!(!b.contains(line(1)));
+        assert_eq!(b.stats().evicted_unused, 1);
+        assert_eq!(b.stats().overpredictions(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(line(9), 0.0, None);
+        b.insert(line(9), 5.0, None);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.stats().duplicate_inserts, 1);
+    }
+
+    #[test]
+    fn stream_discard() {
+        let mut b = PrefetchBuffer::new(8);
+        b.insert(line(1), 0.0, Some(0));
+        b.insert(line(2), 0.0, Some(1));
+        b.insert(line(3), 0.0, Some(0));
+        assert_eq!(b.discard_stream(0), 2);
+        assert!(b.contains(line(2)));
+        assert_eq!(b.stats().discarded_unused, 2);
+    }
+
+    #[test]
+    fn hits_are_not_overpredictions() {
+        let mut b = PrefetchBuffer::new(2);
+        b.insert(line(1), 0.0, None);
+        b.take(line(1));
+        b.insert(line(2), 0.0, None);
+        b.insert(line(3), 0.0, None);
+        b.insert(line(4), 0.0, None);
+        // line1 was used; lines 2 evicted unused.
+        assert_eq!(b.stats().overpredictions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        PrefetchBuffer::new(0);
+    }
+}

@@ -1,0 +1,482 @@
+//! Active-stream replay machinery shared by the global-history temporal
+//! prefetchers.
+//!
+//! STMS, Digram, and Domino all track a small number of *active streams*
+//! (four in the paper). Each stream replays a run of the History Table:
+//! it keeps a few predictions fetched from the HT (`pending`, the paper's
+//! PointBuf contents), keeps `degree` prefetches in flight
+//! (`outstanding`), and advances on prefetch hits. A demand miss that
+//! matches a stream's in-flight or pending prediction is a *late*
+//! continuation — the stream stays alive (the prefetch was correct, just
+//! not timely), exactly like a secondary miss on an in-flight stream
+//! buffer entry.
+//!
+//! Stream-end detection is implemented as a divergence hint: when a stream
+//! dies, the prefetcher remembers how many predictions it served from the
+//! index entry that spawned it, and the next stream from the same entry
+//! stops `degree` prefetches past that point. This reproduces the
+//! heuristic's purpose ("reduce useless prefetches", §IV-D) without the
+//! original's unspecified hardware encoding.
+
+use std::collections::VecDeque;
+
+use crate::history::{HistoryTable, ROW_ENTRIES};
+use crate::interface::{PrefetchRequest, PrefetchSink};
+use domino_trace::addr::LineAddr;
+
+/// Victim selection when a new stream needs a slot.
+///
+/// The paper's Domino text says a new stream "replaces one of the old
+/// streams with it (round robin)" while prefetch hits still promote
+/// their stream in "the LRU stack"; STMS-style designs replace LRU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacePolicy {
+    /// Evict the least-recently-used stream.
+    #[default]
+    Lru,
+    /// Evict streams in rotation, regardless of recency.
+    RoundRobin,
+}
+
+/// One active replay stream.
+#[derive(Debug, Clone)]
+pub struct Stream<K> {
+    /// Engine-visible stream id (tags prefetch-buffer entries).
+    pub id: u32,
+    /// Next History Table position not yet fetched into `pending`.
+    pub next_pos: u64,
+    /// Predictions fetched from the HT, not yet issued.
+    pub pending: VecDeque<LineAddr>,
+    /// Issued prefetches awaiting their demand hit.
+    pub outstanding: VecDeque<LineAddr>,
+    /// Correct predictions served (hits + late continuations).
+    pub consumed: u32,
+    /// Remaining prefetches allowed, `None` = unlimited.
+    pub budget: Option<u32>,
+    /// The stream has caught up with the present (or fell off the HT).
+    pub exhausted: bool,
+    /// Stream-end detection latched a recorded stream end: once
+    /// `pending` drains, the stream is exhausted.
+    pub stop_after_pending: bool,
+    /// Consecutive recorded stream heads seen while replaying (stream-end
+    /// detection state).
+    pub head_run: u8,
+    /// Index key that spawned the stream (for divergence hints).
+    pub origin: K,
+}
+
+/// Fixed-capacity table of active streams with a configurable
+/// replacement policy (hits always promote to MRU).
+#[derive(Debug, Clone)]
+pub struct StreamTable<K> {
+    /// LRU order: front = least recent, back = most recent.
+    slots: Vec<Stream<K>>,
+    max: usize,
+    next_id: u32,
+    policy: ReplacePolicy,
+    rr_cursor: usize,
+}
+
+impl<K> StreamTable<K> {
+    /// Creates an LRU-replacement table tracking up to `max` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn new(max: usize) -> Self {
+        StreamTable::with_policy(max, ReplacePolicy::Lru)
+    }
+
+    /// Creates a table with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn with_policy(max: usize, policy: ReplacePolicy) -> Self {
+        assert!(max > 0, "need at least one stream slot");
+        StreamTable {
+            slots: Vec::with_capacity(max),
+            max,
+            next_id: 0,
+            policy,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no streams are active.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Consumes a correct prediction for `line`: an in-flight prefetch
+    /// (any position — later entries may hit out of order) or the stream's
+    /// *next* pending prediction (a late continuation the hardware stream
+    /// buffer would recognise). Promotes the stream to MRU and returns a
+    /// mutable reference to it.
+    pub fn consume(&mut self, line: LineAddr) -> Option<&mut Stream<K>> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.outstanding.contains(&line))
+            .or_else(|| {
+                self.slots
+                    .iter()
+                    .position(|s| s.pending.front() == Some(&line))
+            })?;
+        let mut s = self.slots.remove(idx);
+        if let Some(pos) = s.outstanding.iter().position(|&l| l == line) {
+            // Entries skipped over were wasted prefetches; drop tracking.
+            s.outstanding.drain(..=pos);
+        } else {
+            s.pending.pop_front();
+        }
+        s.consumed += 1;
+        self.slots.push(s);
+        Some(self.slots.last_mut().expect("just pushed"))
+    }
+
+    /// Installs a new stream (replacing a victim chosen by the table's
+    /// policy if full); returns the evicted stream, if any, and the new
+    /// stream's id.
+    pub fn allocate(
+        &mut self,
+        next_pos: u64,
+        budget: Option<u32>,
+        origin: K,
+    ) -> (Option<Stream<K>>, u32) {
+        let evicted = if self.slots.len() == self.max {
+            let victim = match self.policy {
+                ReplacePolicy::Lru => 0,
+                ReplacePolicy::RoundRobin => {
+                    let v = self.rr_cursor % self.slots.len();
+                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                    v
+                }
+            };
+            Some(self.slots.remove(victim))
+        } else {
+            None
+        };
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.slots.push(Stream {
+            id,
+            next_pos,
+            pending: VecDeque::new(),
+            outstanding: VecDeque::new(),
+            consumed: 0,
+            budget,
+            exhausted: false,
+            stop_after_pending: false,
+            head_run: 0,
+            origin,
+        });
+        (evicted, id)
+    }
+
+    /// The most recently used stream (the one `allocate`/`consume` just
+    /// touched).
+    pub fn mru_mut(&mut self) -> Option<&mut Stream<K>> {
+        self.slots.last_mut()
+    }
+}
+
+/// Keeps `stream` topped up to `degree` in-flight prefetches, fetching HT
+/// rows as needed. Each row fetch is one off-chip block read and one extra
+/// serial trip for the prefetches issued after it in this event.
+///
+/// `skip` is the current triggering address: predictions equal to it are
+/// silently dropped (the demand access is already fetching that line).
+///
+/// With `stop_at_heads` (the stream-end detection heuristic of §IV-D),
+/// replay stops after a run of two consecutive recorded *stream heads* —
+/// the point where the producing traversal itself took repeated demand
+/// misses, i.e. where history says the recorded run really ended. A
+/// single head is tolerated: it is usually another context's miss
+/// interleaved into the log, not the end of this stream.
+pub fn top_up<K>(
+    stream: &mut Stream<K>,
+    ht: &HistoryTable,
+    degree: usize,
+    skip: LineAddr,
+    stop_at_heads: bool,
+    trips: &mut u8,
+    sink: &mut dyn PrefetchSink,
+) {
+    loop {
+        if stream.outstanding.len() >= degree || stream.exhausted {
+            return;
+        }
+        if stream.budget == Some(0) {
+            return;
+        }
+        if stream.pending.is_empty() {
+            if stream.stop_after_pending {
+                stream.exhausted = true;
+                return;
+            }
+            if !ht.is_live(stream.next_pos) {
+                stream.exhausted = true;
+                return;
+            }
+            // Fetch the remainder of the row containing next_pos.
+            let row_end = (HistoryTable::row_of(stream.next_pos) + 1) * ROW_ENTRIES as u64;
+            let want = (row_end - stream.next_pos) as usize;
+            let start = match stream.next_pos.checked_sub(1) {
+                Some(p) => p,
+                None => {
+                    stream.exhausted = true;
+                    return;
+                }
+            };
+            let (succ, _) = ht.successors(start, want);
+            if succ.is_empty() {
+                stream.exhausted = true;
+                return;
+            }
+            sink.metadata_read(1);
+            *trips = trips.saturating_add(1);
+            stream.next_pos += succ.len() as u64;
+            for e in succ {
+                stream.pending.push_back(e.line);
+                if stop_at_heads {
+                    if e.stream_head {
+                        stream.head_run += 1;
+                        if stream.head_run >= 2 {
+                            // The producing run ended here: issue up to and
+                            // including this prediction, then stop.
+                            stream.stop_after_pending = true;
+                            break;
+                        }
+                    } else {
+                        stream.head_run = 0;
+                    }
+                }
+            }
+        }
+        let line = stream.pending.pop_front().expect("pending refilled above");
+        if line == skip {
+            continue;
+        }
+        sink.prefetch(PrefetchRequest {
+            line,
+            delay_trips: *trips,
+            stream: Some(stream.id),
+        });
+        stream.outstanding.push_back(line);
+        if let Some(b) = &mut stream.budget {
+            *b -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::CollectSink;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn filled_ht(n: u64) -> HistoryTable {
+        let mut ht = HistoryTable::new(0);
+        for i in 0..n {
+            ht.append(line(100 + i), false);
+        }
+        ht
+    }
+
+    #[test]
+    fn allocate_evicts_lru() {
+        let mut t: StreamTable<u64> = StreamTable::new(2);
+        let (e1, id1) = t.allocate(1, None, 11);
+        assert!(e1.is_none());
+        let (_e2, _id2) = t.allocate(2, None, 22);
+        let (e3, _id3) = t.allocate(3, None, 33);
+        let evicted = e3.expect("table was full");
+        assert_eq!(evicted.id, id1);
+        assert_eq!(evicted.origin, 11);
+    }
+
+    #[test]
+    fn top_up_issues_degree_prefetches_with_trips() {
+        let ht = filled_ht(30);
+        let mut t: StreamTable<u64> = StreamTable::new(2);
+        t.allocate(1, None, 0);
+        let s = t.mru_mut().unwrap();
+        let mut sink = CollectSink::new();
+        let mut trips = 1; // pretend the index read already happened
+        top_up(s, &ht, 4, line(0xffff), false, &mut trips, &mut sink);
+        assert_eq!(sink.requests.len(), 4);
+        // All issued after the one row fetch: two serial trips total.
+        assert!(sink.requests.iter().all(|r| r.delay_trips == 2));
+        assert_eq!(sink.meta_read_blocks, 1);
+        assert_eq!(s.outstanding.len(), 4);
+        // Predictions follow the history.
+        assert_eq!(sink.requests[0].line, line(101));
+    }
+
+    #[test]
+    fn consume_advances_and_promotes() {
+        let ht = filled_ht(30);
+        let mut t: StreamTable<u64> = StreamTable::new(2);
+        t.allocate(1, None, 7);
+        let mut sink = CollectSink::new();
+        let mut trips = 0;
+        top_up(
+            t.mru_mut().unwrap(),
+            &ht,
+            2,
+            line(0xffff),
+            false,
+            &mut trips,
+            &mut sink,
+        );
+        let hit_line = sink.requests[0].line;
+        let s = t.consume(hit_line).expect("stream should match");
+        assert_eq!(s.consumed, 1);
+        assert_eq!(s.outstanding.len(), 1);
+        assert!(t.consume(line(0xdead)).is_none());
+    }
+
+    #[test]
+    fn budget_limits_prefetches() {
+        let ht = filled_ht(30);
+        let mut t: StreamTable<u64> = StreamTable::new(1);
+        t.allocate(1, Some(2), 0);
+        let mut sink = CollectSink::new();
+        let mut trips = 0;
+        top_up(
+            t.mru_mut().unwrap(),
+            &ht,
+            4,
+            line(0xffff),
+            false,
+            &mut trips,
+            &mut sink,
+        );
+        assert_eq!(sink.requests.len(), 2, "budget caps issue");
+    }
+
+    #[test]
+    fn exhausts_at_history_end() {
+        let ht = filled_ht(3);
+        let mut t: StreamTable<u64> = StreamTable::new(1);
+        t.allocate(1, None, 0);
+        let mut sink = CollectSink::new();
+        let mut trips = 0;
+        top_up(
+            t.mru_mut().unwrap(),
+            &ht,
+            8,
+            line(0xffff),
+            false,
+            &mut trips,
+            &mut sink,
+        );
+        assert_eq!(sink.requests.len(), 2, "only positions 1..3 exist");
+        assert!(t.mru_mut().unwrap().exhausted);
+    }
+
+    #[test]
+    fn consume_matches_only_next_pending_prediction() {
+        let ht = filled_ht(30);
+        let mut t: StreamTable<u64> = StreamTable::new(1);
+        t.allocate(1, None, 0);
+        let s = t.mru_mut().unwrap();
+        // Manually stage pending predictions without issuing.
+        s.pending.extend([line(101), line(102), line(103)]);
+        s.next_pos = 4;
+        // A deep pending entry is not the stream's next prediction.
+        assert!(t.consume(line(102)).is_none());
+        let got = t.consume(line(101)).expect("front pending match");
+        assert_eq!(got.pending.len(), 2);
+        assert_eq!(got.pending[0], line(102));
+        let _ = ht;
+    }
+
+    #[test]
+    fn round_robin_replacement_rotates_victims() {
+        let mut t: StreamTable<u64> = StreamTable::with_policy(2, ReplacePolicy::RoundRobin);
+        let (_, id_a) = t.allocate(1, None, 0);
+        let (_, _id_b) = t.allocate(2, None, 1);
+        // Promote A to MRU: under LRU, B would be the next victim; under
+        // round-robin the cursor picks slots in rotation regardless.
+        let mut sink = CollectSink::new();
+        let ht = filled_ht(30);
+        let mut trips = 0;
+        // Find stream A (origin 0) and give it an outstanding line.
+        top_up(
+            t.mru_mut().unwrap(),
+            &ht,
+            1,
+            line(0xffff),
+            false,
+            &mut trips,
+            &mut sink,
+        );
+        let (ev1, _) = t.allocate(3, None, 2);
+        let (ev2, _) = t.allocate(4, None, 3);
+        let origins: Vec<u64> = [ev1, ev2].into_iter().flatten().map(|s| s.origin).collect();
+        assert_eq!(origins.len(), 2);
+        assert_ne!(origins[0], origins[1], "rotation must not re-pick one slot");
+        let _ = id_a;
+    }
+
+    #[test]
+    fn stop_at_heads_truncates_replay_at_head_runs() {
+        let mut ht = HistoryTable::new(0);
+        // positions 0..: lines 100.., heads at positions 3, 6 and 7.
+        for i in 0..20u64 {
+            ht.append(line(100 + i), i == 3 || i == 6 || i == 7);
+        }
+        let mut t: StreamTable<u64> = StreamTable::new(1);
+        t.allocate(1, None, 0);
+        let mut sink = CollectSink::new();
+        let mut trips = 0;
+        top_up(
+            t.mru_mut().unwrap(),
+            &ht,
+            12,
+            line(0xffff),
+            true,
+            &mut trips,
+            &mut sink,
+        );
+        // The isolated head at position 3 is tolerated (interleaving);
+        // the head run at 6–7 ends the stream, inclusive of entry 107.
+        let lines: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(lines, vec![101, 102, 103, 104, 105, 106, 107]);
+        // Consuming everything leaves the stream exhausted, not refilling.
+        for l in 101..=107u64 {
+            t.consume(line(l));
+        }
+        let mut sink = CollectSink::new();
+        let mut trips = 0;
+        top_up(
+            t.mru_mut().unwrap(),
+            &ht,
+            12,
+            line(0xffff),
+            true,
+            &mut trips,
+            &mut sink,
+        );
+        assert!(
+            sink.requests.is_empty(),
+            "must not replay past the head run"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_slots_panics() {
+        let _t: StreamTable<u64> = StreamTable::new(0);
+    }
+}

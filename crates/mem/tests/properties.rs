@@ -1,0 +1,177 @@
+//! Property-based tests for the memory substrates: the set-associative
+//! cache against a reference model, prefetch-buffer accounting, MSHR
+//! bounds, and history-table residency.
+
+use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
+use domino_mem::history::HistoryTable;
+use domino_mem::mshr::MshrFile;
+use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_trace::addr::{LineAddr, LINE_BYTES};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference LRU model: per set, a deque with MRU at the back.
+#[derive(Debug)]
+struct RefLru {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+}
+
+impl RefLru {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefLru {
+            sets: vec![VecDeque::new(); sets],
+            ways,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.sets.len()
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push_back(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, line: u64) {
+        let s = self.set_of(line);
+        if self.access(line) {
+            return;
+        }
+        let set = &mut self.sets[s];
+        if set.len() == self.ways {
+            set.pop_front();
+        }
+        set.push_back(line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LRU cache agrees with a straightforward reference model on
+    /// every access of any sequence.
+    #[test]
+    fn cache_matches_reference_lru(
+        lines in proptest::collection::vec(0u64..64, 1..600),
+        ways in 1usize..5,
+    ) {
+        let sets = 8usize;
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: (sets * ways) as u64 * LINE_BYTES,
+            ways,
+            replacement: Replacement::Lru,
+        });
+        let mut reference = RefLru::new(sets, ways);
+        for &l in &lines {
+            let line = LineAddr::new(l);
+            let hit = cache.access(line);
+            let ref_hit = reference.access(l);
+            prop_assert_eq!(hit, ref_hit, "divergence at line {}", l);
+            if !hit {
+                cache.insert(line);
+                reference.insert(l);
+            }
+        }
+    }
+
+    /// Capacity is never exceeded under any policy.
+    #[test]
+    fn cache_capacity_bound(
+        lines in proptest::collection::vec(0u64..10_000, 1..500),
+        policy in prop_oneof![
+            Just(Replacement::Lru),
+            Just(Replacement::Fifo),
+            Just(Replacement::Random)
+        ],
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            size_bytes: 16 * LINE_BYTES,
+            ways: 4,
+            replacement: policy,
+        });
+        for &l in &lines {
+            cache.insert(LineAddr::new(l));
+            prop_assert!(cache.len() <= 16);
+        }
+    }
+
+    /// Buffer accounting: inserted = hits + overpredictions + duplicates
+    /// + still-resident, for any interleaving of inserts and takes.
+    #[test]
+    fn prefetch_buffer_accounting(
+        ops in proptest::collection::vec((0u64..32, prop::bool::ANY), 1..400),
+        capacity in 1usize..40,
+    ) {
+        let mut buf = PrefetchBuffer::new(capacity);
+        for &(line, is_insert) in &ops {
+            if is_insert {
+                buf.insert(LineAddr::new(line), 0.0, None);
+            } else {
+                buf.take(LineAddr::new(line));
+            }
+        }
+        let s = buf.stats();
+        prop_assert_eq!(
+            s.inserted,
+            s.hits + s.evicted_unused + s.duplicate_inserts + buf.len() as u64,
+            "{:?} + resident {}",
+            s,
+            buf.len()
+        );
+        prop_assert!(buf.len() <= capacity);
+    }
+
+    /// MSHRs never track more than their capacity and never lose a
+    /// completion.
+    #[test]
+    fn mshr_bounds(
+        ops in proptest::collection::vec((0u64..16, 1.0f64..100.0), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let mut mshrs = MshrFile::new(capacity);
+        let mut clock = 0.0;
+        for &(line, dur) in &ops {
+            clock += 1.0;
+            mshrs.retire_until(clock);
+            let _ = mshrs.allocate(LineAddr::new(line), clock + dur);
+            prop_assert!(mshrs.in_flight() <= capacity);
+            if let Some(c) = mshrs.earliest_completion() {
+                prop_assert!(c > clock);
+            }
+        }
+    }
+
+    /// History-table residency: a bounded table keeps exactly the last
+    /// `capacity` positions readable, and reads return what was written.
+    #[test]
+    fn history_residency(
+        lines in proptest::collection::vec(0u64..1000, 1..300),
+        capacity in 1usize..64,
+    ) {
+        let mut ht = HistoryTable::new(capacity);
+        for (i, &l) in lines.iter().enumerate() {
+            let pos = ht.append(LineAddr::new(l), i % 2 == 0);
+            prop_assert_eq!(pos, i as u64);
+        }
+        let n = lines.len() as u64;
+        for pos in 0..n {
+            let live = n - pos <= capacity as u64;
+            prop_assert_eq!(ht.is_live(pos), live);
+            if live {
+                let e = ht.get(pos).expect("live entries are readable");
+                prop_assert_eq!(e.line, LineAddr::new(lines[pos as usize]));
+            } else {
+                prop_assert!(ht.get(pos).is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Feedback-directed degree throttling — an extension beyond the paper.
+//!
+//! The paper fixes the prefetch degree at 4 and shows (Figure 13) that
+//! aggressive degrees multiply overpredictions on hard workloads. The
+//! classic remedy (Srinath et al., HPCA 2007) is to *measure* prefetch
+//! accuracy at runtime and throttle: [`AdaptiveDegree`] wraps any
+//! [`Prefetcher`] and drops a fraction of its requests when measured
+//! accuracy is poor, restoring them when it recovers.
+//!
+//! Accuracy is estimated from the engine's own feedback signals: issued
+//! requests are remembered in a shadow window; a `PrefetchHit` trigger on
+//! a shadowed line counts as a useful prefetch. Per epoch (a fixed number
+//! of issued prefetches), the allowed *pass-through degree* is updated:
+//!
+//! * accuracy ≥ high-water: raise the degree cap (up to the inner
+//!   prefetcher's natural output);
+//! * accuracy ≤ low-water: halve it (minimum 1 — never fully blind).
+//!
+//! The `ablation_adaptive` bench quantifies the coverage/overprediction
+//! trade against the fixed-degree Domino.
+
+use std::collections::{HashSet, VecDeque};
+
+use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
+use domino_trace::addr::LineAddr;
+
+/// Throttling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Issued prefetches per adaptation epoch.
+    pub epoch: u32,
+    /// Accuracy at or above which the cap is raised.
+    pub high_water: f64,
+    /// Accuracy at or below which the cap is halved.
+    pub low_water: f64,
+    /// Maximum pass-through requests per triggering event.
+    pub max_degree: usize,
+    /// Shadow window of remembered requests (accuracy denominator scope).
+    pub shadow: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            epoch: 256,
+            high_water: 0.6,
+            low_water: 0.3,
+            max_degree: 8,
+            shadow: 2048,
+        }
+    }
+}
+
+/// Sink wrapper that enforces the current degree cap and records issues.
+struct ThrottlingSink<'a> {
+    inner: &'a mut dyn PrefetchSink,
+    allowed: usize,
+    issued_this_event: usize,
+    dropped: &'a mut u64,
+    shadow_set: &'a mut HashSet<LineAddr>,
+    shadow_order: &'a mut VecDeque<LineAddr>,
+    shadow_cap: usize,
+    issued_total: &'a mut u32,
+}
+
+impl PrefetchSink for ThrottlingSink<'_> {
+    fn prefetch(&mut self, request: PrefetchRequest) {
+        if self.issued_this_event >= self.allowed {
+            *self.dropped += 1;
+            return;
+        }
+        self.issued_this_event += 1;
+        *self.issued_total += 1;
+        if self.shadow_set.insert(request.line) {
+            self.shadow_order.push_back(request.line);
+            if self.shadow_order.len() > self.shadow_cap {
+                if let Some(old) = self.shadow_order.pop_front() {
+                    self.shadow_set.remove(&old);
+                }
+            }
+        }
+        self.inner.prefetch(request);
+    }
+
+    fn metadata_read(&mut self, blocks: u32) {
+        self.inner.metadata_read(blocks);
+    }
+
+    fn metadata_write(&mut self, blocks: u32) {
+        self.inner.metadata_write(blocks);
+    }
+
+    fn discard_stream(&mut self, stream: u32) {
+        self.inner.discard_stream(stream);
+    }
+}
+
+/// Accuracy-throttled wrapper around any prefetcher.
+#[derive(Debug)]
+pub struct AdaptiveDegree<P> {
+    inner: P,
+    cfg: AdaptiveConfig,
+    name: String,
+    cap: usize,
+    issued_in_epoch: u32,
+    useful_in_epoch: u32,
+    dropped: u64,
+    shadow_set: HashSet<LineAddr>,
+    shadow_order: VecDeque<LineAddr>,
+    epochs: u64,
+}
+
+impl<P: Prefetcher> AdaptiveDegree<P> {
+    /// Wraps `inner` with default throttling parameters.
+    pub fn new(inner: P) -> Self {
+        AdaptiveDegree::with_config(inner, AdaptiveConfig::default())
+    }
+
+    /// Wraps `inner` with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero epoch/degree, watermarks out
+    /// of order).
+    pub fn with_config(inner: P, cfg: AdaptiveConfig) -> Self {
+        assert!(cfg.epoch > 0, "epoch must be positive");
+        assert!(cfg.max_degree > 0, "max degree must be positive");
+        assert!(
+            0.0 <= cfg.low_water && cfg.low_water < cfg.high_water && cfg.high_water <= 1.0,
+            "watermarks must satisfy 0 <= low < high <= 1"
+        );
+        let name = format!("Adaptive({})", inner.name());
+        AdaptiveDegree {
+            inner,
+            cap: cfg.max_degree,
+            cfg,
+            name,
+            issued_in_epoch: 0,
+            useful_in_epoch: 0,
+            dropped: 0,
+            shadow_set: HashSet::new(),
+            shadow_order: VecDeque::new(),
+            epochs: 0,
+        }
+    }
+
+    /// Current pass-through cap (for tests/diagnostics).
+    pub fn current_cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Requests suppressed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Completed adaptation epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The wrapped prefetcher.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn end_epoch(&mut self) {
+        let accuracy = f64::from(self.useful_in_epoch) / f64::from(self.issued_in_epoch.max(1));
+        if accuracy >= self.cfg.high_water {
+            self.cap = (self.cap * 2).min(self.cfg.max_degree);
+        } else if accuracy <= self.cfg.low_water {
+            self.cap = (self.cap / 2).max(1);
+        }
+        self.issued_in_epoch = 0;
+        self.useful_in_epoch = 0;
+        self.epochs += 1;
+    }
+}
+
+impl<P: Prefetcher> Prefetcher for AdaptiveDegree<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+        if event.kind == TriggerKind::PrefetchHit && self.shadow_set.remove(&event.line) {
+            self.useful_in_epoch += 1;
+        }
+        let mut throttle = ThrottlingSink {
+            inner: sink,
+            allowed: self.cap,
+            issued_this_event: 0,
+            dropped: &mut self.dropped,
+            shadow_set: &mut self.shadow_set,
+            shadow_order: &mut self.shadow_order,
+            shadow_cap: self.cfg.shadow,
+            issued_total: &mut self.issued_in_epoch,
+        };
+        self.inner.on_trigger(event, &mut throttle);
+        if self.issued_in_epoch >= self.cfg.epoch {
+            self.end_epoch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nextline::NextLine;
+    use domino_mem::interface::CollectSink;
+    use domino_trace::addr::Pc;
+
+    fn miss(line: u64) -> TriggerEvent {
+        TriggerEvent::miss(Pc::new(0), LineAddr::new(line))
+    }
+
+    fn hit(line: u64) -> TriggerEvent {
+        TriggerEvent::prefetch_hit(Pc::new(0), LineAddr::new(line))
+    }
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            epoch: 8,
+            high_water: 0.6,
+            low_water: 0.3,
+            max_degree: 4,
+            shadow: 64,
+        }
+    }
+
+    #[test]
+    fn passes_requests_through_up_to_cap() {
+        let mut a = AdaptiveDegree::with_config(NextLine::new(8), cfg());
+        let mut sink = CollectSink::new();
+        a.on_trigger(&miss(100), &mut sink);
+        assert_eq!(sink.requests.len(), 4, "cap limits the 8 requests");
+        assert_eq!(a.dropped(), 4);
+    }
+
+    #[test]
+    fn useless_prefetching_throttles_down() {
+        let mut a = AdaptiveDegree::with_config(NextLine::new(4), cfg());
+        // Strided misses that never touch the prefetched next-lines:
+        // accuracy stays 0, so the cap decays to 1.
+        let mut sink = CollectSink::new();
+        for i in 0..40u64 {
+            a.on_trigger(&miss(i * 100), &mut sink);
+        }
+        assert_eq!(a.current_cap(), 1, "after {} epochs", a.epochs());
+        assert!(a.epochs() >= 2);
+    }
+
+    #[test]
+    fn useful_prefetching_recovers_the_cap() {
+        let mut a = AdaptiveDegree::with_config(NextLine::new(4), cfg());
+        // Drive it down first.
+        let mut sink = CollectSink::new();
+        for i in 0..40u64 {
+            a.on_trigger(&miss(i * 100), &mut sink);
+        }
+        assert_eq!(a.current_cap(), 1);
+        // Sequential walk: every issued next-line gets hit.
+        for line in 100_000u64..100_200 {
+            let mut sink = CollectSink::new();
+            a.on_trigger(&miss(line), &mut sink);
+            for r in sink.requests.clone() {
+                a.on_trigger(&hit(r.line.raw()), &mut CollectSink::new());
+            }
+        }
+        assert!(
+            a.current_cap() >= 2,
+            "cap should recover, at {}",
+            a.current_cap()
+        );
+    }
+
+    #[test]
+    fn metadata_and_discards_pass_through() {
+        struct Meta;
+        impl Prefetcher for Meta {
+            fn name(&self) -> &str {
+                "meta"
+            }
+            fn on_trigger(&mut self, _ev: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+                sink.metadata_read(2);
+                sink.metadata_write(1);
+                sink.discard_stream(9);
+            }
+        }
+        let mut a = AdaptiveDegree::with_config(Meta, cfg());
+        let mut sink = CollectSink::new();
+        a.on_trigger(&miss(1), &mut sink);
+        assert_eq!(sink.meta_read_blocks, 2);
+        assert_eq!(sink.meta_write_blocks, 1);
+        assert_eq!(sink.discarded_streams, vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn bad_watermarks_panic() {
+        AdaptiveDegree::with_config(
+            NextLine::new(1),
+            AdaptiveConfig {
+                low_water: 0.9,
+                high_water: 0.5,
+                ..AdaptiveConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared configuration for the temporal prefetchers.
+
+/// Parameters common to the global-history temporal prefetchers (STMS,
+/// Digram, and — re-exported by the `domino` crate — Domino itself).
+///
+/// Defaults follow the paper's §IV-D: prefetch degree 4, four active
+/// streams, 12.5 % sampled index updates, stream-end detection on, and
+/// unbounded history (the idealized setting used for the baselines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalConfig {
+    /// Prefetch degree: prefetches kept in flight per stream.
+    pub degree: usize,
+    /// Number of concurrently tracked streams.
+    pub max_streams: usize,
+    /// Probability that an index update is actually written
+    /// (the paper's statistical updates, 12.5 %).
+    pub sampling_probability: f64,
+    /// Whether the stream-end detection heuristic is enabled: remember how
+    /// far a stream got before diverging and do not prefetch past that
+    /// point on the next use of the same index entry.
+    pub stream_end_detection: bool,
+    /// History-table capacity in entries; `0` = unbounded.
+    pub ht_entries: usize,
+    /// Seed for the update sampler.
+    pub seed: u64,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            degree: 4,
+            max_streams: 4,
+            sampling_probability: 0.125,
+            stream_end_detection: true,
+            ht_entries: 0,
+            seed: 0x000D_0000,
+        }
+    }
+}
+
+impl TemporalConfig {
+    /// Same configuration with a different degree.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degree or stream count is zero, or the sampling
+    /// probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.degree > 0, "degree must be positive");
+        assert!(self.max_streams > 0, "need at least one stream");
+        assert!(
+            (0.0..=1.0).contains(&self.sampling_probability),
+            "sampling probability out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TemporalConfig::default();
+        assert_eq!(c.degree, 4);
+        assert_eq!(c.max_streams, 4);
+        assert!((c.sampling_probability - 0.125).abs() < 1e-12);
+        assert!(c.stream_end_detection);
+        c.validate();
+    }
+
+    #[test]
+    fn with_degree_changes_only_degree() {
+        let c = TemporalConfig::default().with_degree(1);
+        assert_eq!(c.degree, 1);
+        assert_eq!(c.max_streams, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn zero_degree_rejected() {
+        TemporalConfig::default().with_degree(0).validate();
+    }
+}

@@ -1,0 +1,246 @@
+//! Global History Buffer prefetcher (Nesbit & Smith, HPCA 2004) —
+//! G/AC organisation.
+//!
+//! The paper's reference \[11\] and the architectural ancestor of STMS's
+//! metadata layout: a small **on-chip** circular buffer of recent misses
+//! whose entries are chained by address-correlation link pointers, plus an
+//! index table mapping a miss address to its most recent occurrence.
+//! Following the chain backwards finds earlier occurrences; the entries
+//! *after* the most recent occurrence are the prefetch candidates.
+//!
+//! Where STMS moved these structures off-chip to make them multi-megabyte
+//! (and paid two round trips per lookup), the GHB keeps them small and
+//! on-chip: zero metadata round trips, but the history covers only the
+//! last few thousand misses — long reuse distances fall out of the
+//! buffer. Including it in the roster shows *why* temporal prefetching
+//! for servers needs off-chip metadata (paper §III-A).
+
+use std::collections::HashMap;
+
+use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
+use domino_trace::addr::LineAddr;
+
+/// GHB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhbConfig {
+    /// Circular buffer entries (classic configurations: 256–4096).
+    pub entries: usize,
+    /// Prefetch degree.
+    pub degree: usize,
+}
+
+impl Default for GhbConfig {
+    fn default() -> Self {
+        GhbConfig {
+            entries: 2048,
+            degree: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GhbEntry {
+    line: LineAddr,
+    /// Global sequence number of the previous occurrence of `line`.
+    prev_occurrence: Option<u64>,
+}
+
+/// The G/AC Global History Buffer prefetcher.
+#[derive(Debug)]
+pub struct Ghb {
+    cfg: GhbConfig,
+    /// Ring of the last `entries` misses; index = seq % entries.
+    ring: Vec<Option<GhbEntry>>,
+    /// Total misses recorded (next sequence number).
+    seq: u64,
+    /// Index table: address → most recent sequence number.
+    index: HashMap<LineAddr, u64>,
+}
+
+impl Ghb {
+    /// Creates a GHB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries or degree are zero.
+    pub fn new(cfg: GhbConfig) -> Self {
+        assert!(cfg.entries > 0, "GHB needs entries");
+        assert!(cfg.degree > 0, "degree must be positive");
+        Ghb {
+            ring: vec![None; cfg.entries],
+            seq: 0,
+            index: HashMap::new(),
+            cfg,
+        }
+    }
+
+    fn live(&self, seq: u64) -> bool {
+        seq < self.seq && self.seq - seq <= self.cfg.entries as u64
+    }
+
+    fn at(&self, seq: u64) -> Option<GhbEntry> {
+        if self.live(seq) {
+            self.ring[(seq % self.cfg.entries as u64) as usize]
+        } else {
+            None
+        }
+    }
+
+    /// Number of still-resident occurrences of `line`, walking the
+    /// address-correlation chain (diagnostics; bounded by the buffer).
+    pub fn chain_length(&self, line: LineAddr) -> usize {
+        let mut len = 0;
+        let mut cur = self.index.get(&line).copied().filter(|&s| self.live(s));
+        while let Some(seq) = cur {
+            len += 1;
+            cur = self
+                .at(seq)
+                .and_then(|e| e.prev_occurrence)
+                .filter(|&s| self.live(s));
+        }
+        len
+    }
+}
+
+impl Prefetcher for Ghb {
+    fn name(&self) -> &str {
+        "GHB"
+    }
+
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+        if event.kind != TriggerKind::Miss {
+            return;
+        }
+        let line = event.line;
+        // Predict from the previous occurrence (before recording this one).
+        if let Some(&prev) = self.index.get(&line) {
+            if self.live(prev) {
+                for d in 1..=self.cfg.degree as u64 {
+                    match self.at(prev + d) {
+                        Some(e) if e.line != line => {
+                            sink.prefetch(PrefetchRequest::immediate(e.line));
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+            }
+        }
+        // Record, chaining to the previous occurrence.
+        let prev_occurrence = self.index.get(&line).copied().filter(|&p| self.live(p));
+        let idx = (self.seq % self.cfg.entries as u64) as usize;
+        self.ring[idx] = Some(GhbEntry {
+            line,
+            prev_occurrence,
+        });
+        self.index.insert(line, self.seq);
+        self.seq += 1;
+        // Bound the index to live entries (an on-chip index table would).
+        if self.seq.is_multiple_of(self.cfg.entries as u64 * 4) {
+            let cutoff = self.seq.saturating_sub(self.cfg.entries as u64);
+            self.index.retain(|_, &mut s| s >= cutoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_mem::interface::CollectSink;
+    use domino_trace::addr::Pc;
+
+    fn miss(line: u64) -> TriggerEvent {
+        TriggerEvent::miss(Pc::new(0), LineAddr::new(line))
+    }
+
+    fn run(g: &mut Ghb, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut sink = CollectSink::new();
+            g.on_trigger(&miss(l), &mut sink);
+            out.extend(sink.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn replays_recent_history() {
+        let mut g = Ghb::new(GhbConfig {
+            entries: 64,
+            degree: 2,
+        });
+        run(&mut g, &[1, 2, 3, 4, 5]);
+        let issued = run(&mut g, &[1]);
+        assert_eq!(issued, vec![2, 3]);
+    }
+
+    #[test]
+    fn no_metadata_traffic() {
+        let mut g = Ghb::new(GhbConfig::default());
+        let mut sink = CollectSink::new();
+        for l in [1u64, 2, 3, 1] {
+            g.on_trigger(&miss(l), &mut sink);
+        }
+        assert_eq!(sink.meta_read_blocks, 0, "GHB is on-chip");
+        assert_eq!(sink.meta_write_blocks, 0);
+    }
+
+    #[test]
+    fn long_reuse_distances_fall_out_of_the_buffer() {
+        let mut g = Ghb::new(GhbConfig {
+            entries: 16,
+            degree: 1,
+        });
+        run(&mut g, &[1, 2, 3]);
+        // 20 unrelated misses overwrite the 16-entry ring.
+        let filler: Vec<u64> = (100..120).collect();
+        run(&mut g, &filler);
+        let issued = run(&mut g, &[1]);
+        assert!(
+            issued.is_empty(),
+            "history of 1 was overwritten: {issued:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_hits_do_not_retrain() {
+        let mut g = Ghb::new(GhbConfig::default());
+        let mut sink = CollectSink::new();
+        g.on_trigger(
+            &TriggerEvent::prefetch_hit(Pc::new(0), LineAddr::new(1)),
+            &mut sink,
+        );
+        assert_eq!(g.seq, 0, "classic GHB records misses only");
+    }
+
+    #[test]
+    fn chain_walk_counts_live_occurrences() {
+        let mut g = Ghb::new(GhbConfig {
+            entries: 64,
+            degree: 1,
+        });
+        run(&mut g, &[7, 1, 7, 2, 7, 3]);
+        assert_eq!(g.chain_length(LineAddr::new(7)), 3);
+        assert_eq!(g.chain_length(LineAddr::new(1)), 1);
+        assert_eq!(g.chain_length(LineAddr::new(99)), 0);
+        // Overwriting the ring truncates chains.
+        let filler: Vec<u64> = (100..170).collect();
+        run(&mut g, &filler);
+        assert_eq!(g.chain_length(LineAddr::new(7)), 0);
+    }
+
+    #[test]
+    fn index_is_pruned_to_live_entries() {
+        let mut g = Ghb::new(GhbConfig {
+            entries: 8,
+            degree: 1,
+        });
+        let lines: Vec<u64> = (0..200).collect();
+        run(&mut g, &lines);
+        assert!(
+            g.index.len() <= 8 * 4 + 8,
+            "index must stay bounded: {}",
+            g.index.len()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Irregular Stream Buffer (Jain & Lin, MICRO 2013) — idealized PC/AC.
+//!
+//! ISB combines **PC localization** with **address correlation**: the
+//! global miss stream is split into per-PC streams, and each PC's stream
+//! is linearized into a structural address space so that consecutive
+//! correlated addresses become sequential. Following the paper's
+//! methodology (§IV-D), we model the *idealized* PC/AC variant with
+//! infinite metadata and no structural-space artefacts: for every
+//! `(PC, address)` pair we remember where it last occurred in that PC's
+//! miss sequence and prefetch the addresses that followed.
+//!
+//! The paper's point (Figures 1, 11, 13) is that this is the *wrong*
+//! localization for server workloads: PC localization breaks the strong
+//! global temporal correlation, and predictions are "the following misses
+//! of a memory instruction, which may not be the subsequent misses of the
+//! workload" — so prefetches arrive far too early and are evicted from
+//! the small buffer before their re-execution. Both effects emerge
+//! naturally here: the predictions are per-PC successors, and the shared
+//! 32-block prefetch buffer does the evicting.
+
+use std::collections::HashMap;
+
+use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent};
+use domino_trace::addr::{LineAddr, Pc};
+
+/// Idealized PC-localized address-correlation prefetcher.
+#[derive(Debug)]
+pub struct Isb {
+    degree: usize,
+    /// Per-PC miss sequences (infinite idealized storage).
+    seqs: HashMap<Pc, Vec<LineAddr>>,
+    /// `(PC, line)` → index of the last occurrence in that PC's sequence.
+    last: HashMap<(Pc, LineAddr), u32>,
+}
+
+impl Isb {
+    /// Creates an idealized ISB with the given prefetch degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        Isb {
+            degree,
+            seqs: HashMap::new(),
+            last: HashMap::new(),
+        }
+    }
+}
+
+impl Prefetcher for Isb {
+    fn name(&self) -> &str {
+        "ISB"
+    }
+
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+        let seq = self.seqs.entry(event.pc).or_default();
+        // Predict: successors of the last occurrence of this address in
+        // this PC's stream. Idealized on-chip metadata: no trip delay.
+        if let Some(&idx) = self.last.get(&(event.pc, event.line)) {
+            let idx = idx as usize;
+            for d in 1..=self.degree {
+                match seq.get(idx + d) {
+                    Some(&line) if line != event.line => {
+                        sink.prefetch(PrefetchRequest::immediate(line));
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+        }
+        // Train.
+        self.last.insert((event.pc, event.line), seq.len() as u32);
+        seq.push(event.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_mem::interface::CollectSink;
+
+    fn miss(pc: u64, line: u64) -> TriggerEvent {
+        TriggerEvent::miss(Pc::new(pc), LineAddr::new(line))
+    }
+
+    fn drive(p: &mut Isb, accesses: &[(u64, u64)]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &(pc, line) in accesses {
+            let mut sink = CollectSink::new();
+            p.on_trigger(&miss(pc, line), &mut sink);
+            out.extend(sink.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn predicts_per_pc_successors() {
+        let mut p = Isb::new(2);
+        // PC 1's stream: 10, 20, 30; then re-miss on 10.
+        drive(&mut p, &[(1, 10), (1, 20), (1, 30)]);
+        let issued = drive(&mut p, &[(1, 10)]);
+        assert_eq!(issued, vec![20, 30]);
+    }
+
+    #[test]
+    fn localization_ignores_other_pcs() {
+        let mut p = Isb::new(1);
+        // Global stream 10, 99, 20 — but 99 is another PC's miss.
+        drive(&mut p, &[(1, 10), (2, 99), (1, 20)]);
+        let issued = drive(&mut p, &[(1, 10)]);
+        // ISB predicts PC 1's successor (20), not the global one (99).
+        assert_eq!(issued, vec![20]);
+    }
+
+    #[test]
+    fn interleaved_data_structures_break_pc_streams() {
+        // The same loop PC walks two different structures alternately:
+        // the per-PC successor of each address keeps changing.
+        let mut p = Isb::new(1);
+        drive(&mut p, &[(1, 10), (1, 50), (1, 11), (1, 51)]);
+        // Re-miss on 10: per-PC successor is 50 (what followed last time),
+        // even if the program is now in the 10→11 structure.
+        let issued = drive(&mut p, &[(1, 10)]);
+        assert_eq!(issued, vec![50]);
+    }
+
+    #[test]
+    fn unknown_address_is_silent() {
+        let mut p = Isb::new(4);
+        let issued = drive(&mut p, &[(1, 10), (1, 20), (2, 10)]);
+        assert!(issued.is_empty(), "PC 2 never saw address 10 before");
+    }
+}

@@ -1,0 +1,194 @@
+//! Markov prefetcher (Joseph & Grunwald, ISCA 1997) — the paper's
+//! reference \[8\] and the original address-correlation prefetcher.
+//!
+//! A table maps each miss address to its most likely successors, learned
+//! as a first-order Markov chain over the miss stream: per address, a
+//! small LRU/frequency list of observed next misses. On a miss the top
+//! `width` successors are prefetched.
+//!
+//! Against Domino this baseline shows what per-edge probability tracking
+//! buys (robustness to junctions: the *common* successor wins) and what
+//! it costs (no stream replay — only one step of lookahead per miss, so
+//! coverage cannot extend down a stream the way HT replay does).
+
+use std::collections::HashMap;
+
+use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
+use domino_trace::addr::LineAddr;
+
+/// Markov-prefetcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkovConfig {
+    /// Maximum table entries (source addresses tracked).
+    pub max_entries: usize,
+    /// Successors kept per source address.
+    pub successors: usize,
+    /// Successors prefetched per miss (≤ `successors`).
+    pub width: usize,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig {
+            max_entries: 1 << 16,
+            successors: 4,
+            width: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SuccessorSlot {
+    line: LineAddr,
+    count: u32,
+}
+
+/// The first-order Markov prefetcher.
+#[derive(Debug)]
+pub struct Markov {
+    cfg: MarkovConfig,
+    table: HashMap<LineAddr, Vec<SuccessorSlot>>,
+    prev: Option<LineAddr>,
+}
+
+impl Markov {
+    /// Creates a Markov prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacities or `width > successors`.
+    pub fn new(cfg: MarkovConfig) -> Self {
+        assert!(cfg.max_entries > 0, "table needs entries");
+        assert!(cfg.successors > 0, "need successor slots");
+        assert!(
+            cfg.width > 0 && cfg.width <= cfg.successors,
+            "width must be in 1..=successors"
+        );
+        Markov {
+            cfg,
+            table: HashMap::new(),
+            prev: None,
+        }
+    }
+
+    fn train(&mut self, from: LineAddr, to: LineAddr) {
+        if self.table.len() >= self.cfg.max_entries && !self.table.contains_key(&from) {
+            return; // table full; a real design would have set-LRU
+        }
+        let slots = self.table.entry(from).or_default();
+        if let Some(s) = slots.iter_mut().find(|s| s.line == to) {
+            s.count = s.count.saturating_add(1);
+        } else if slots.len() < self.cfg.successors {
+            slots.push(SuccessorSlot { line: to, count: 1 });
+        } else {
+            // Replace the weakest successor.
+            let weakest = slots
+                .iter_mut()
+                .min_by_key(|s| s.count)
+                .expect("slots nonempty");
+            *weakest = SuccessorSlot { line: to, count: 1 };
+        }
+        // Keep sorted by descending frequency for cheap top-width reads.
+        slots.sort_by_key(|s| std::cmp::Reverse(s.count));
+    }
+}
+
+impl Prefetcher for Markov {
+    fn name(&self) -> &str {
+        "Markov"
+    }
+
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+        if event.kind != TriggerKind::Miss {
+            return;
+        }
+        let line = event.line;
+        if let Some(prev) = self.prev.replace(line) {
+            self.train(prev, line);
+        }
+        if let Some(slots) = self.table.get(&line) {
+            for s in slots.iter().take(self.cfg.width) {
+                if s.line != line {
+                    sink.prefetch(PrefetchRequest::immediate(s.line));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_mem::interface::CollectSink;
+    use domino_trace::addr::Pc;
+
+    fn miss(line: u64) -> TriggerEvent {
+        TriggerEvent::miss(Pc::new(0), LineAddr::new(line))
+    }
+
+    fn run(m: &mut Markov, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut sink = CollectSink::new();
+            m.on_trigger(&miss(l), &mut sink);
+            out.extend(sink.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_transitions() {
+        let mut m = Markov::new(MarkovConfig::default());
+        run(&mut m, &[1, 2, 1, 2, 1]);
+        let issued = run(&mut m, &[1]);
+        assert!(issued.contains(&2));
+    }
+
+    #[test]
+    fn most_frequent_successor_wins() {
+        let mut m = Markov::new(MarkovConfig {
+            width: 1,
+            ..MarkovConfig::default()
+        });
+        // 7 -> 101 three times, 7 -> 201 once.
+        run(&mut m, &[7, 101, 7, 101, 7, 101, 7, 201]);
+        let issued = run(&mut m, &[7]);
+        assert_eq!(issued, vec![101], "majority successor must win");
+    }
+
+    #[test]
+    fn width_bounds_fanout() {
+        let mut m = Markov::new(MarkovConfig {
+            successors: 4,
+            width: 2,
+            ..MarkovConfig::default()
+        });
+        run(&mut m, &[7, 1, 7, 2, 7, 3, 7, 4, 7]);
+        let mut sink = CollectSink::new();
+        m.on_trigger(&miss(7), &mut sink);
+        assert!(sink.requests.len() <= 2);
+    }
+
+    #[test]
+    fn weakest_successor_is_replaced() {
+        let mut m = Markov::new(MarkovConfig {
+            successors: 2,
+            width: 2,
+            ..MarkovConfig::default()
+        });
+        run(&mut m, &[7, 1, 7, 1, 7, 2, 7, 3]);
+        let slots = &m.table[&LineAddr::new(7)];
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].line, LineAddr::new(1), "strong edge survives");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn invalid_width_panics() {
+        Markov::new(MarkovConfig {
+            successors: 2,
+            width: 3,
+            ..MarkovConfig::default()
+        });
+    }
+}

@@ -1,0 +1,187 @@
+//! Spatial Memory Streaming (Somogyi et al., ISCA 2006) — the paper's
+//! reference \[33\] and the canonical footprint-based spatial prefetcher.
+//!
+//! SMS learns, per *spatial region generation*, the bitmap of lines the
+//! program touches within a region (here: a 4 KiB page), keyed by the
+//! trigger — the `(PC, region offset)` of the generation's first access.
+//! When a new generation starts with the same trigger, the recorded
+//! footprint is prefetched wholesale.
+//!
+//! It complements VLDP in the spatial roster: VLDP chains deltas
+//! step-by-step; SMS fires a whole footprint at once from a single
+//! trigger, which is stronger on sparse-but-repeating layouts and weaker
+//! when footprints vary per region.
+
+use std::collections::HashMap;
+
+use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
+use domino_trace::addr::{LineAddr, Pc, LINES_PER_PAGE};
+
+/// SMS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmsConfig {
+    /// Active generation table entries (regions being observed).
+    pub active_generations: usize,
+    /// Pattern history table entries (learned footprints).
+    pub pht_entries: usize,
+}
+
+impl Default for SmsConfig {
+    fn default() -> Self {
+        SmsConfig {
+            active_generations: 64,
+            pht_entries: 1 << 14,
+        }
+    }
+}
+
+/// Trigger: the instruction and region offset of a generation's first
+/// access.
+type Trigger = (Pc, u8);
+
+#[derive(Debug, Clone, Copy)]
+struct Generation {
+    page: u64,
+    trigger: Trigger,
+    footprint: u64,
+}
+
+/// The SMS prefetcher.
+#[derive(Debug)]
+pub struct Sms {
+    cfg: SmsConfig,
+    /// Regions currently accumulating footprints (FIFO eviction ends a
+    /// generation and trains the PHT).
+    active: Vec<Generation>,
+    /// Learned footprints by trigger.
+    pht: HashMap<Trigger, u64>,
+}
+
+impl Sms {
+    /// Creates an SMS prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero table sizes.
+    pub fn new(cfg: SmsConfig) -> Self {
+        assert!(cfg.active_generations > 0, "need active generations");
+        assert!(cfg.pht_entries > 0, "PHT needs entries");
+        Sms {
+            cfg,
+            active: Vec::new(),
+            pht: HashMap::new(),
+        }
+    }
+
+    fn retire(&mut self, generation: Generation) {
+        if self.pht.len() >= self.cfg.pht_entries && !self.pht.contains_key(&generation.trigger) {
+            return;
+        }
+        self.pht.insert(generation.trigger, generation.footprint);
+    }
+}
+
+impl Prefetcher for Sms {
+    fn name(&self) -> &str {
+        "SMS"
+    }
+
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+        if event.kind != TriggerKind::Miss {
+            return;
+        }
+        let page = event.line.page();
+        let offset = event.line.page_offset() as u8;
+        if let Some(g) = self.active.iter_mut().find(|g| g.page == page) {
+            g.footprint |= 1 << offset;
+            return;
+        }
+        // New generation: predict from the learned footprint first.
+        let trigger = (event.pc, offset);
+        if let Some(&footprint) = self.pht.get(&trigger) {
+            for off in 0..LINES_PER_PAGE {
+                if off != u64::from(offset) && footprint & (1 << off) != 0 {
+                    sink.prefetch(PrefetchRequest::immediate(LineAddr::new(
+                        page * LINES_PER_PAGE + off,
+                    )));
+                }
+            }
+        }
+        if self.active.len() == self.cfg.active_generations {
+            let old = self.active.remove(0);
+            self.retire(old);
+        }
+        self.active.push(Generation {
+            page,
+            trigger,
+            footprint: 1 << offset,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_mem::interface::CollectSink;
+
+    fn miss(pc: u64, line: u64) -> TriggerEvent {
+        TriggerEvent::miss(Pc::new(pc), LineAddr::new(line))
+    }
+
+    fn run(s: &mut Sms, accesses: &[(u64, u64)]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &(pc, l) in accesses {
+            let mut sink = CollectSink::new();
+            s.on_trigger(&miss(pc, l), &mut sink);
+            out.extend(sink.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    fn tiny() -> Sms {
+        Sms::new(SmsConfig {
+            active_generations: 2,
+            pht_entries: 64,
+        })
+    }
+
+    #[test]
+    fn replays_learned_footprints() {
+        let mut s = tiny();
+        // Page 0 generation triggered by (pc 9, offset 0): touches 0, 5, 9.
+        run(&mut s, &[(9, 0), (1, 5), (1, 9)]);
+        // Two more generations retire page 0 and train the PHT.
+        run(&mut s, &[(9, 64), (9, 128)]);
+        // Same trigger on a fresh page: prefetch offsets 5 and 9.
+        let issued = run(&mut s, &[(9, 192)]);
+        assert_eq!(issued, vec![197, 201]);
+    }
+
+    #[test]
+    fn different_trigger_offset_is_a_different_pattern() {
+        let mut s = tiny();
+        run(&mut s, &[(9, 0), (1, 5)]); // trigger (9, 0)
+        run(&mut s, &[(9, 64), (9, 128)]); // retire it
+                                           // Same PC but offset 3: no learned footprint.
+        let issued = run(&mut s, &[(9, 192 + 3)]);
+        assert!(issued.is_empty());
+    }
+
+    #[test]
+    fn footprints_stay_within_the_region() {
+        let mut s = tiny();
+        run(&mut s, &[(9, 0), (1, 63)]);
+        run(&mut s, &[(9, 64), (9, 128)]);
+        let issued = run(&mut s, &[(9, 192)]);
+        for l in issued {
+            assert!((192..256).contains(&l), "prefetch {l} left the page");
+        }
+    }
+
+    #[test]
+    fn accumulation_does_not_prefetch() {
+        let mut s = tiny();
+        let issued = run(&mut s, &[(9, 0), (1, 1), (1, 2), (1, 3)]);
+        assert!(issued.is_empty(), "first generation only observes");
+    }
+}

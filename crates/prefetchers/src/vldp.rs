@@ -1,0 +1,276 @@
+//! Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015).
+//!
+//! VLDP is the spatial prefetcher the paper compares against (and stacks
+//! with Domino in Figure 16). It predicts the next line *within a page*
+//! from the sequence of recent line-strides (deltas) on that page:
+//!
+//! * **DHB** — Delta History Buffer: per-page last offset and recent
+//!   deltas (16 entries, LRU);
+//! * **DPTs** — Delta Prediction Tables: table *k* maps the last *k*
+//!   deltas to the next delta; the longest matching table wins
+//!   (the multi-delta lookup the Domino paper calls "similar" to its own
+//!   mechanism, §IV-D);
+//! * **OPT** — Offset Prediction Table: predicts the first delta of a
+//!   page from the offset of its first access, so even cold pages get a
+//!   prefetch.
+//!
+//! For degree > 1, predicted deltas are fed back as inputs to predict
+//! further — the mechanism the paper notes becomes inaccurate for server
+//! workloads as degree grows (§V-B).
+
+use std::collections::HashMap;
+
+use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent};
+use domino_trace::addr::{LineAddr, LINES_PER_PAGE};
+
+/// VLDP sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VldpConfig {
+    /// Delta History Buffer entries (paper: 16).
+    pub dhb_entries: usize,
+    /// Offset Prediction Table entries (paper: 64 = one per page offset).
+    pub opt_entries: usize,
+    /// Number of Delta Prediction Tables (paper: 3, "infinite-size").
+    pub num_dpts: usize,
+    /// Prefetch degree.
+    pub degree: usize,
+}
+
+impl Default for VldpConfig {
+    fn default() -> Self {
+        VldpConfig {
+            dhb_entries: 16,
+            opt_entries: 64,
+            num_dpts: 3,
+            degree: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DhbEntry {
+    page: u64,
+    last_offset: i64,
+    /// Recent deltas, most recent last; at most `num_dpts` kept.
+    deltas: Vec<i64>,
+}
+
+/// The VLDP prefetcher.
+#[derive(Debug)]
+pub struct Vldp {
+    cfg: VldpConfig,
+    /// LRU order: front = victim.
+    dhb: Vec<DhbEntry>,
+    /// `dpts[k]` maps the last `k+1` deltas to the next delta.
+    dpts: Vec<HashMap<Vec<i64>, i64>>,
+    /// First-access offset → first delta.
+    opt: Vec<Option<i64>>,
+}
+
+impl Vldp {
+    /// Creates a VLDP instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized structures.
+    pub fn new(cfg: VldpConfig) -> Self {
+        assert!(cfg.dhb_entries > 0, "DHB needs entries");
+        assert!(cfg.num_dpts > 0, "need at least one DPT");
+        assert!(cfg.degree > 0, "degree must be positive");
+        Vldp {
+            dhb: Vec::with_capacity(cfg.dhb_entries),
+            dpts: vec![HashMap::new(); cfg.num_dpts],
+            opt: vec![None; cfg.opt_entries.max(1)],
+            cfg,
+        }
+    }
+
+    /// Longest-match DPT lookup over a delta context.
+    fn predict_delta(&self, context: &[i64]) -> Option<i64> {
+        for k in (1..=self.cfg.num_dpts.min(context.len())).rev() {
+            let key = context[context.len() - k..].to_vec();
+            if let Some(&d) = self.dpts[k - 1].get(&key) {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Updates every DPT whose context length is available.
+    fn train_dpts(&mut self, context: &[i64], next: i64) {
+        for k in 1..=self.cfg.num_dpts.min(context.len()) {
+            let key = context[context.len() - k..].to_vec();
+            self.dpts[k - 1].insert(key, next);
+        }
+    }
+
+    fn opt_index(&self, offset: i64) -> usize {
+        (offset as usize) % self.opt.len()
+    }
+
+    /// Issues up to `degree` chained predictions starting from `offset`.
+    fn issue(&self, page: u64, offset: i64, context: &[i64], sink: &mut dyn PrefetchSink) {
+        let mut ctx: Vec<i64> = context.to_vec();
+        let mut cur = offset;
+        for _ in 0..self.cfg.degree {
+            let Some(delta) = self.predict_delta(&ctx) else {
+                break;
+            };
+            let next = cur + delta;
+            if next < 0 || next >= LINES_PER_PAGE as i64 {
+                break; // VLDP never crosses a page
+            }
+            // A chained walk can loop back to the demand line; that block
+            // is already being fetched, so skip the request but keep
+            // following the chain.
+            if next != offset {
+                sink.prefetch(PrefetchRequest::immediate(LineAddr::new(
+                    page * LINES_PER_PAGE + next as u64,
+                )));
+            }
+            ctx.push(delta);
+            if ctx.len() > self.cfg.num_dpts {
+                ctx.remove(0);
+            }
+            cur = next;
+        }
+    }
+}
+
+impl Prefetcher for Vldp {
+    fn name(&self) -> &str {
+        "VLDP"
+    }
+
+    fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+        let page = event.line.page();
+        let offset = event.line.page_offset() as i64;
+        if let Some(pos) = self.dhb.iter().position(|e| e.page == page) {
+            let mut entry = self.dhb.remove(pos);
+            let delta = offset - entry.last_offset;
+            if delta != 0 {
+                if entry.deltas.is_empty() {
+                    // First delta of the page trains the OPT.
+                    let idx = self.opt_index(entry.last_offset);
+                    self.opt[idx] = Some(delta);
+                } else {
+                    self.train_dpts(&entry.deltas, delta);
+                }
+                entry.deltas.push(delta);
+                if entry.deltas.len() > self.cfg.num_dpts {
+                    entry.deltas.remove(0);
+                }
+                entry.last_offset = offset;
+            }
+            self.issue(page, offset, &entry.deltas, sink);
+            self.dhb.push(entry);
+        } else {
+            if self.dhb.len() == self.cfg.dhb_entries {
+                self.dhb.remove(0);
+            }
+            self.dhb.push(DhbEntry {
+                page,
+                last_offset: offset,
+                deltas: Vec::new(),
+            });
+            // Cold page: OPT predicts the first delta from the offset.
+            if let Some(delta) = self.opt[self.opt_index(offset)] {
+                let next = offset + delta;
+                if (0..LINES_PER_PAGE as i64).contains(&next) {
+                    sink.prefetch(PrefetchRequest::immediate(LineAddr::new(
+                        page * LINES_PER_PAGE + next as u64,
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_mem::interface::CollectSink;
+    use domino_trace::addr::Pc;
+
+    fn miss(line: u64) -> TriggerEvent {
+        TriggerEvent::miss(Pc::new(0), LineAddr::new(line))
+    }
+
+    fn drive(p: &mut Vldp, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut sink = CollectSink::new();
+            p.on_trigger(&miss(l), &mut sink);
+            out.extend(sink.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    fn cfg(degree: usize) -> VldpConfig {
+        VldpConfig {
+            degree,
+            ..VldpConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_constant_stride_across_pages() {
+        let mut p = Vldp::new(cfg(1));
+        // Page 0: walk offsets 0,2,4,6 — trains delta 2.
+        drive(&mut p, &[0, 2, 4, 6]);
+        // Page 1 (lines 64..): after two accesses the DPT predicts +2.
+        let issued = drive(&mut p, &[64, 66]);
+        assert!(issued.contains(&68), "issued: {issued:?}");
+    }
+
+    #[test]
+    fn never_crosses_pages() {
+        let mut p = Vldp::new(cfg(4));
+        drive(&mut p, &[0, 16, 32, 48]); // delta 16 learned
+        let issued = drive(&mut p, &[64, 80]);
+        for l in issued {
+            assert!(l < 128, "prefetch {l} crossed the page");
+        }
+    }
+
+    #[test]
+    fn opt_predicts_first_delta_on_cold_pages() {
+        let mut p = Vldp::new(cfg(1));
+        // Several pages whose first access at offset 0 is followed by +3.
+        drive(&mut p, &[0, 3, 64, 67, 128, 131]);
+        // Cold page at offset 0: OPT should fire +3 immediately.
+        let issued = drive(&mut p, &[192]);
+        assert_eq!(issued, vec![195]);
+    }
+
+    #[test]
+    fn variable_pattern_uses_longer_context() {
+        let mut p = Vldp::new(cfg(1));
+        // Pattern 1,3 repeating: after delta 1 comes 3, after 3 comes 1,
+        // but DPT-2 disambiguates (1,3)->1 vs (3,1)->3.
+        drive(&mut p, &[0, 1, 4, 5, 8, 9, 12, 13, 16]);
+        // Fresh page, walk two steps to give context (1, 3):
+        let issued = drive(&mut p, &[64, 65, 68]);
+        assert!(issued.contains(&69), "expected next delta 1: {issued:?}");
+    }
+
+    #[test]
+    fn degree_chains_predictions() {
+        let mut p = Vldp::new(cfg(3));
+        drive(&mut p, &[0, 1, 2, 3, 4, 5]);
+        let issued = drive(&mut p, &[64, 65]);
+        // OPT fires +1 on the cold page (65), then chained +1 DPT
+        // predictions: 66, 67, 68.
+        assert_eq!(issued, vec![65, 66, 67, 68]);
+    }
+
+    #[test]
+    fn dhb_capacity_is_bounded() {
+        let mut p = Vldp::new(VldpConfig {
+            dhb_entries: 2,
+            ..VldpConfig::default()
+        });
+        drive(&mut p, &[0, 64, 128, 192]);
+        assert!(p.dhb.len() <= 2);
+    }
+}

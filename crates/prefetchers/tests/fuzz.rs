@@ -1,0 +1,141 @@
+//! Fuzz-style property tests: every prefetcher must be total (no panics),
+//! deterministic, and well-behaved (bounded per-event output, no
+//! self-prefetch) on arbitrary trigger sequences.
+
+use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
+use domino_prefetchers::{
+    Digram, Ghb, GhbConfig, Isb, Markov, MarkovConfig, NextLine, Sms, SmsConfig, SpatioTemporal,
+    Stms, StridePrefetcher, TemporalConfig, Vldp, VldpConfig,
+};
+use domino_trace::addr::{LineAddr, Pc};
+use proptest::prelude::*;
+
+/// (pc, line, is_hit) triples over a small universe — small alphabets
+/// maximise junctions, replays, and stream churn.
+fn events() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    proptest::collection::vec((0u64..8, 0u64..64, prop::bool::ANY), 1..500)
+}
+
+fn all_prefetchers() -> Vec<Box<dyn Prefetcher>> {
+    let temporal = TemporalConfig {
+        degree: 3,
+        max_streams: 2,
+        ..TemporalConfig::default()
+    };
+    vec![
+        Box::new(NextLine::new(2)),
+        Box::new(StridePrefetcher::new(2, 16)),
+        Box::new(Ghb::new(GhbConfig {
+            entries: 32,
+            degree: 3,
+        })),
+        Box::new(Markov::new(MarkovConfig {
+            max_entries: 64,
+            successors: 2,
+            width: 2,
+        })),
+        Box::new(Sms::new(SmsConfig {
+            active_generations: 4,
+            pht_entries: 32,
+        })),
+        Box::new(Vldp::new(VldpConfig {
+            dhb_entries: 4,
+            opt_entries: 8,
+            num_dpts: 2,
+            degree: 3,
+        })),
+        Box::new(Isb::new(3)),
+        Box::new(Stms::new(temporal)),
+        Box::new(Digram::new(temporal)),
+        Box::new(SpatioTemporal::new(
+            Vldp::new(VldpConfig::default()),
+            Stms::new(temporal),
+        )),
+    ]
+}
+
+fn drive(p: &mut dyn Prefetcher, evs: &[(u64, u64, bool)]) -> Vec<(u64, u8)> {
+    let mut out = Vec::new();
+    let mut sink = CollectSink::new();
+    for &(pc, line, hit) in evs {
+        sink.clear();
+        let ev = if hit {
+            TriggerEvent::prefetch_hit(Pc::new(pc), LineAddr::new(line))
+        } else {
+            TriggerEvent::miss(Pc::new(pc), LineAddr::new(line))
+        };
+        p.on_trigger(&ev, &mut sink);
+        for r in &sink.requests {
+            out.push((r.line.raw(), r.delay_trips));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No prefetcher panics or prefetches the triggering line itself.
+    #[test]
+    fn total_and_never_self_prefetching(evs in events()) {
+        for mut p in all_prefetchers() {
+            let mut sink = CollectSink::new();
+            for &(pc, line, hit) in &evs {
+                sink.clear();
+                let ev = if hit {
+                    TriggerEvent::prefetch_hit(Pc::new(pc), LineAddr::new(line))
+                } else {
+                    TriggerEvent::miss(Pc::new(pc), LineAddr::new(line))
+                };
+                p.on_trigger(&ev, &mut sink);
+                for r in &sink.requests {
+                    prop_assert_ne!(
+                        r.line,
+                        LineAddr::new(line),
+                        "{} prefetched the demand line",
+                        p.name()
+                    );
+                }
+                prop_assert!(
+                    sink.requests.len() <= 64,
+                    "{} issued {} requests in one event",
+                    p.name(),
+                    sink.requests.len()
+                );
+            }
+        }
+    }
+
+    /// Every prefetcher is deterministic: same inputs, same outputs.
+    #[test]
+    fn deterministic(evs in events()) {
+        let out_a: Vec<Vec<(u64, u8)>> = all_prefetchers()
+            .iter_mut()
+            .map(|p| drive(p.as_mut(), &evs))
+            .collect();
+        let out_b: Vec<Vec<(u64, u8)>> = all_prefetchers()
+            .iter_mut()
+            .map(|p| drive(p.as_mut(), &evs))
+            .collect();
+        prop_assert_eq!(out_a, out_b);
+    }
+
+    /// Metadata accounting never goes backwards and only the off-chip
+    /// temporal prefetchers produce it.
+    #[test]
+    fn metadata_only_from_offchip_designs(evs in events()) {
+        for mut p in all_prefetchers() {
+            let mut sink = CollectSink::new();
+            for &(pc, line, _) in &evs {
+                p.on_trigger(&TriggerEvent::miss(Pc::new(pc), LineAddr::new(line)), &mut sink);
+            }
+            let offchip = matches!(p.name(), "STMS" | "Digram" | "VLDP+STMS");
+            if !offchip {
+                prop_assert_eq!(
+                    sink.meta_read_blocks, 0,
+                    "{} should be on-chip", p.name()
+                );
+            }
+        }
+    }
+}

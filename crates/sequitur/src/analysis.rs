@@ -1,0 +1,238 @@
+//! Grammar-level statistics and repetition coverage.
+//!
+//! Once a miss sequence has been compressed by [`Sequitur`], the grammar's
+//! shape quantifies the sequence's temporal structure:
+//!
+//! * rules = repeated subsequences ("temporal streams" in the paper's
+//!   terminology),
+//! * the *grammar coverage* is the fraction of input positions derived
+//!   through a second-or-later use of some rule — i.e. positions whose
+//!   surrounding subsequence already occurred, which an oracle temporal
+//!   prefetcher could in principle have predicted.
+
+use std::collections::HashMap;
+
+use crate::grammar::Sequitur;
+use crate::histogram::Histogram;
+use crate::node::SymKey;
+
+/// Summary statistics of a grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrammarStats {
+    /// Terminals consumed.
+    pub input_len: u64,
+    /// Live rules excluding the start rule.
+    pub rules: usize,
+    /// Total symbols across all live rule bodies (grammar size).
+    pub grammar_symbols: usize,
+    /// Input length divided by grammar size (≥ 1; higher = more repetitive).
+    pub compression_ratio: f64,
+    /// Mean expanded length of non-start rules (repeated-stream length).
+    pub mean_rule_expansion: f64,
+    /// Histogram of expanded rule lengths.
+    pub rule_length_histogram: Histogram,
+}
+
+impl GrammarStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &Sequitur) -> Self {
+        let mut grammar_symbols = 0usize;
+        let mut expansion_sum = 0u64;
+        let mut rules = 0usize;
+        let mut hist = Histogram::fig12();
+        let mut expansion_cache: HashMap<u32, u64> = HashMap::new();
+        for rule in g.live_rules() {
+            grammar_symbols += g.rule_body(rule).len();
+            if rule != 0 {
+                rules += 1;
+                let len = expanded_len(g, rule, &mut expansion_cache);
+                expansion_sum += len;
+                hist.record(len);
+            }
+        }
+        let input_len = g.input_len();
+        GrammarStats {
+            input_len,
+            rules,
+            grammar_symbols,
+            compression_ratio: if grammar_symbols == 0 {
+                1.0
+            } else {
+                input_len as f64 / grammar_symbols as f64
+            },
+            mean_rule_expansion: if rules == 0 {
+                0.0
+            } else {
+                expansion_sum as f64 / rules as f64
+            },
+            rule_length_histogram: hist,
+        }
+    }
+}
+
+fn expanded_len(g: &Sequitur, rule: u32, cache: &mut HashMap<u32, u64>) -> u64 {
+    if let Some(&len) = cache.get(&rule) {
+        return len;
+    }
+    let mut len = 0;
+    for sym in g.rule_body(rule) {
+        len += match sym {
+            SymKey::Term(_) => 1,
+            SymKey::Rule(r) => expanded_len(g, r, cache),
+        };
+    }
+    cache.insert(rule, len);
+    len
+}
+
+/// Fraction of input positions derived through a repeated (second-or-later)
+/// rule use — the grammar's estimate of temporal-prefetching opportunity.
+///
+/// Walks the derivation of the start rule. The first time a rule is
+/// encountered its expansion is *not* counted as covered (the subsequence
+/// had not been seen yet), but nested rules inside it may still be repeats.
+/// Every later use of the rule covers its whole expansion.
+pub fn grammar_coverage(g: &Sequitur) -> f64 {
+    if g.input_len() == 0 {
+        return 0.0;
+    }
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut covered = 0u64;
+    let mut cache: HashMap<u32, u64> = HashMap::new();
+    // First occurrence of a rule: recurse (inner rules may still repeat).
+    // Later occurrences: the whole expansion repeats an earlier subsequence.
+    fn walk(
+        g: &Sequitur,
+        rule: u32,
+        seen: &mut std::collections::HashSet<u32>,
+        covered: &mut u64,
+        cache: &mut HashMap<u32, u64>,
+    ) {
+        for sym in g.rule_body(rule) {
+            if let SymKey::Rule(r) = sym {
+                if seen.insert(r) {
+                    walk(g, r, seen, covered, cache);
+                } else {
+                    *covered += expanded_len(g, r, cache);
+                }
+            }
+        }
+    }
+    walk(g, 0, &mut seen, &mut covered, &mut cache);
+    covered as f64 / g.input_len() as f64
+}
+
+/// Stream lengths as the grammar sees them: every *repeated* (second or
+/// later, in derivation order) rule occurrence is a stream whose length
+/// is the rule's expansion — the subsequence replays something already
+/// seen. Returns the Figure-12-bucketed histogram of those lengths.
+///
+/// This is the grammar-side counterpart of the oracle replay's
+/// stream-length histogram; the two measure the same phenomenon by
+/// different algorithms and should broadly agree.
+pub fn grammar_stream_lengths(g: &Sequitur) -> Histogram {
+    let mut hist = Histogram::fig12();
+    if g.input_len() == 0 {
+        return hist;
+    }
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut cache: HashMap<u32, u64> = HashMap::new();
+    fn walk(
+        g: &Sequitur,
+        rule: u32,
+        seen: &mut std::collections::HashSet<u32>,
+        hist: &mut Histogram,
+        cache: &mut HashMap<u32, u64>,
+    ) {
+        for sym in g.rule_body(rule) {
+            if let SymKey::Rule(r) = sym {
+                if seen.insert(r) {
+                    walk(g, r, seen, hist, cache);
+                } else {
+                    hist.record(expanded_len(g, r, cache));
+                }
+            }
+        }
+    }
+    walk(g, 0, &mut seen, &mut hist, &mut cache);
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_grammar() {
+        let g = Sequitur::new();
+        let s = GrammarStats::of(&g);
+        assert_eq!(s.input_len, 0);
+        assert_eq!(s.rules, 0);
+        assert_eq!(s.mean_rule_expansion, 0.0);
+    }
+
+    #[test]
+    fn random_input_has_low_coverage() {
+        // Distinct symbols: no repetition at all.
+        let g = Sequitur::from_sequence(0..500u64);
+        assert_eq!(grammar_coverage(&g), 0.0);
+        let s = GrammarStats::of(&g);
+        assert!(s.compression_ratio <= 1.01);
+    }
+
+    #[test]
+    fn repeated_block_has_high_coverage() {
+        let block: Vec<u64> = (0..64).collect();
+        let mut input = Vec::new();
+        for _ in 0..16 {
+            input.extend_from_slice(&block);
+        }
+        let g = Sequitur::from_sequence(input.iter().copied());
+        let cov = grammar_coverage(&g);
+        assert!(cov > 0.8, "coverage {cov}");
+        let s = GrammarStats::of(&g);
+        assert!(s.compression_ratio > 3.0, "ratio {}", s.compression_ratio);
+    }
+
+    #[test]
+    fn coverage_is_a_fraction() {
+        let input = [1u64, 2, 3, 1, 2, 3, 9, 9, 9, 9];
+        let g = Sequitur::from_sequence(input.iter().copied());
+        let cov = grammar_coverage(&g);
+        assert!((0.0..=1.0).contains(&cov), "coverage {cov}");
+    }
+
+    #[test]
+    fn grammar_streams_match_block_structure() {
+        let block: Vec<u64> = (0..20).collect();
+        let mut input = Vec::new();
+        for _ in 0..6 {
+            input.extend_from_slice(&block);
+        }
+        let g = Sequitur::from_sequence(input.iter().copied());
+        let hist = grammar_stream_lengths(&g);
+        assert!(hist.total() > 0, "repetition must yield streams");
+        // Total covered symbols across streams equal the grammar coverage.
+        let covered: f64 = hist.mean() * hist.total() as f64;
+        let cov = grammar_coverage(&g) * input.len() as f64;
+        assert!((covered - cov).abs() < 1e-6, "{covered} vs {cov}");
+    }
+
+    #[test]
+    fn grammar_streams_empty_for_random_input() {
+        let g = Sequitur::from_sequence(0..200u64);
+        assert_eq!(grammar_stream_lengths(&g).total(), 0);
+    }
+
+    #[test]
+    fn mean_rule_expansion_reflects_block_size() {
+        let block: Vec<u64> = (0..32).collect();
+        let mut input = Vec::new();
+        for _ in 0..8 {
+            input.extend_from_slice(&block);
+        }
+        let g = Sequitur::from_sequence(input.iter().copied());
+        let s = GrammarStats::of(&g);
+        assert!(s.mean_rule_expansion >= 2.0);
+    }
+}

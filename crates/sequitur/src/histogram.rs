@@ -1,0 +1,197 @@
+//! Bucketed histogram for stream lengths (paper Figure 12).
+
+use std::fmt;
+
+/// Bucket upper bounds used by the paper's Figure 12 x-axis.
+pub const FIG12_BOUNDS: [u64; 8] = [2, 4, 8, 16, 32, 64, 128, u64::MAX];
+
+/// A histogram over `u64` values with fixed inclusive upper bounds.
+///
+/// ```
+/// use domino_sequitur::Histogram;
+///
+/// let mut h = Histogram::fig12();
+/// h.record(1);
+/// h.record(3);
+/// h.record(500);
+/// assert_eq!(h.total(), 3);
+/// let cum = h.cumulative_fractions();
+/// assert!((cum[0] - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((cum.last().unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds
+    /// (must be strictly increasing; the last bound is treated as open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram requires at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// The paper's Figure 12 bucketing (≤2, ≤4, ≤8, …, ≤128, 128+).
+    pub fn fig12() -> Self {
+        Histogram::with_bounds(&FIG12_BOUNDS)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts, in bound order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative fraction of values at or below each bound
+    /// (Figure 12's y-axis). Empty histogram yields zeros.
+    pub fn cumulative_fractions(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut run = 0u64;
+        for &c in &self.counts {
+            run += c;
+            out.push(if self.total == 0 {
+                0.0
+            } else {
+                run as f64 / self.total as f64
+            });
+        }
+        out
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fracs = self.cumulative_fractions();
+        for (i, (&b, frac)) in self.bounds.iter().zip(fracs).enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            if b == u64::MAX {
+                write!(f, "rest:{:.1}%", frac * 100.0)?;
+            } else {
+                write!(f, "≤{}:{:.1}%", b, frac * 100.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_buckets() {
+        let mut h = Histogram::with_bounds(&[2, 4, 8]);
+        for v in [1, 2, 3, 4, 5, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 3]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn mean_tracks_values() {
+        let mut h = Histogram::fig12();
+        h.record(4);
+        h.record(8);
+        assert_eq!(h.mean(), 6.0);
+    }
+
+    #[test]
+    fn cumulative_reaches_one() {
+        let mut h = Histogram::fig12();
+        for v in 0..200 {
+            h.record(v);
+        }
+        let c = h.cumulative_fractions();
+        assert!((c.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(c.windows(2).all(|w| w[0] <= w[1]), "must be monotonic");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::fig12();
+        let mut b = Histogram::fig12();
+        a.record(1);
+        b.record(3);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        Histogram::with_bounds(&[4, 2]);
+    }
+
+    #[test]
+    fn empty_histogram_display_and_fractions() {
+        let h = Histogram::fig12();
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.cumulative_fractions().iter().all(|&f| f == 0.0));
+        assert!(!format!("{h}").is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Calibration tool: prints per-workload coverage/overprediction/stream
+//! statistics for the main systems, plus the oracle opportunity — the
+//! quantities the workload models are tuned against (paper Figures 1, 2,
+//! 11, 13).
+//!
+//! Usage: `cargo run -p domino-sim --release --bin calibrate [events]`
+
+use domino_sim::figures::Scale;
+use domino_sim::{baseline_miss_sequence, run_coverage, System, SystemConfig};
+
+use domino_sequitur::oracle::{oracle_replay, OracleConfig};
+use domino_trace::workload::catalog;
+
+fn main() {
+    let events: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let scale = Scale { events, seed: 42 };
+    let system = SystemConfig::paper();
+    println!("events per workload: {}", scale.events);
+    println!(
+        "{:<16} {:>7} {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5}",
+        "workload", "misses", "opp%", "vldp", "isb", "stms", "digrm", "domin",
+        "ov-s", "ov-dg", "ov-do", "sl-s", "sl-dg", "sl-or"
+    );
+    for spec in catalog::all() {
+        let trace: Vec<_> = spec.generator(scale.seed).take(scale.events).collect();
+        let seq = baseline_miss_sequence(&system, trace.clone());
+        let opp = oracle_replay(&seq, &OracleConfig::default());
+        let run = |sys: System, degree: usize| {
+            let mut p = sys.build(degree);
+            run_coverage(&system, trace.clone(), p.as_mut())
+        };
+        let vldp = run(System::Vldp, 1);
+        let isb = run(System::Isb, 1);
+        let stms = run(System::Stms, 1);
+        let digram = run(System::Digram, 1);
+        let domino = run(System::Domino, 1);
+        println!(
+            "{:<16} {:>7} {:>6.1}% | {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% | {:>5.1}% {:>5.1}% {:>5.1}% | {:>5.2} {:>5.2} {:>5.2}",
+            spec.name,
+            seq.len(),
+            opp.coverage() * 100.0,
+            vldp.coverage() * 100.0,
+            isb.coverage() * 100.0,
+            stms.coverage() * 100.0,
+            digram.coverage() * 100.0,
+            domino.coverage() * 100.0,
+            stms.overprediction_rate() * 100.0,
+            digram.overprediction_rate() * 100.0,
+            domino.overprediction_rate() * 100.0,
+            stms.mean_stream_length(),
+            digram.mean_stream_length(),
+            opp.mean_stream_length(),
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Exploration CLI: run any prefetching system against any workload at
+//! any scale, printing coverage, overpredictions, traffic, and timing in
+//! one line per combination. CSV output for plotting pipelines.
+//!
+//! ```sh
+//! cargo run -p domino-sim --release --bin explore -- \
+//!     --workloads oltp,web-search --systems stms,domino \
+//!     --degree 4 --events 300000 [--csv]
+//! ```
+
+use domino_sim::{run_coverage, run_timing, System, SystemConfig};
+use domino_trace::workload::{catalog, WorkloadSpec};
+
+fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    let norm = name.to_lowercase().replace(['_', ' '], "-");
+    catalog::all()
+        .into_iter()
+        .find(|s| s.name.to_lowercase().replace(' ', "-") == norm)
+}
+
+fn system_by_name(name: &str) -> Option<System> {
+    let norm = name.to_lowercase().replace(['_', ' '], "-");
+    let all = [
+        System::Baseline,
+        System::NextLine,
+        System::Stride,
+        System::Ghb,
+        System::Markov,
+        System::Sms,
+        System::Vldp,
+        System::Isb,
+        System::Stms,
+        System::Digram,
+        System::Domino,
+        System::DominoNaive,
+        System::VldpPlusDomino,
+    ];
+    if let Some(depth) = norm.strip_prefix("lookup-") {
+        return depth.parse().ok().map(System::MultiDepth);
+    }
+    all.into_iter()
+        .find(|s| s.label().to_lowercase().replace('+', "-plus-") == norm.replace('+', "-plus-"))
+}
+
+struct Args {
+    workloads: Vec<WorkloadSpec>,
+    systems: Vec<System>,
+    degree: usize,
+    events: usize,
+    seed: u64,
+    csv: bool,
+    trace_file: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut workloads = catalog::all();
+    let mut systems = vec![System::Stms, System::Domino];
+    let mut degree = 4;
+    let mut events = 200_000;
+    let mut seed = 42;
+    let mut csv = false;
+    let mut trace_file = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--workloads" => {
+                let v = value()?;
+                workloads = v
+                    .split(',')
+                    .map(|n| workload_by_name(n).ok_or_else(|| format!("unknown workload {n}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--systems" => {
+                let v = value()?;
+                systems = v
+                    .split(',')
+                    .map(|n| system_by_name(n).ok_or_else(|| format!("unknown system {n}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--degree" => degree = value()?.parse().map_err(|e| format!("degree: {e}"))?,
+            "--events" => events = value()?.parse().map_err(|e| format!("events: {e}"))?,
+            "--seed" => seed = value()?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--csv" => csv = true,
+            "--trace-file" => trace_file = Some(value()?.into()),
+            "--help" | "-h" => {
+                return Err("usage: explore [--workloads a,b] [--systems x,y] \
+                            [--degree N] [--events N] [--seed N] [--csv] \
+                            [--trace-file path]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        workloads,
+        systems,
+        degree,
+        events,
+        seed,
+        csv,
+        trace_file,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let system = SystemConfig::paper();
+    if args.csv {
+        println!("workload,system,degree,coverage,overpredictions,stream_len,meta_read_blocks,meta_write_blocks,speedup");
+    } else {
+        println!(
+            "{:<16} {:<12} {:>8} {:>12} {:>10} {:>10} {:>8}",
+            "workload", "system", "coverage", "overpredict", "streamlen", "metaRd", "speedup"
+        );
+    }
+    // An external trace file (see `domino_trace::io`) replaces the
+    // synthetic workloads entirely.
+    let external: Option<Vec<domino_trace::event::AccessEvent>> =
+        args.trace_file.as_ref().map(|path| {
+            let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            domino_trace::io::read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        });
+    let runs: Vec<(String, Vec<domino_trace::event::AccessEvent>)> = match external {
+        Some(trace) => vec![("<trace-file>".to_string(), trace)],
+        None => args
+            .workloads
+            .iter()
+            .map(|spec| {
+                (
+                    spec.name.clone(),
+                    spec.generator(args.seed).take(args.events).collect(),
+                )
+            })
+            .collect(),
+    };
+    for (name, trace) in &runs {
+        let mut base = System::Baseline.build(1);
+        let baseline = run_timing(&system, trace.clone(), base.as_mut());
+        for &sys in &args.systems {
+            let mut p = sys.build(args.degree);
+            let cov = run_coverage(&system, trace.clone(), p.as_mut());
+            let mut p = sys.build(args.degree);
+            let t = run_timing(&system, trace.clone(), p.as_mut());
+            let speedup = t.speedup_over(&baseline);
+            if args.csv {
+                println!(
+                    "{},{},{},{:.6},{:.6},{:.4},{},{},{:.4}",
+                    name,
+                    sys.label(),
+                    args.degree,
+                    cov.coverage(),
+                    cov.overprediction_rate(),
+                    cov.mean_stream_length(),
+                    cov.meta_read_blocks,
+                    cov.meta_write_blocks,
+                    speedup
+                );
+            } else {
+                println!(
+                    "{:<16} {:<12} {:>7.1}% {:>11.1}% {:>10.2} {:>10} {:>7.3}",
+                    name,
+                    sys.label(),
+                    cov.coverage() * 100.0,
+                    cov.overprediction_rate() * 100.0,
+                    cov.mean_stream_length(),
+                    cov.meta_read_blocks,
+                    speedup
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! System configuration (paper Table I).
+
+use domino_mem::cache::CacheConfig;
+use domino_mem::dram::DramConfig;
+
+/// The evaluated system's parameters, mirroring Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Issue width.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// L1-D geometry.
+    pub l1d: CacheConfig,
+    /// L1-D load-to-use latency in cycles.
+    pub l1d_latency_cycles: u32,
+    /// L1-D MSHRs.
+    pub l1d_mshrs: usize,
+    /// L2 (LLC) geometry.
+    pub l2: CacheConfig,
+    /// L2 hit latency in cycles.
+    pub l2_latency_cycles: u32,
+    /// L2 MSHRs.
+    pub l2_mshrs: usize,
+    /// Main memory.
+    pub memory: DramConfig,
+    /// Prefetch buffer capacity in blocks (§IV-D).
+    pub prefetch_buffer_blocks: usize,
+    /// Number of cores sharing the memory channel.
+    pub cores: u32,
+}
+
+impl SystemConfig {
+    /// The paper's quad-core configuration (Table I).
+    pub fn paper() -> Self {
+        SystemConfig {
+            clock_ghz: 4.0,
+            issue_width: 4,
+            rob_entries: 128,
+            lsq_entries: 64,
+            l1d: CacheConfig::l1d(),
+            l1d_latency_cycles: 2,
+            l1d_mshrs: 32,
+            l2: CacheConfig::llc(),
+            l2_latency_cycles: 18,
+            l2_mshrs: 64,
+            memory: DramConfig::paper(),
+            prefetch_buffer_blocks: 32,
+            cores: 4,
+        }
+    }
+
+    /// Nanoseconds per core cycle.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+
+    /// Nanoseconds of latency the out-of-order window can hide for an
+    /// independent miss: the time it takes to fill the ROB at full issue
+    /// width.
+    pub fn hide_window_ns(&self) -> f64 {
+        f64::from(self.rob_entries) / f64::from(self.issue_width) * self.cycle_ns()
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_table_one() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.clock_ghz, 4.0);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.lsq_entries, 64);
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.ways, 2);
+        assert_eq!(c.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.memory.latency_ns, 45.0);
+        assert_eq!(c.memory.bandwidth_bytes_per_ns, 37.5);
+        assert_eq!(c.prefetch_buffer_blocks, 32);
+        assert_eq!(c.cores, 4);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = SystemConfig::paper();
+        assert!((c.cycle_ns() - 0.25).abs() < 1e-12);
+        assert!((c.hide_window_ns() - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,813 @@
+//! Runners regenerating every table and figure of the paper's evaluation.
+//!
+//! Each `figNN` function runs the corresponding experiment at a given
+//! [`Scale`] and returns one or more [`FigureTable`]s that print the same
+//! rows/series the paper plots. `examples/figures.rs` runs them all at
+//! full scale; the Criterion benches run them at reduced scale.
+
+use domino_prefetchers::LookupAnalyzer;
+use domino_sequitur::oracle::{oracle_replay, OracleConfig};
+use domino_trace::workload::{catalog, WorkloadSpec};
+
+use crate::config::SystemConfig;
+use crate::engine::{baseline_miss_sequence, run_coverage_warmed, CoverageReport};
+use crate::report::FigureTable;
+use crate::roster::System;
+use crate::timing::run_timing_warmed;
+
+/// How much trace to simulate per workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Accesses generated per workload.
+    pub events: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            events: 300_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Scale {
+    /// A small scale for benches and smoke tests.
+    pub fn small() -> Self {
+        Scale {
+            events: 60_000,
+            seed: 42,
+        }
+    }
+
+    /// Warmup prefix excluded from measurement (the paper measures from
+    /// warmed checkpoints, §IV-C): the first quarter of the trace.
+    pub fn warmup(&self) -> usize {
+        self.events / 4
+    }
+}
+
+fn trace(spec: &WorkloadSpec, scale: &Scale) -> Vec<domino_trace::event::AccessEvent> {
+    spec.generator(scale.seed).take(scale.events).collect()
+}
+
+fn coverage_of(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    sys: System,
+    degree: usize,
+) -> CoverageReport {
+    let mut p = sys.build(degree);
+    run_coverage_warmed(system, trace(spec, scale), p.as_mut(), scale.warmup())
+}
+
+fn oracle_of(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+) -> domino_sequitur::OracleReport {
+    let seq = baseline_miss_sequence(system, trace(spec, scale));
+    // The warmup is defined in accesses; misses are the large majority of
+    // accesses in these models, so scale the prefix by the miss ratio.
+    let warmup = (scale.warmup() as f64 * seq.len() as f64 / scale.events.max(1) as f64) as usize;
+    oracle_replay(
+        &seq,
+        &OracleConfig {
+            warmup,
+            ..OracleConfig::default()
+        },
+    )
+}
+
+/// Figure 1 — read-miss coverage of STMS and ISB (unlimited storage)
+/// versus the Sequitur-oracle opportunity, prefetch degree 1.
+pub fn fig01(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let mut t = FigureTable::new(
+        "Figure 1 — miss coverage vs temporal opportunity (degree 1)",
+        "workload",
+        vec!["ISB".into(), "STMS".into(), "Opportunity".into()],
+    );
+    t.percent = true;
+    for spec in catalog::all() {
+        let isb = coverage_of(&system, &spec, scale, System::Isb, 1).coverage();
+        let stms = coverage_of(&system, &spec, scale, System::Stms, 1).coverage();
+        let opp = oracle_of(&system, &spec, scale).coverage();
+        t.push_row(spec.name.clone(), vec![isb, stms, opp]);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 2 — average stream length with STMS, Digram, and the Sequitur
+/// oracle ("a stream is the sequence of consecutive correct prefetches").
+pub fn fig02(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let mut t = FigureTable::new(
+        "Figure 2 — average stream length",
+        "workload",
+        vec!["STMS".into(), "Digram".into(), "Sequitur".into()],
+    );
+    for spec in catalog::all() {
+        let stms = coverage_of(&system, &spec, scale, System::Stms, 1).mean_stream_length();
+        let digram = coverage_of(&system, &spec, scale, System::Digram, 1).mean_stream_length();
+        let seq = oracle_of(&system, &spec, scale).mean_stream_length();
+        t.push_row(spec.name.clone(), vec![stms, digram, seq]);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+fn lookup_stats(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    max_depth: usize,
+) -> domino_prefetchers::LookupDepthStats {
+    let seq = baseline_miss_sequence(system, trace(spec, scale));
+    let mut analyzer = LookupAnalyzer::new(max_depth);
+    for &v in &seq {
+        analyzer.push(domino_trace::addr::LineAddr::new(v));
+    }
+    analyzer.stats().clone()
+}
+
+/// Figure 3 — fraction of matching lookups that predict correctly, as a
+/// function of lookup depth (1..=5).
+pub fn fig03(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let cols: Vec<String> = (1..=5).map(|k| format!("{k}-addr")).collect();
+    let mut t = FigureTable::new(
+        "Figure 3 — P(correct | match) by lookup depth",
+        "workload",
+        cols,
+    );
+    t.percent = true;
+    for spec in catalog::all() {
+        let stats = lookup_stats(&system, &spec, scale, 5);
+        t.push_row(spec.name.clone(), stats.correct_given_match());
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 4 — fraction of lookups that find a match, by lookup depth.
+pub fn fig04(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let cols: Vec<String> = (1..=5).map(|k| format!("{k}-addr")).collect();
+    let mut t = FigureTable::new("Figure 4 — P(match) by lookup depth", "workload", cols);
+    t.percent = true;
+    for spec in catalog::all() {
+        let stats = lookup_stats(&system, &spec, scale, 5);
+        t.push_row(spec.name.clone(), stats.match_fractions());
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 5 — coverage and overpredictions of the recursive multi-depth
+/// prefetcher for maximum depths 1..=5 (degree 1, unlimited storage).
+pub fn fig05(scale: &Scale) -> Vec<FigureTable> {
+    let system = SystemConfig::paper();
+    let cols: Vec<String> = (1..=5).map(|k| format!("N={k}")).collect();
+    let mut cov = FigureTable::new(
+        "Figure 5a — coverage by maximum lookup depth (degree 1)",
+        "workload",
+        cols.clone(),
+    );
+    cov.percent = true;
+    let mut over = FigureTable::new(
+        "Figure 5b — overpredictions by maximum lookup depth (degree 1)",
+        "workload",
+        cols,
+    );
+    over.percent = true;
+    for spec in catalog::all() {
+        let mut cov_row = Vec::new();
+        let mut over_row = Vec::new();
+        for n in 1..=5 {
+            let r = coverage_of(&system, &spec, scale, System::MultiDepth(n), 1);
+            cov_row.push(r.coverage());
+            over_row.push(r.overprediction_rate());
+        }
+        cov.push_row(spec.name.clone(), cov_row);
+        over.push_row(spec.name.clone(), over_row);
+    }
+    cov.push_mean_row("Average");
+    over.push_mean_row("Average");
+    vec![cov, over]
+}
+
+/// Figure 6 — stream-start timeliness: serial metadata round trips (and
+/// the implied nanoseconds) before a stream's first prefetch.
+pub fn fig06(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let lat = system.memory.latency_ns;
+    let mut t = FigureTable::new(
+        "Figure 6 — serial metadata round trips before the first prefetch of a stream",
+        "workload",
+        vec![
+            "STMS trips".into(),
+            "Domino trips".into(),
+            "STMS ns".into(),
+            "Domino ns".into(),
+        ],
+    );
+    for spec in catalog::all() {
+        let stms = coverage_of(&system, &spec, scale, System::Stms, 4).mean_first_prefetch_trips();
+        let dom = coverage_of(&system, &spec, scale, System::Domino, 4).mean_first_prefetch_trips();
+        t.push_row(spec.name.clone(), vec![stms, dom, stms * lat, dom * lat]);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 9 — Domino coverage versus History Table entries (unbounded
+/// EIT), degree 4.
+pub fn fig09(scale: &Scale) -> FigureTable {
+    use domino::{Domino, DominoConfig};
+    let system = SystemConfig::paper();
+    let sizes: [(usize, &str); 6] = [
+        (1 << 12, "4K"),
+        (1 << 14, "16K"),
+        (1 << 16, "64K"),
+        (1 << 18, "256K"),
+        (1 << 20, "1M"),
+        (16 << 20, "16M"),
+    ];
+    let cols: Vec<String> = sizes.iter().map(|&(_, n)| n.to_string()).collect();
+    let mut t = FigureTable::new(
+        "Figure 9 — Domino coverage vs HT entries (EIT unbounded, degree 4)",
+        "workload",
+        cols,
+    );
+    t.percent = true;
+    for spec in catalog::all() {
+        let mut row = Vec::new();
+        for &(entries, _) in &sizes {
+            let cfg = DominoConfig {
+                ht_entries: entries,
+                eit: domino::EitConfig::unbounded(),
+                ..DominoConfig::default()
+            };
+            let mut p = Domino::new(cfg);
+            let r = run_coverage_warmed(&system, trace(&spec, scale), &mut p, scale.warmup());
+            row.push(r.coverage());
+        }
+        t.push_row(spec.name.clone(), row);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 10 — Domino coverage versus EIT rows (HT at its 16 M-entry
+/// paper size), degree 4.
+pub fn fig10(scale: &Scale) -> FigureTable {
+    use domino::{Domino, DominoConfig, EitConfig};
+    let system = SystemConfig::paper();
+    let sizes: [(usize, &str); 6] = [
+        (1 << 8, "256"),
+        (1 << 10, "1K"),
+        (1 << 12, "4K"),
+        (1 << 14, "16K"),
+        (1 << 16, "64K"),
+        (2 << 20, "2M"),
+    ];
+    let cols: Vec<String> = sizes.iter().map(|&(_, n)| n.to_string()).collect();
+    let mut t = FigureTable::new(
+        "Figure 10 — Domino coverage vs EIT rows (HT = 16 M entries, degree 4)",
+        "workload",
+        cols,
+    );
+    t.percent = true;
+    for spec in catalog::all() {
+        let mut row = Vec::new();
+        for &(rows, _) in &sizes {
+            let cfg = DominoConfig {
+                eit: EitConfig {
+                    rows,
+                    ..EitConfig::default()
+                },
+                ..DominoConfig::default()
+            };
+            let mut p = Domino::new(cfg);
+            let r = run_coverage_warmed(&system, trace(&spec, scale), &mut p, scale.warmup());
+            row.push(r.coverage());
+        }
+        t.push_row(spec.name.clone(), row);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Shared body of Figures 11 and 13: coverage and overpredictions for the
+/// full roster at a given degree, plus the Sequitur-oracle opportunity.
+fn roster_comparison(scale: &Scale, degree: usize, figure: &str) -> Vec<FigureTable> {
+    let system = SystemConfig::paper();
+    let mut cols: Vec<String> = System::paper_roster().iter().map(|s| s.label()).collect();
+    cols.push("Sequitur".into());
+    let mut cov = FigureTable::new(
+        format!("{figure}a — coverage (degree {degree})"),
+        "workload",
+        cols.clone(),
+    );
+    cov.percent = true;
+    let mut over = FigureTable::new(
+        format!("{figure}b — overpredictions (degree {degree})"),
+        "workload",
+        cols,
+    );
+    over.percent = true;
+    for spec in catalog::all() {
+        let mut cov_row = Vec::new();
+        let mut over_row = Vec::new();
+        for sys in System::paper_roster() {
+            let r = coverage_of(&system, &spec, scale, sys, degree);
+            cov_row.push(r.coverage());
+            over_row.push(r.overprediction_rate());
+        }
+        let opp = oracle_of(&system, &spec, scale);
+        cov_row.push(opp.coverage());
+        over_row.push(f64::NAN);
+        cov.push_row(spec.name.clone(), cov_row);
+        over.push_row(spec.name.clone(), over_row);
+    }
+    cov.push_mean_row("Average");
+    over.rows.push("Average".into());
+    over.values.push({
+        let n = over.values.len();
+        let mut means = vec![0.0; over.columns.len()];
+        for row in &over.values {
+            for (m, v) in means.iter_mut().zip(row) {
+                if !v.is_nan() {
+                    *m += v;
+                }
+            }
+        }
+        for (i, m) in means.iter_mut().enumerate() {
+            *m /= n as f64;
+            if over.columns[i] == "Sequitur" {
+                *m = f64::NAN;
+            }
+        }
+        means
+    });
+    vec![cov, over]
+}
+
+/// Figure 11 — the roster at prefetch degree 1.
+pub fn fig11(scale: &Scale) -> Vec<FigureTable> {
+    roster_comparison(scale, 1, "Figure 11")
+}
+
+/// Figure 12 — cumulative histogram of oracle stream lengths.
+pub fn fig12(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let bounds = domino_sequitur::histogram::FIG12_BOUNDS;
+    let cols: Vec<String> = bounds
+        .iter()
+        .map(|&b| {
+            if b == u64::MAX {
+                "128+".into()
+            } else {
+                format!("≤{b}")
+            }
+        })
+        .collect();
+    let mut t = FigureTable::new(
+        "Figure 12 — cumulative fraction of streams by length (Sequitur oracle)",
+        "workload",
+        cols,
+    );
+    t.percent = true;
+    for spec in catalog::all() {
+        let opp = oracle_of(&system, &spec, scale);
+        t.push_row(spec.name.clone(), opp.stream_lengths.cumulative_fractions());
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 13 — the roster at prefetch degree 4.
+pub fn fig13(scale: &Scale) -> Vec<FigureTable> {
+    roster_comparison(scale, 4, "Figure 13")
+}
+
+/// Figure 14 — speedup over the no-prefetcher baseline under the interval
+/// timing model, degree 4.
+pub fn fig14(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let cols: Vec<String> = System::paper_roster().iter().map(|s| s.label()).collect();
+    let mut t = FigureTable::new(
+        "Figure 14 — speedup over baseline (degree 4)",
+        "workload",
+        cols,
+    );
+    for spec in catalog::all() {
+        let events = trace(&spec, scale);
+        let warm = scale.warmup();
+        let mut base = System::Baseline.build(1);
+        let baseline = run_timing_warmed(&system, events.clone(), base.as_mut(), warm);
+        let mut row = Vec::new();
+        for sys in System::paper_roster() {
+            let mut p = sys.build(4);
+            let r = run_timing_warmed(&system, events.clone(), p.as_mut(), warm);
+            row.push(r.speedup_over(&baseline));
+        }
+        t.push_row(spec.name.clone(), row);
+    }
+    t.push_gmean_row("GMean");
+    t
+}
+
+/// Figure 15 — off-chip traffic overhead of STMS, Digram and Domino over
+/// the baseline, split into incorrect prefetches, metadata updates and
+/// metadata reads (averaged over workloads, degree 4).
+pub fn fig15(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let roster = [System::Stms, System::Digram, System::Domino];
+    let mut t = FigureTable::new(
+        "Figure 15 — off-chip traffic overhead over baseline (degree 4, average of workloads)",
+        "prefetcher",
+        vec![
+            "Incorrect".into(),
+            "MetaUpdate".into(),
+            "MetaRead".into(),
+            "Total".into(),
+        ],
+    );
+    t.percent = true;
+    for sys in roster {
+        let mut incorrect = 0.0;
+        let mut update = 0.0;
+        let mut read = 0.0;
+        let specs = catalog::all();
+        for spec in &specs {
+            let r = coverage_of(&system, spec, scale, sys, 4);
+            let demand = r.demand_bytes() as f64;
+            incorrect += r.incorrect_prefetch_bytes() as f64 / demand;
+            update += r.metadata_write_bytes() as f64 / demand;
+            read += r.metadata_read_bytes() as f64 / demand;
+        }
+        let n = specs.len() as f64;
+        incorrect /= n;
+        update /= n;
+        read /= n;
+        t.push_row(
+            sys.label(),
+            vec![incorrect, update, read, incorrect + update + read],
+        );
+    }
+    t
+}
+
+/// §V-D — chip bandwidth utilization on the quad-core platform: four
+/// cores of one workload sharing the LLC and channel, baseline versus
+/// Domino. The paper reports baseline consumption up to 8 GB/s and
+/// Domino utilization between 8.7 % (MapReduce-C) and 32.8 %
+/// (Web Apache) of the 37.5 GB/s channel.
+pub fn bandwidth_utilization(scale: &Scale) -> FigureTable {
+    use crate::multicore::run_homogeneous;
+    let system = SystemConfig::paper();
+    let mut t = FigureTable::new(
+        "§V-D — chip bandwidth, 4 cores (GB/s and % of 37.5 GB/s peak)",
+        "workload",
+        vec![
+            "Base GB/s".into(),
+            "Domino GB/s".into(),
+            "Base util".into(),
+            "Domino util".into(),
+        ],
+    );
+    // A quarter of the single-core scale per core keeps the total work
+    // comparable to the other figures.
+    let events = (scale.events / 2).max(10_000);
+    for spec in catalog::all() {
+        let base = run_homogeneous(&system, &spec, events, scale.seed, System::Baseline, 1);
+        let dom = run_homogeneous(&system, &spec, events, scale.seed, System::Domino, 4);
+        t.push_row(
+            spec.name.clone(),
+            vec![
+                base.bandwidth_gbps(),
+                dom.bandwidth_gbps(),
+                base.utilization(&system),
+                dom.utilization(&system),
+            ],
+        );
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Figure 16 — spatio-temporal prefetching: VLDP, Domino, and the stack
+/// of both (degree 4 coverage).
+pub fn fig16(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let mut t = FigureTable::new(
+        "Figure 16 — spatio-temporal coverage (degree 4)",
+        "workload",
+        vec!["VLDP".into(), "Domino".into(), "VLDP+Domino".into()],
+    );
+    t.percent = true;
+    for spec in catalog::all() {
+        let v = coverage_of(&system, &spec, scale, System::Vldp, 4).coverage();
+        let d = coverage_of(&system, &spec, scale, System::Domino, 4).coverage();
+        let both = coverage_of(&system, &spec, scale, System::VldpPlusDomino, 4).coverage();
+        t.push_row(spec.name.clone(), vec![v, d, both]);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Extended roster (beyond the paper's Figure 11): every prefetcher in
+/// the library, including the classic designs the paper cites as related
+/// work — next-line, PC-stride, GHB \[11\], Markov \[8\], and SMS \[33\] —
+/// under identical conditions at degree 4.
+pub fn extended_roster(scale: &Scale) -> Vec<FigureTable> {
+    let system = SystemConfig::paper();
+    let roster = [
+        System::NextLine,
+        System::Stride,
+        System::Ghb,
+        System::Markov,
+        System::Sms,
+        System::Vldp,
+        System::Isb,
+        System::Stms,
+        System::Digram,
+        System::DominoNaive,
+        System::Domino,
+    ];
+    let cols: Vec<String> = roster.iter().map(|s| s.label()).collect();
+    let mut cov = FigureTable::new(
+        "Extended roster — coverage (degree 4)",
+        "workload",
+        cols.clone(),
+    );
+    cov.percent = true;
+    let mut over = FigureTable::new(
+        "Extended roster — overpredictions (degree 4)",
+        "workload",
+        cols,
+    );
+    over.percent = true;
+    for spec in catalog::all() {
+        let mut cov_row = Vec::new();
+        let mut over_row = Vec::new();
+        for sys in roster {
+            let r = coverage_of(&system, &spec, scale, sys, 4);
+            cov_row.push(r.coverage());
+            over_row.push(r.overprediction_rate());
+        }
+        cov.push_row(spec.name.clone(), cov_row);
+        over.push_row(spec.name.clone(), over_row);
+    }
+    cov.push_mean_row("Average");
+    over.push_mean_row("Average");
+    vec![cov, over]
+}
+
+/// Cross-validation of the two opportunity measures: the Sequitur
+/// *grammar* coverage (fraction of misses inside repeated rules) versus
+/// the longest-stream *oracle* replay the figures use. The two are
+/// independent algorithms over the same sequence; they should agree on
+/// ordering and be close in magnitude.
+pub fn opportunity_methods(scale: &Scale) -> FigureTable {
+    use domino_sequitur::{analysis, Sequitur};
+    let system = SystemConfig::paper();
+    let mut t = FigureTable::new(
+        "Opportunity measures — Sequitur grammar vs longest-stream oracle",
+        "workload",
+        vec!["Grammar".into(), "Oracle".into()],
+    );
+    t.percent = true;
+    // The grammar is O(n) but allocation-heavy; cap its input.
+    let cap = scale.events.min(150_000);
+    for spec in catalog::all() {
+        let seq = baseline_miss_sequence(&system, trace(&spec, scale));
+        let grammar = Sequitur::from_sequence(seq.iter().copied().take(cap));
+        let g = analysis::grammar_coverage(&grammar);
+        let o = oracle_replay(&seq, &OracleConfig::default()).coverage();
+        t.push_row(spec.name.clone(), vec![g, o]);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// MLP sensitivity (the paper's §V-C explanation for Web Search and
+/// Media Streaming): speedup of Domino as a function of the fraction of
+/// dependent (serializing) misses, on the OLTP model.
+pub fn mlp_sensitivity(scale: &Scale) -> FigureTable {
+    let system = SystemConfig::paper();
+    let fracs = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let cols: Vec<String> = fracs.iter().map(|f| format!("dep={f:.1}")).collect();
+    let mut t = FigureTable::new(
+        "MLP sensitivity — Domino speedup vs dependent-miss fraction (OLTP model)",
+        "system",
+        cols,
+    );
+    let mut stms_row = Vec::new();
+    let mut domino_row = Vec::new();
+    for &f in &fracs {
+        let mut spec = catalog::oltp();
+        spec.temporal.dependent_frac = f;
+        let events = trace(&spec, scale);
+        let warm = scale.warmup();
+        let mut base = System::Baseline.build(1);
+        let baseline = run_timing_warmed(&system, events.clone(), base.as_mut(), warm);
+        let mut p = System::Stms.build(4);
+        stms_row.push(
+            run_timing_warmed(&system, events.clone(), p.as_mut(), warm).speedup_over(&baseline),
+        );
+        let mut p = System::Domino.build(4);
+        domino_row
+            .push(run_timing_warmed(&system, events, p.as_mut(), warm).speedup_over(&baseline));
+    }
+    t.push_row("STMS", stms_row);
+    t.push_row("Domino", domino_row);
+    t
+}
+
+/// Figure 14 with sampling statistics (the paper's SimFlex methodology:
+/// "performance measurements are computed with 95 % confidence", §IV-C):
+/// speedups measured over several workload seeds, reported as mean and
+/// 95 % confidence half-width.
+pub fn fig14_confidence(scale: &Scale, seeds: &[u64]) -> FigureTable {
+    use crate::stats::over_seeds;
+    let system = SystemConfig::paper();
+    let mut t = FigureTable::new(
+        format!(
+            "Figure 14 with 95% confidence over {} seeds (degree 4)",
+            seeds.len()
+        ),
+        "workload",
+        vec![
+            "STMS".into(),
+            "STMS ±".into(),
+            "Domino".into(),
+            "Domino ±".into(),
+        ],
+    );
+    for spec in catalog::all() {
+        let measure = |sys: System| {
+            over_seeds(seeds, |seed| {
+                let events: Vec<_> = spec.generator(seed).take(scale.events).collect();
+                let warm = scale.warmup();
+                let mut base = System::Baseline.build(1);
+                let baseline = run_timing_warmed(&system, events.clone(), base.as_mut(), warm);
+                let mut p = sys.build(4);
+                run_timing_warmed(&system, events, p.as_mut(), warm).speedup_over(&baseline)
+            })
+        };
+        let stms = measure(System::Stms);
+        let domino = measure(System::Domino);
+        t.push_row(
+            spec.name.clone(),
+            vec![stms.mean, stms.ci95, domino.mean, domino.ci95],
+        );
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Table I — the system parameters, rendered for the report.
+pub fn table1() -> String {
+    let c = SystemConfig::paper();
+    format!(
+        "Table I — evaluation parameters\n\
+         Chip      : {} cores, {} GHz\n\
+         Core      : {}-wide issue, {}-entry ROB, {}-entry LSQ\n\
+         L1-D      : {} KB, {}-way, {}-cycle load-to-use, {} MSHRs\n\
+         L2 (LLC)  : {} MB, {}-way, {}-cycle hit, {} MSHRs\n\
+         Memory    : {} ns, {} GB/s\n\
+         Prefetch  : {}-block buffer near L1-D\n",
+        c.cores,
+        c.clock_ghz,
+        c.issue_width,
+        c.rob_entries,
+        c.lsq_entries,
+        c.l1d.size_bytes / 1024,
+        c.l1d.ways,
+        c.l1d_latency_cycles,
+        c.l1d_mshrs,
+        c.l2.size_bytes / (1024 * 1024),
+        c.l2.ways,
+        c.l2_latency_cycles,
+        c.l2_mshrs,
+        c.memory.latency_ns,
+        c.memory.bandwidth_bytes_per_ns,
+        c.prefetch_buffer_blocks,
+    )
+}
+
+/// Table II — the workload roster.
+pub fn table2() -> String {
+    let mut out = String::from("Table II — workload models\n");
+    for spec in catalog::all() {
+        out.push_str(&format!(
+            "{:<16} temporal {:.0}% / spatial {:.0}% / noise {:.0}%, \
+             junctions {:.0}%, dependent {:.0}%, gap {:.0} insts\n",
+            spec.name,
+            spec.mix.temporal * 100.0,
+            spec.mix.spatial * 100.0,
+            spec.mix.noise * 100.0,
+            spec.temporal.junction_frac * 100.0,
+            spec.temporal.dependent_frac * 100.0,
+            spec.gap_mean,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            events: 12_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig01_has_nine_workloads_plus_average() {
+        let t = fig01(&tiny());
+        assert_eq!(t.rows.len(), 10);
+        assert_eq!(t.columns.len(), 3);
+        // Opportunity upper-bounds look sane.
+        for r in 0..9 {
+            let opp = t.values[r][2];
+            assert!((0.0..=1.0).contains(&opp));
+        }
+    }
+
+    #[test]
+    fn fig12_rows_are_cumulative() {
+        let t = fig12(&tiny());
+        for row in &t.values {
+            for w in row.windows(2) {
+                assert!(w[1] + 1e-9 >= w[0], "not cumulative: {row:?}");
+            }
+            assert!((row.last().unwrap() - 1.0).abs() < 1e-9 || *row.last().unwrap() == 0.0);
+        }
+    }
+
+    #[test]
+    fn fig06_domino_needs_fewer_trips_than_stms() {
+        let t = fig06(&tiny());
+        let stms = t.value("Average", "STMS trips").unwrap();
+        let dom = t.value("Average", "Domino trips").unwrap();
+        assert!(
+            dom < stms,
+            "Domino should start streams faster: {dom} vs {stms}"
+        );
+    }
+
+    #[test]
+    fn fig14_confidence_shape_and_bounds() {
+        let t = fig14_confidence(
+            &Scale {
+                events: 6_000,
+                seed: 0,
+            },
+            &[1, 2, 3],
+        );
+        assert_eq!(t.rows.len(), 10);
+        for row in &t.values {
+            // Means positive, half-widths non-negative and not absurd.
+            assert!(row[0] > 0.0 && row[2] > 0.0);
+            assert!(row[1] >= 0.0 && row[3] >= 0.0);
+            assert!(row[1] < row[0] && row[3] < row[2]);
+        }
+    }
+
+    #[test]
+    fn extended_figures_have_expected_shapes() {
+        let scale = Scale {
+            events: 8_000,
+            seed: 3,
+        };
+        let roster = extended_roster(&scale);
+        assert_eq!(roster.len(), 2);
+        assert_eq!(roster[0].columns.len(), 11);
+        assert_eq!(roster[0].rows.len(), 10);
+        let opp = opportunity_methods(&scale);
+        assert_eq!(opp.columns.len(), 2);
+        let mlp = mlp_sensitivity(&Scale {
+            events: 6_000,
+            seed: 3,
+        });
+        assert_eq!(mlp.rows.len(), 2);
+        assert_eq!(mlp.columns.len(), 5);
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(table1().contains("45 ns"));
+        assert!(table2().contains("OLTP"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Evaluation engine and figure harness for the Domino reproduction.
+//!
+//! This crate ties the substrates together the way the paper's
+//! methodology (§IV) does:
+//!
+//! * [`config`] — the Table I system parameters;
+//! * [`engine`] — the trace-based evaluation (L1 filter → prefetch buffer
+//!   → triggering events), producing coverage / overprediction /
+//!   stream-length reports;
+//! * [`timing`] — the interval timing model substituting for the paper's
+//!   Flexus cycle-accurate simulations (speedups, bandwidth);
+//! * [`multicore`] — the quad-core version: four cores sharing the LLC
+//!   and memory channel (§V-D bandwidth analysis);
+//! * [`roster`] — the evaluated systems of §IV-D as a buildable enum;
+//! * [`figures`] — one runner per paper table/figure, returning printable
+//!   [`report::FigureTable`]s;
+//! * [`report`] — plain-text table rendering (and CSV export);
+//! * [`svg`] — dependency-free bar-chart rendering of any figure table.
+//!
+//! ```no_run
+//! use domino_sim::figures::{fig11, Scale};
+//!
+//! for table in fig11(&Scale::default()) {
+//!     println!("{table}");
+//! }
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod figures;
+pub mod multicore;
+pub mod report;
+pub mod roster;
+pub mod stats;
+pub mod svg;
+pub mod timing;
+
+pub use config::SystemConfig;
+pub use engine::{baseline_miss_sequence, run_coverage, CoverageReport};
+pub use figures::Scale;
+pub use multicore::{run_homogeneous, run_multicore, MulticoreReport};
+pub use report::FigureTable;
+pub use roster::System;
+pub use stats::Sample;
+pub use timing::{run_timing, TimingReport};

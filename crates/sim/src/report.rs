@@ -1,0 +1,240 @@
+//! Plain-text rendering of figure data: one aligned table per figure,
+//! rows = workloads (or sweep points), columns = series.
+
+use std::fmt;
+
+/// A rectangular results table with a title, mirroring one paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// e.g. "Figure 11 — coverage, degree 1".
+    pub title: String,
+    /// Row label header (e.g. "workload").
+    pub row_header: String,
+    /// Column (series) names.
+    pub columns: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `values[r][c]`; `NaN` renders as "-".
+    pub values: Vec<Vec<f64>>,
+    /// Render values as percentages.
+    pub percent: bool,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        FigureTable {
+            title: title.into(),
+            row_header: row_header.into(),
+            columns,
+            rows: Vec::new(),
+            values: Vec::new(),
+            percent: false,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(label.into());
+        self.values.push(values);
+    }
+
+    /// Column-wise arithmetic mean over current rows, appended as a row.
+    pub fn push_mean_row(&mut self, label: impl Into<String>) {
+        let n = self.values.len();
+        if n == 0 {
+            return;
+        }
+        let mut means = vec![0.0; self.columns.len()];
+        for row in &self.values {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        self.push_row(label, means);
+    }
+
+    /// Column-wise geometric mean over current rows, appended as a row.
+    pub fn push_gmean_row(&mut self, label: impl Into<String>) {
+        let n = self.values.len();
+        if n == 0 {
+            return;
+        }
+        let mut means = vec![0.0; self.columns.len()];
+        for row in &self.values {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v.max(1e-12).ln();
+            }
+        }
+        for m in &mut means {
+            *m = (*m / n as f64).exp();
+        }
+        self.push_row(label, means);
+    }
+
+    /// Value lookup by labels (used in tests and EXPERIMENTS checks).
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.columns.iter().position(|x| x == column)?;
+        Some(self.values[r][c])
+    }
+
+    /// Renders the table as CSV (for plotting pipelines). The first
+    /// column is the row label; `NaN` renders as an empty cell.
+    pub fn to_csv(&self) -> String {
+        fn escape(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&escape(&self.row_header));
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&escape(c));
+        }
+        out.push('\n');
+        for (label, row) in self.rows.iter().zip(&self.values) {
+            out.push_str(&escape(label));
+            for v in row {
+                out.push(',');
+                if !v.is_nan() {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(String::len)
+            .chain(std::iter::once(self.row_header.len()))
+            .max()
+            .unwrap_or(8)
+            .max(4);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(8))
+            .collect::<Vec<_>>();
+        write!(f, "{:<label_w$}", self.row_header)?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, "  {c:>w$}")?;
+        }
+        writeln!(f)?;
+        for (label, row) in self.rows.iter().zip(&self.values) {
+            write!(f, "{label:<label_w$}")?;
+            for (v, w) in row.iter().zip(&col_w) {
+                if v.is_nan() {
+                    write!(f, "  {:>w$}", "-")?;
+                } else if self.percent {
+                    write!(f, "  {:>w$.1}%", v * 100.0, w = w - 1)?;
+                } else {
+                    write!(f, "  {v:>w$.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        let mut t = FigureTable::new("Figure T — test", "workload", vec!["A".into(), "B".into()]);
+        t.push_row("w1", vec![0.25, 0.5]);
+        t.push_row("w2", vec![0.75, 1.0]);
+        t
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample();
+        assert_eq!(t.value("w1", "B"), Some(0.5));
+        assert_eq!(t.value("w9", "B"), None);
+        assert_eq!(t.value("w1", "C"), None);
+    }
+
+    #[test]
+    fn mean_row() {
+        let mut t = sample();
+        t.push_mean_row("Average");
+        assert_eq!(t.value("Average", "A"), Some(0.5));
+        assert_eq!(t.value("Average", "B"), Some(0.75));
+    }
+
+    #[test]
+    fn gmean_row() {
+        let mut t = FigureTable::new("g", "r", vec!["X".into()]);
+        t.push_row("a", vec![1.0]);
+        t.push_row("b", vec![4.0]);
+        t.push_gmean_row("GMean");
+        let v = t.value("GMean", "X").unwrap();
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let mut t = sample();
+        t.percent = true;
+        let s = format!("{t}");
+        assert!(s.contains("Figure T"));
+        assert!(s.contains("w1"));
+        assert!(s.contains("25.0%"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let t = sample();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "workload,A,B");
+        assert_eq!(lines[1], "w1,0.25,0.5");
+    }
+
+    #[test]
+    fn csv_escapes_and_blanks() {
+        let mut t = FigureTable::new("t", "r", vec!["a,b".into()]);
+        t.push_row("x\"y", vec![f64::NAN]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"x\"\"y\","));
+        assert!(csv.lines().nth(1).unwrap().ends_with(','), "NaN is blank");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = sample();
+        t.push_row("bad", vec![1.0]);
+    }
+}

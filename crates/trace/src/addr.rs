@@ -1,0 +1,207 @@
+//! Address newtypes used across the reproduction.
+//!
+//! The paper's caches use 64-byte lines (Table II: "Cache line size is 64
+//! bytes"), so a [`LineAddr`] is a byte address shifted right by 6. Newtypes
+//! keep byte addresses, line addresses, and program counters from being
+//! mixed up in simulator plumbing.
+
+use std::fmt;
+
+/// Cache-line size in bytes (Table II of the paper).
+pub const LINE_BYTES: u64 = 64;
+
+/// Log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// Number of cache lines per 4 KiB page.
+pub const LINES_PER_PAGE: u64 = 64;
+
+/// Log2 of lines per page.
+pub const PAGE_LINE_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address.
+///
+/// ```
+/// use domino_trace::addr::{Addr, LineAddr};
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line(), LineAddr::new(0x41));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this byte.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-granularity address (byte address / 64).
+///
+/// All prefetcher metadata in the reproduction — history tables, index
+/// tables, prefetch buffers — operates on line addresses, exactly like the
+/// hardware the paper describes.
+///
+/// ```
+/// use domino_trace::addr::LineAddr;
+/// let l = LineAddr::new(0x41);
+/// assert_eq!(l.to_addr().raw(), 0x1040);
+/// assert_eq!(l.page(), 0x1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    pub const fn to_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The 4 KiB page number containing this line.
+    pub const fn page(self) -> u64 {
+        self.0 >> PAGE_LINE_SHIFT
+    }
+
+    /// Line offset within its 4 KiB page (0..64).
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (LINES_PER_PAGE - 1)
+    }
+
+    /// The line `delta` lines away (saturating at zero for negative deltas).
+    pub fn offset(self, delta: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add(delta as u64))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+/// A program counter (address of the memory instruction).
+///
+/// Used by PC-localized prefetchers such as ISB. The workload models assign
+/// PCs from per-behavior loop bodies, so the same code touches many data
+/// structures — the property that makes PC localization ineffective for
+/// server workloads (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter.
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// Raw PC value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(raw: u64) -> Self {
+        Pc(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_to_line_truncates_offset() {
+        assert_eq!(Addr::new(0).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::new(1));
+        assert_eq!(Addr::new(0xffff_ffff).line().raw(), 0xffff_ffff >> 6);
+    }
+
+    #[test]
+    fn line_roundtrips_through_addr() {
+        for raw in [0u64, 1, 77, 1 << 40] {
+            let line = LineAddr::new(raw);
+            assert_eq!(line.to_addr().line(), line);
+        }
+    }
+
+    #[test]
+    fn page_geometry() {
+        let line = LineAddr::new(130);
+        assert_eq!(line.page(), 2);
+        assert_eq!(line.page_offset(), 2);
+        // 64 lines of 64 bytes = 4 KiB pages.
+        assert_eq!(LINES_PER_PAGE * LINE_BYTES, 4096);
+    }
+
+    #[test]
+    fn offset_moves_both_directions() {
+        let line = LineAddr::new(100);
+        assert_eq!(line.offset(3), LineAddr::new(103));
+        assert_eq!(line.offset(-3), LineAddr::new(97));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x40");
+        assert_eq!(format!("{}", LineAddr::new(0x40)), "L0x40");
+        assert_eq!(format!("{}", Pc::new(0x40)), "pc0x40");
+    }
+}

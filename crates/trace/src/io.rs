@@ -1,0 +1,191 @@
+//! Trace serialization: save and load access traces as plain text, so the
+//! simulator can also run traces collected elsewhere (e.g. converted from
+//! ChampSim or gem5 logs) instead of the synthetic models.
+//!
+//! Format: one event per line, `#`-comments allowed,
+//!
+//! ```text
+//! # pc addr kind gap dependent
+//! 0x400000 0x10000040 R 30 1
+//! 0x400004 0x10000080 W 12 0
+//! ```
+//!
+//! `pc` and `addr` are hex (with or without `0x`), `kind` is `R`/`W`,
+//! `gap` is the decimal instruction gap, `dependent` is `0`/`1`.
+
+use std::io::{BufRead, Write};
+
+use crate::addr::{Addr, Pc};
+use crate::event::{AccessEvent, AccessKind};
+
+/// Error from parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    let s = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Parses one event line (exposed for streaming parsers).
+fn parse_line(line: &str) -> Result<Option<AccessEvent>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split_whitespace();
+    let pc = parts
+        .next()
+        .and_then(parse_hex)
+        .ok_or("missing or invalid pc")?;
+    let addr = parts
+        .next()
+        .and_then(parse_hex)
+        .ok_or("missing or invalid addr")?;
+    let kind = match parts.next() {
+        Some("R") | Some("r") => AccessKind::Read,
+        Some("W") | Some("w") => AccessKind::Write,
+        other => return Err(format!("invalid kind {other:?}")),
+    };
+    let gap: u32 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("missing or invalid gap")?;
+    let dependent = match parts.next() {
+        Some("0") => false,
+        Some("1") => true,
+        other => return Err(format!("invalid dependent flag {other:?}")),
+    };
+    if parts.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    Ok(Some(AccessEvent {
+        pc: Pc::new(pc),
+        addr: Addr::new(addr),
+        kind,
+        gap_insts: gap,
+        dependent,
+    }))
+}
+
+/// Reads a trace from any [`BufRead`] source.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the first malformed line; I/O
+/// errors are reported at line 0.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<AccessEvent>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseTraceError {
+            line: 0,
+            message: format!("I/O error: {e}"),
+        })?;
+        match parse_line(&line) {
+            Ok(Some(ev)) => out.push(ev),
+            Ok(None) => {}
+            Err(message) => {
+                return Err(ParseTraceError {
+                    line: i + 1,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes a trace to any [`Write`] sink in the format [`read_trace`]
+/// accepts. A mutable reference can be passed for `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<'a, W, I>(mut writer: W, events: I) -> std::io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a AccessEvent>,
+{
+    writeln!(writer, "# pc addr kind gap dependent")?;
+    for ev in events {
+        writeln!(
+            writer,
+            "{:#x} {:#x} {} {} {}",
+            ev.pc.raw(),
+            ev.addr.raw(),
+            if ev.kind.is_read() { "R" } else { "W" },
+            ev.gap_insts,
+            u8::from(ev.dependent),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::catalog;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let original: Vec<AccessEvent> = catalog::oltp().generator(5).take(500).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &original).unwrap();
+        let parsed = read_trace(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\n0x4 0x40 R 10 0\n  # another\n0x8 0x80 W 5 1\n";
+        let parsed = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].pc, Pc::new(4));
+        assert!(parsed[1].dependent);
+        assert_eq!(parsed[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn hex_prefix_is_optional() {
+        let text = "400000 10000040 R 1 0\n";
+        let parsed = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(parsed[0].pc, Pc::new(0x40_0000));
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let text = "0x4 0x40 R 10 0\n0x4 0x40 Q 10 0\n";
+        let err = read_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("kind"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let text = "0x4 0x40 R 10 0 junk\n";
+        let err = read_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+}

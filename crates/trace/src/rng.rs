@@ -1,0 +1,193 @@
+//! Deterministic random-number utilities for workload generation.
+//!
+//! Every generator in this crate is seeded explicitly so traces are exactly
+//! reproducible — a requirement for comparing prefetchers on *the same* miss
+//! sequence, as the paper does.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A small, fast, deterministic RNG with the sampling helpers the workload
+/// models need.
+///
+/// ```
+/// use domino_trace::rng::SimRng;
+/// let mut a = SimRng::seed(7);
+/// let mut b = SimRng::seed(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child RNG; used to give each workload
+    /// component its own stream so adding one component does not perturb
+    /// the others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::seed(s)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform draw in `[0, bound)` as `usize`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Geometric draw: number of trials until first success for success
+    /// probability `1/mean`, i.e. a draw with the given mean, minimum 1.
+    ///
+    /// Used for burst lengths and instruction gaps.
+    pub fn geometric(&mut self, mean: f64) -> u64 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u: f64 = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let draw = (u.ln() / (1.0 - p).ln()).ceil();
+        (draw as u64).max(1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Picks a weighted index; weights need not be normalised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted() requires nonempty positive weights"
+        );
+        let mut draw = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SimRng::seed(99);
+        let mut b = SimRng::seed(99);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_sibling_use() {
+        let mut root1 = SimRng::seed(5);
+        let mut root2 = SimRng::seed(5);
+        let mut f1 = root1.fork(1);
+        let _unused = root2.fork(1);
+        let mut f1b = SimRng::seed(5).fork(1);
+        assert_eq!(f1.next_u64(), f1b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::seed(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        SimRng::seed(0).below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = SimRng::seed(11);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(8.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 8.0).abs() < 0.5, "observed mean {mean}");
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut rng = SimRng::seed(2);
+        assert_eq!(rng.geometric(0.5), 1);
+        for _ in 0..100 {
+            assert!(rng.geometric(1.5) >= 1);
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut rng = SimRng::seed(4);
+        for _ in 0..200 {
+            let i = rng.weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_rough_proportions() {
+        let mut rng = SimRng::seed(8);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[rng.weighted(&[1.0, 3.0])] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "observed {frac}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Trace statistics used for sanity checks and workload calibration.
+
+use std::collections::HashMap;
+
+use crate::addr::{LineAddr, Pc};
+use crate::event::AccessEvent;
+
+/// Aggregate statistics over a trace prefix.
+///
+/// ```
+/// use domino_trace::{stats::TraceStats, workload::catalog};
+///
+/// let stats = TraceStats::from_events(catalog::oltp().generator(1).take(20_000));
+/// assert_eq!(stats.accesses, 20_000);
+/// assert!(stats.unique_lines > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Reads observed.
+    pub reads: u64,
+    /// Distinct cache lines touched.
+    pub unique_lines: usize,
+    /// Distinct PCs observed.
+    pub unique_pcs: usize,
+    /// Accesses flagged as pointer-dependent.
+    pub dependent: u64,
+    /// Sum of instruction gaps (for misses-per-kilo-instruction estimates).
+    pub total_gap_insts: u64,
+    /// Count of consecutive line pairs `(a, b)` seen more than once —
+    /// a cheap proxy for temporal repetitiveness.
+    pub repeated_pairs: usize,
+    /// Total distinct consecutive line pairs.
+    pub unique_pairs: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over an event stream.
+    pub fn from_events<I: IntoIterator<Item = AccessEvent>>(events: I) -> Self {
+        let mut stats = TraceStats::default();
+        let mut lines: HashMap<LineAddr, ()> = HashMap::new();
+        let mut pcs: HashMap<Pc, ()> = HashMap::new();
+        let mut pairs: HashMap<(u64, u64), u32> = HashMap::new();
+        let mut prev: Option<LineAddr> = None;
+        for ev in events {
+            stats.accesses += 1;
+            if ev.kind.is_read() {
+                stats.reads += 1;
+            }
+            if ev.dependent {
+                stats.dependent += 1;
+            }
+            stats.total_gap_insts += u64::from(ev.gap_insts);
+            let line = ev.line();
+            lines.insert(line, ());
+            pcs.insert(ev.pc, ());
+            if let Some(p) = prev {
+                *pairs.entry((p.raw(), line.raw())).or_default() += 1;
+            }
+            prev = Some(line);
+        }
+        stats.unique_lines = lines.len();
+        stats.unique_pcs = pcs.len();
+        stats.unique_pairs = pairs.len();
+        stats.repeated_pairs = pairs.values().filter(|&&c| c > 1).count();
+        stats
+    }
+
+    /// Fraction of consecutive pairs that recur — the repetitiveness proxy.
+    pub fn pair_repeat_fraction(&self) -> f64 {
+        if self.unique_pairs == 0 {
+            0.0
+        } else {
+            self.repeated_pairs as f64 / self.unique_pairs as f64
+        }
+    }
+
+    /// Mean instructions between accesses.
+    pub fn mean_gap(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_gap_insts as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::catalog;
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let stats = TraceStats::from_events(std::iter::empty());
+        assert_eq!(stats.accesses, 0);
+        assert_eq!(stats.pair_repeat_fraction(), 0.0);
+        assert_eq!(stats.mean_gap(), 0.0);
+    }
+
+    #[test]
+    fn oltp_is_more_repetitive_than_sat_solver() {
+        let oltp = TraceStats::from_events(catalog::oltp().generator(3).take(60_000));
+        let sat = TraceStats::from_events(catalog::sat_solver().generator(3).take(60_000));
+        assert!(
+            oltp.pair_repeat_fraction() > sat.pair_repeat_fraction(),
+            "oltp {} vs sat {}",
+            oltp.pair_repeat_fraction(),
+            sat.pair_repeat_fraction()
+        );
+    }
+
+    #[test]
+    fn gap_means_track_spec() {
+        let spec = catalog::web_apache();
+        let stats = TraceStats::from_events(spec.generator(9).take(50_000));
+        let expected = spec.gap_mean;
+        assert!(
+            (stats.mean_gap() - expected).abs() / expected < 0.15,
+            "gap mean {} expected ~{expected}",
+            stats.mean_gap()
+        );
+    }
+
+    #[test]
+    fn pc_working_set_is_bounded() {
+        let stats = TraceStats::from_events(catalog::oltp().generator(5).take(40_000));
+        // Loop PCs + scan PCs + noise PCs: bounded, far below access count.
+        assert!(stats.unique_pcs < 2000, "pcs {}", stats.unique_pcs);
+        assert!(stats.unique_pcs > 10);
+    }
+}

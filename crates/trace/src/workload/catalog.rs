@@ -1,0 +1,297 @@
+//! The paper's nine server workloads (Table II) as synthetic models.
+//!
+//! Parameter choices encode the qualitative characterisations the paper
+//! gives for each workload:
+//!
+//! * **OLTP** — heavy pointer chasing, strong temporal correlation, many
+//!   shared index/junction rows: the workload where Domino beats STMS by
+//!   the widest margin (19 % coverage at degree 4).
+//! * **MapReduce-W** — "temporal streams ... are drastically short".
+//! * **SAT Solver** — "produces its dataset on-the-fly ... memory accesses
+//!   are hard-to-predict": noise-dominant, high churn.
+//! * **Web Search / Media Streaming** — "relatively high MLP": few
+//!   dependent misses, so prefetching helps coverage more than speedup.
+//! * **Web Apache** — "the most bandwidth-hungry server workload": smallest
+//!   instruction gap between misses.
+//! * **MapReduce-C / Data Serving** — sizable spatial scan components that
+//!   VLDP can capture (Figure 16's spatio-temporal synergy).
+
+use super::spec::{
+    MixWeights, NoiseParams, SegmentDist, SpatialParams, TemporalParams, WorkloadSpec,
+};
+
+/// Cassandra / YCSB (CloudSuite "Data Serving").
+pub fn data_serving() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("Data Serving");
+    s.mix = MixWeights {
+        temporal: 0.64,
+        spatial: 0.24,
+        noise: 0.12,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.28,
+        mutation_prob: 0.004,
+        dependent_frac: 0.6,
+        ..TemporalParams::default()
+    };
+    s.gap_mean = 700.0;
+    s
+}
+
+/// Hadoop Bayesian classification (CloudSuite "MapReduce-C").
+pub fn mapreduce_c() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("MapReduce-C");
+    s.mix = MixWeights {
+        temporal: 0.58,
+        spatial: 0.34,
+        noise: 0.08,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.22,
+        mutation_prob: 0.003,
+        dependent_frac: 0.45,
+        ..TemporalParams::default()
+    };
+    s.spatial = SpatialParams {
+        patterns: vec![vec![1], vec![1], vec![2], vec![1, 2]],
+        scan_len_mean: 32.0,
+        ..SpatialParams::default()
+    };
+    s.gap_mean = 900.0;
+    s
+}
+
+/// Hadoop Mahout (CloudSuite "MapReduce-W"): drastically short streams.
+pub fn mapreduce_w() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("MapReduce-W");
+    s.mix = MixWeights {
+        temporal: 0.56,
+        spatial: 0.34,
+        noise: 0.10,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.30,
+        mutation_prob: 0.006,
+        dependent_frac: 0.5,
+        segment: SegmentDist {
+            short_frac: 0.47,
+            mid_mean: 3.0,
+            long_frac: 0.01,
+            long_mean: 24.0,
+        },
+        ..TemporalParams::default()
+    };
+    s.gap_mean = 900.0;
+    s
+}
+
+/// Darwin streaming server (CloudSuite "Media Streaming"): high MLP.
+pub fn media_streaming() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("Media Streaming");
+    s.mix = MixWeights {
+        temporal: 0.62,
+        spatial: 0.30,
+        noise: 0.08,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.15,
+        mutation_prob: 0.002,
+        dependent_frac: 0.25,
+        segment: SegmentDist {
+            short_frac: 0.15,
+            mid_mean: 8.0,
+            long_frac: 0.08,
+            long_mean: 48.0,
+        },
+        ..TemporalParams::default()
+    };
+    s.spatial = SpatialParams {
+        patterns: vec![vec![1], vec![1], vec![1], vec![2]],
+        scan_len_mean: 40.0,
+        ..SpatialParams::default()
+    };
+    s.gap_mean = 500.0;
+    s
+}
+
+/// Oracle TPC-C ("OLTP"): pointer-chasing with heavily shared index rows.
+pub fn oltp() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("OLTP");
+    s.mix = MixWeights {
+        temporal: 0.85,
+        spatial: 0.05,
+        noise: 0.10,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.40,
+        junction_pool: 1536,
+        mutation_prob: 0.002,
+        dependent_frac: 0.85,
+        segment: SegmentDist {
+            short_frac: 0.20,
+            mid_mean: 7.0,
+            long_frac: 0.06,
+            long_mean: 44.0,
+        },
+        ..TemporalParams::default()
+    };
+    s.gap_mean = 600.0;
+    s
+}
+
+/// Cloud9 symbolic execution (CloudSuite "SAT Solver"): on-the-fly dataset.
+pub fn sat_solver() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("SAT Solver");
+    s.mix = MixWeights {
+        temporal: 0.35,
+        spatial: 0.10,
+        noise: 0.55,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.30,
+        mutation_prob: 0.015,
+        dependent_frac: 0.6,
+        segment: SegmentDist {
+            short_frac: 0.40,
+            mid_mean: 4.0,
+            long_frac: 0.02,
+            long_mean: 24.0,
+        },
+        ..TemporalParams::default()
+    };
+    s.noise = NoiseParams {
+        cold_frac: 0.7,
+        ..NoiseParams::default()
+    };
+    s.gap_mean = 400.0;
+    s
+}
+
+/// Apache HTTP server (SPECweb99 "Web Apache"): bandwidth-hungry.
+pub fn web_apache() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("Web Apache");
+    s.mix = MixWeights {
+        temporal: 0.72,
+        spatial: 0.17,
+        noise: 0.11,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.27,
+        mutation_prob: 0.004,
+        dependent_frac: 0.55,
+        ..TemporalParams::default()
+    };
+    s.gap_mean = 360.0;
+    s
+}
+
+/// Nutch/Lucene (CloudSuite "Web Search"): high MLP, strong repetition.
+pub fn web_search() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("Web Search");
+    s.mix = MixWeights {
+        temporal: 0.78,
+        spatial: 0.12,
+        noise: 0.10,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.18,
+        mutation_prob: 0.003,
+        dependent_frac: 0.25,
+        segment: SegmentDist {
+            short_frac: 0.18,
+            mid_mean: 8.0,
+            long_frac: 0.06,
+            long_mean: 40.0,
+        },
+        ..TemporalParams::default()
+    };
+    s.gap_mean = 800.0;
+    s
+}
+
+/// Zeus web server (SPECweb99 "Web Zeus").
+pub fn web_zeus() -> WorkloadSpec {
+    let mut s = WorkloadSpec::named("Web Zeus");
+    s.mix = MixWeights {
+        temporal: 0.72,
+        spatial: 0.17,
+        noise: 0.11,
+    };
+    s.temporal = TemporalParams {
+        junction_frac: 0.27,
+        mutation_prob: 0.004,
+        dependent_frac: 0.55,
+        ..TemporalParams::default()
+    };
+    s.gap_mean = 440.0;
+    s
+}
+
+/// All nine workloads in the paper's figure order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        data_serving(),
+        mapreduce_c(),
+        mapreduce_w(),
+        media_streaming(),
+        oltp(),
+        sat_solver(),
+        web_apache(),
+        web_search(),
+        web_zeus(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_workloads_with_unique_names() {
+        let specs = all();
+        assert_eq!(specs.len(), 9);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn mixes_are_normalisable() {
+        for spec in all() {
+            let total = spec.mix.temporal + spec.mix.spatial + spec.mix.noise;
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} mix sums to {total}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn oltp_is_most_dependent() {
+        let specs = all();
+        let oltp_dep = oltp().temporal.dependent_frac;
+        for spec in &specs {
+            assert!(
+                spec.temporal.dependent_frac <= oltp_dep,
+                "{} should not out-chase OLTP",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn sat_solver_is_noise_dominant() {
+        let s = sat_solver();
+        assert!(s.mix.noise > s.mix.temporal);
+    }
+
+    #[test]
+    fn every_workload_generates() {
+        for spec in all() {
+            let n = spec.generator(123).take(1000).count();
+            assert_eq!(n, 1000, "{} failed to generate", spec.name);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Document pool: the recorded miss sequences that temporal replay draws on.
+//!
+//! A *document* models the miss footprint of one data structure traversal —
+//! a B-tree range, a hash-bucket chain, a transaction's working set. Its
+//! addresses look random (pointer chasing) but the *order* is stable across
+//! traversals, which is precisely the temporal correlation the paper's
+//! prefetchers exploit.
+//!
+//! Two knobs shape how hard the history is to look up:
+//!
+//! * **junctions** — a fraction of positions hold addresses shared across
+//!   documents (hot rows, index roots, allocator headers). A junction is
+//!   followed by *different* successors in different documents, so a
+//!   single-address lookup (STMS) often resumes the wrong stream; the
+//!   `(previous, junction)` pair disambiguates, which is Domino's whole
+//!   point.
+//! * **mutation** — per replay, a small probability of permanently
+//!   rewriting a position's address (dataset churn), which makes recorded
+//!   history go stale and caps the attainable opportunity below 100 %.
+
+use crate::addr::LineAddr;
+use crate::rng::SimRng;
+
+use super::spec::TemporalParams;
+
+/// Base line number of the temporal address region (keeps behaviours from
+/// colliding in the address space).
+const TEMPORAL_REGION_BASE: u64 = 0x0100_0000_0000;
+
+/// Size of the temporal region in lines (power of two).
+const TEMPORAL_REGION_LINES: u64 = 1 << 34;
+
+/// Odd multiplier giving a bijection over the region: consecutive
+/// allocations land on *scattered* lines, as pointer-chased objects do —
+/// a bump allocator here would make documents look like sequential
+/// streams and hand spatial prefetchers a free lunch.
+const SCATTER: u64 = 0x9e37_79b9_7f4a_7c15 | 1;
+
+/// Pool of documents plus the shared junction addresses.
+#[derive(Debug, Clone)]
+pub struct DocumentPool {
+    docs: Vec<Vec<LineAddr>>,
+    junctions: Vec<LineAddr>,
+    next_fresh: u64,
+}
+
+impl DocumentPool {
+    /// Builds the pool described by `params`, deterministically from `rng`.
+    pub fn new(params: &TemporalParams, rng: &mut SimRng) -> Self {
+        let mut pool = DocumentPool {
+            docs: Vec::with_capacity(params.num_docs),
+            junctions: Vec::with_capacity(params.junction_pool),
+            next_fresh: 0,
+        };
+        for _ in 0..params.junction_pool.max(1) {
+            let line = pool.alloc_fresh();
+            pool.junctions.push(line);
+        }
+        for _ in 0..params.num_docs {
+            let mut doc = Vec::with_capacity(params.doc_len);
+            for _ in 0..params.doc_len {
+                let line = if rng.chance(params.junction_frac) {
+                    pool.junctions[rng.index(pool.junctions.len())]
+                } else {
+                    pool.alloc_fresh()
+                };
+                doc.push(line);
+            }
+            pool.docs.push(doc);
+        }
+        pool
+    }
+
+    fn alloc_fresh(&mut self) -> LineAddr {
+        let scattered = (self.next_fresh.wrapping_mul(SCATTER)) & (TEMPORAL_REGION_LINES - 1);
+        self.next_fresh += 1;
+        LineAddr::new(TEMPORAL_REGION_BASE + scattered)
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the pool has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Length of document `doc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `doc` is out of range.
+    pub fn doc_len(&self, doc: usize) -> usize {
+        self.docs[doc].len()
+    }
+
+    /// Address at `(doc, pos)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn line(&self, doc: usize, pos: usize) -> LineAddr {
+        self.docs[doc][pos]
+    }
+
+    /// Applies dataset churn over `[start, start+len)` of `doc`: each
+    /// position is rewritten to a fresh address with probability
+    /// `mutation_prob`. Returns how many positions changed.
+    pub fn mutate_segment(
+        &mut self,
+        doc: usize,
+        start: usize,
+        len: usize,
+        mutation_prob: f64,
+        rng: &mut SimRng,
+    ) -> usize {
+        let mut changed = 0;
+        let doc_len = self.docs[doc].len();
+        for pos in start..(start + len).min(doc_len) {
+            if rng.chance(mutation_prob) {
+                let fresh = self.alloc_fresh();
+                self.docs[doc][pos] = fresh;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// All junction addresses (exposed for tests and analyses).
+    pub fn junctions(&self) -> &[LineAddr] {
+        &self.junctions
+    }
+
+    /// Count of lines ever allocated by the pool (footprint indicator).
+    pub fn allocated_lines(&self) -> u64 {
+        self.next_fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_params() -> TemporalParams {
+        TemporalParams {
+            num_docs: 8,
+            doc_len: 64,
+            junction_frac: 0.3,
+            junction_pool: 16,
+            ..TemporalParams::default()
+        }
+    }
+
+    #[test]
+    fn pool_has_requested_shape() {
+        let mut rng = SimRng::seed(1);
+        let pool = DocumentPool::new(&small_params(), &mut rng);
+        assert_eq!(pool.len(), 8);
+        assert_eq!(pool.doc_len(0), 64);
+        assert_eq!(pool.junctions().len(), 16);
+    }
+
+    #[test]
+    fn junctions_recur_across_documents() {
+        let mut rng = SimRng::seed(2);
+        let pool = DocumentPool::new(&small_params(), &mut rng);
+        let junctions: HashSet<_> = pool.junctions().iter().copied().collect();
+        let mut docs_containing = 0;
+        for d in 0..pool.len() {
+            let has = (0..pool.doc_len(d)).any(|p| junctions.contains(&pool.line(d, p)));
+            if has {
+                docs_containing += 1;
+            }
+        }
+        assert!(
+            docs_containing >= pool.len() / 2,
+            "junctions should appear widely, saw {docs_containing}"
+        );
+    }
+
+    #[test]
+    fn non_junction_addresses_are_unique() {
+        let mut rng = SimRng::seed(3);
+        let params = TemporalParams {
+            junction_frac: 0.0,
+            ..small_params()
+        };
+        let pool = DocumentPool::new(&params, &mut rng);
+        let mut seen = HashSet::new();
+        for d in 0..pool.len() {
+            for p in 0..pool.doc_len(d) {
+                assert!(seen.insert(pool.line(d, p)), "duplicate non-junction line");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_rewrites_to_fresh_lines() {
+        let mut rng = SimRng::seed(4);
+        let mut pool = DocumentPool::new(&small_params(), &mut rng);
+        let before: Vec<_> = (0..pool.doc_len(0)).map(|p| pool.line(0, p)).collect();
+        let changed = pool.mutate_segment(0, 0, 64, 1.0, &mut rng);
+        assert_eq!(changed, 64);
+        for (p, &old) in before.iter().enumerate() {
+            assert_ne!(pool.line(0, p), old);
+        }
+    }
+
+    #[test]
+    fn zero_mutation_changes_nothing() {
+        let mut rng = SimRng::seed(5);
+        let mut pool = DocumentPool::new(&small_params(), &mut rng);
+        let before: Vec<_> = (0..pool.doc_len(1)).map(|p| pool.line(1, p)).collect();
+        assert_eq!(pool.mutate_segment(1, 0, 64, 0.0, &mut rng), 0);
+        let after: Vec<_> = (0..pool.doc_len(1)).map(|p| pool.line(1, p)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mutation_clamps_to_document_end() {
+        let mut rng = SimRng::seed(6);
+        let mut pool = DocumentPool::new(&small_params(), &mut rng);
+        // Should not panic even when the segment overruns the document.
+        let changed = pool.mutate_segment(0, 60, 100, 1.0, &mut rng);
+        assert_eq!(changed, 4);
+    }
+}

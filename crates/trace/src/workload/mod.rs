@@ -1,0 +1,115 @@
+//! Parametric models of the paper's nine server workloads (Table II).
+//!
+//! A workload is a weighted mixture of three behaviours, each with its own
+//! sub-generator:
+//!
+//! * [`TemporalGen`] — pools of *documents* (recorded pointer-chase sequences)
+//!   replayed in segments, with shared **junction** addresses that create the
+//!   prefix ambiguity Domino exploits, and slow dataset mutation;
+//! * [`SpatialGen`] — page-local delta scans over cold pages (the misses
+//!   VLDP covers and temporal prefetchers cannot);
+//! * [`NoiseGen`] — cold and churning unpredictable misses (dominant in
+//!   the SAT Solver workload).
+//!
+//! The top-level [`WorkloadGenerator`] interleaves behaviours in bursts, the
+//! way server software interleaves request processing with scans and
+//! allocation.
+
+pub mod catalog;
+mod document;
+mod noise;
+mod spatial;
+mod spec;
+mod temporal;
+
+pub use document::DocumentPool;
+pub use noise::NoiseGen;
+pub use spatial::SpatialGen;
+pub use spec::{MixWeights, NoiseParams, SegmentDist, SpatialParams, TemporalParams, WorkloadSpec};
+pub use temporal::TemporalGen;
+
+use crate::event::AccessEvent;
+use crate::rng::SimRng;
+
+/// Iterator of [`AccessEvent`]s for one workload model.
+///
+/// Deterministic for a given `(spec, seed)` pair; infinite — take as many
+/// events as the experiment needs.
+///
+/// ```
+/// use domino_trace::workload::catalog;
+/// let mut g = catalog::web_search().generator(1);
+/// let first = g.next().unwrap();
+/// let mut g2 = catalog::web_search().generator(1);
+/// assert_eq!(first, g2.next().unwrap());
+/// ```
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: SimRng,
+    temporal: Option<TemporalGen>,
+    spatial: Option<SpatialGen>,
+    noise: Option<NoiseGen>,
+    weights: [f64; 3],
+    burst_mean: f64,
+    current: usize,
+    burst_left: u64,
+    gap_mean: f64,
+    write_frac: f64,
+}
+
+impl WorkloadGenerator {
+    pub(crate) fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        let mut rng = SimRng::seed(seed ^ spec.seed_salt);
+        let temporal =
+            (spec.mix.temporal > 0.0).then(|| TemporalGen::new(&spec.temporal, rng.fork(0xA7)));
+        let spatial =
+            (spec.mix.spatial > 0.0).then(|| SpatialGen::new(&spec.spatial, rng.fork(0x5B)));
+        let noise = (spec.mix.noise > 0.0).then(|| NoiseGen::new(&spec.noise, rng.fork(0xC7)));
+        WorkloadGenerator {
+            rng,
+            temporal,
+            spatial,
+            noise,
+            weights: [spec.mix.temporal, spec.mix.spatial, spec.mix.noise],
+            burst_mean: spec.burst_mean,
+            current: 0,
+            burst_left: 0,
+            gap_mean: spec.gap_mean,
+            write_frac: spec.write_frac,
+        }
+    }
+}
+
+impl Iterator for WorkloadGenerator {
+    type Item = AccessEvent;
+
+    fn next(&mut self) -> Option<AccessEvent> {
+        if self.burst_left == 0 {
+            self.current = self.rng.weighted(&self.weights);
+            self.burst_left = self.rng.geometric(self.burst_mean);
+        }
+        self.burst_left -= 1;
+        let mut ev = match self.current {
+            0 => self
+                .temporal
+                .as_mut()
+                .expect("temporal weight implies generator")
+                .step(&mut self.rng),
+            1 => self
+                .spatial
+                .as_mut()
+                .expect("spatial weight implies generator")
+                .step(&mut self.rng),
+            _ => self
+                .noise
+                .as_mut()
+                .expect("noise weight implies generator")
+                .step(&mut self.rng),
+        };
+        ev.gap_insts = self.rng.geometric(self.gap_mean) as u32;
+        if self.rng.chance(self.write_frac) {
+            ev.kind = crate::event::AccessKind::Write;
+        }
+        Some(ev)
+    }
+}

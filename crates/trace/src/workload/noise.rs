@@ -1,0 +1,108 @@
+//! Noise behaviour: cold and churning unpredictable accesses.
+//!
+//! Models on-the-fly dataset generation (the paper's SAT Solver "produces
+//! its dataset on-the-fly during the execution ... its memory accesses are
+//! hard-to-predict"), allocator churn, and OS interference. Cold accesses
+//! touch fresh lines that never repeat; churn accesses draw uniformly from
+//! a pool so they *do* repeat but in no learnable order.
+
+use crate::addr::{LineAddr, Pc};
+use crate::event::AccessEvent;
+use crate::rng::SimRng;
+
+use super::spec::NoiseParams;
+
+/// Base line number of the noise address region.
+const NOISE_REGION_BASE: u64 = 0x0300_0000_0000;
+
+/// Size of the noise region in lines (power of two).
+const NOISE_REGION_LINES: u64 = 1 << 34;
+
+/// Odd multiplier scattering cold allocations (see the document pool).
+const SCATTER: u64 = 0xd134_2543_de82_ef95 | 1;
+
+/// Base of the PC region used by noise accesses.
+const NOISE_PC_BASE: u64 = 0xC0_0000;
+
+/// Generator of noise accesses.
+#[derive(Debug)]
+pub struct NoiseGen {
+    params: NoiseParams,
+    rng: SimRng,
+    next_cold: u64,
+}
+
+impl NoiseGen {
+    /// Builds the generator from `params`.
+    pub fn new(params: &NoiseParams, rng: SimRng) -> Self {
+        NoiseGen {
+            params: params.clone(),
+            rng,
+            next_cold: 0,
+        }
+    }
+
+    /// Emits the next noise access.
+    pub fn step(&mut self, _top_rng: &mut SimRng) -> AccessEvent {
+        let line = if self.rng.chance(self.params.cold_frac) {
+            let scattered = (self.next_cold.wrapping_mul(SCATTER)) & (NOISE_REGION_LINES - 1);
+            self.next_cold += 1;
+            LineAddr::new(NOISE_REGION_BASE + scattered)
+        } else {
+            // Churn pool sits above the cold region's eventual footprint.
+            let off = self.rng.below(self.params.pool_lines.max(1));
+            LineAddr::new(NOISE_REGION_BASE + 0x40_0000_0000 + off)
+        };
+        let pc = Pc::new(NOISE_PC_BASE + self.rng.below(self.params.pc_pool.max(1) as u64) * 4);
+        AccessEvent::read(pc, line.to_addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cold_noise_never_repeats() {
+        let params = NoiseParams {
+            cold_frac: 1.0,
+            ..NoiseParams::default()
+        };
+        let mut g = NoiseGen::new(&params, SimRng::seed(1));
+        let mut top = SimRng::seed(0);
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            assert!(seen.insert(g.step(&mut top).line()), "cold line repeated");
+        }
+    }
+
+    #[test]
+    fn churn_noise_repeats_but_unordered() {
+        let params = NoiseParams {
+            cold_frac: 0.0,
+            pool_lines: 128,
+            ..NoiseParams::default()
+        };
+        let mut g = NoiseGen::new(&params, SimRng::seed(2));
+        let mut top = SimRng::seed(0);
+        let mut seen = HashSet::new();
+        let mut repeats = 0;
+        for _ in 0..2000 {
+            if !seen.insert(g.step(&mut top).line()) {
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 1000, "churn pool should produce repeats");
+    }
+
+    #[test]
+    fn noise_region_is_disjoint_from_temporal() {
+        let mut g = NoiseGen::new(&NoiseParams::default(), SimRng::seed(3));
+        let mut top = SimRng::seed(0);
+        for _ in 0..100 {
+            let line = g.step(&mut top).line();
+            assert!(line.raw() >= NOISE_REGION_BASE);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Workload parameterisation.
+//!
+//! These are passive parameter records (public fields by design); the nine
+//! paper workloads in [`super::catalog`] are just distinguished values of
+//! [`WorkloadSpec`]. Custom workloads can be built by mutating a catalog
+//! entry or filling a spec from scratch.
+
+use super::WorkloadGenerator;
+
+/// Relative weights of the three behaviour mixtures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixWeights {
+    /// Temporal document replay (pointer chasing, index walks).
+    pub temporal: f64,
+    /// Page-local delta scans.
+    pub spatial: f64,
+    /// Cold / churning unpredictable accesses.
+    pub noise: f64,
+}
+
+impl Default for MixWeights {
+    fn default() -> Self {
+        MixWeights {
+            temporal: 0.7,
+            spatial: 0.18,
+            noise: 0.12,
+        }
+    }
+}
+
+/// Distribution of temporal segment lengths.
+///
+/// Tuned so the *observed* (Sequitur-measured) stream-length histogram
+/// matches the paper's Figure 12: a 10–47 % mass at length ≤ 2, most
+/// streams shorter than 8, a thin tail of long streams, overall mean ≈ 7.6
+/// for the average workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentDist {
+    /// Probability a segment is very short (length 1–2).
+    pub short_frac: f64,
+    /// Mean of the geometric mid-range segment lengths.
+    pub mid_mean: f64,
+    /// Probability of a long segment.
+    pub long_frac: f64,
+    /// Mean of long segment lengths.
+    pub long_mean: f64,
+}
+
+impl SegmentDist {
+    /// Samples a segment length.
+    pub fn sample(&self, rng: &mut crate::rng::SimRng) -> usize {
+        if rng.chance(self.short_frac) {
+            1 + rng.index(2)
+        } else if rng.chance(self.long_frac / (1.0 - self.short_frac).max(1e-9)) {
+            (rng.geometric(self.long_mean) as usize).max(8)
+        } else {
+            (2 + rng.geometric(self.mid_mean)) as usize
+        }
+    }
+}
+
+impl Default for SegmentDist {
+    fn default() -> Self {
+        SegmentDist {
+            short_frac: 0.25,
+            mid_mean: 6.0,
+            long_frac: 0.05,
+            long_mean: 40.0,
+        }
+    }
+}
+
+/// Parameters of the temporal (document-replay) behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalParams {
+    /// Number of documents (recorded miss sequences) in the pool.
+    pub num_docs: usize,
+    /// Popularity skew for document selection: a uniform draw `u` picks
+    /// document `floor(u^skew * num_docs)`, so `skew = 1` is uniform and
+    /// larger values concentrate traffic on hot documents — the working-set
+    /// skew that lets temporal history pay off within finite traces.
+    pub doc_skew: f64,
+    /// Length of each document in cache lines.
+    pub doc_len: usize,
+    /// Segment-length distribution for each replay.
+    pub segment: SegmentDist,
+    /// Fraction of document positions that hold a shared *junction* address.
+    ///
+    /// Junctions are the prefix-ambiguity knob: a junction address recurs in
+    /// many documents with different successors, so single-address history
+    /// lookup (STMS) frequently follows the wrong stream while two-address
+    /// lookup (Digram/Domino) stays on the right one.
+    pub junction_frac: f64,
+    /// Number of distinct junction addresses shared across documents.
+    pub junction_pool: usize,
+    /// Per-access probability of aborting a segment early.
+    pub deviate_prob: f64,
+    /// Per-position probability, at each replay, of permanently rewriting a
+    /// document address (dataset churn; caps attainable coverage).
+    pub mutation_prob: f64,
+    /// Memory PCs per traversal loop.
+    pub loop_pcs: usize,
+    /// Number of distinct traversal loops (instruction working set).
+    pub pc_groups: usize,
+    /// Interleaved traversal contexts (concurrent requests).
+    pub concurrency: usize,
+    /// Per-access probability of switching between contexts.
+    pub switch_prob: f64,
+    /// Fraction of temporal accesses that are pointer-dependent on the
+    /// previous access (serialized misses).
+    pub dependent_frac: f64,
+}
+
+impl Default for TemporalParams {
+    fn default() -> Self {
+        TemporalParams {
+            num_docs: 48,
+            doc_len: 176,
+            doc_skew: 1.6,
+            segment: SegmentDist::default(),
+            junction_frac: 0.25,
+            // Large enough that junctions are evicted from the L1 between
+            // occurrences: junction ambiguity must survive to miss level.
+            junction_pool: 2048,
+            deviate_prob: 0.01,
+            mutation_prob: 0.002,
+            loop_pcs: 8,
+            pc_groups: 48,
+            concurrency: 2,
+            switch_prob: 0.01,
+            dependent_frac: 0.7,
+        }
+    }
+}
+
+/// Parameters of the spatial (delta-scan) behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialParams {
+    /// Repeating delta patterns (line strides within a page).
+    pub patterns: Vec<Vec<i64>>,
+    /// Per-step probability of an irregular jump within the page, breaking
+    /// the delta chain (real scans take branches); caps VLDP's accuracy.
+    pub jitter: f64,
+    /// Mean scan length in lines before moving to another page.
+    pub scan_len_mean: f64,
+    /// Probability that a new scan starts on a fresh (cold) page rather
+    /// than revisiting a recent one.
+    pub cold_page_frac: f64,
+    /// PCs used by scan loops.
+    pub pc_pool: usize,
+}
+
+impl Default for SpatialParams {
+    fn default() -> Self {
+        SpatialParams {
+            patterns: vec![vec![1], vec![2], vec![1, 3], vec![-1]],
+            jitter: 0.3,
+            scan_len_mean: 16.0,
+            cold_page_frac: 0.85,
+            pc_pool: 12,
+        }
+    }
+}
+
+/// Parameters of the noise behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseParams {
+    /// Fraction of noise accesses that touch a never-seen line.
+    pub cold_frac: f64,
+    /// Size of the churn pool for the remaining noise accesses.
+    pub pool_lines: u64,
+    /// PCs used by noise accesses.
+    pub pc_pool: usize,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams {
+            cold_frac: 0.6,
+            pool_lines: 1 << 16,
+            pc_pool: 64,
+        }
+    }
+}
+
+/// Complete description of a synthetic server workload.
+///
+/// See [`super::catalog`] for the paper's nine workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Human-readable name (matches the paper's figure labels).
+    pub name: String,
+    /// Extra salt mixed into generator seeds so two workloads with the same
+    /// parameters still produce distinct traces.
+    pub seed_salt: u64,
+    /// Behaviour mixture weights.
+    pub mix: MixWeights,
+    /// Mean burst length before the mixture re-draws the active behaviour.
+    pub burst_mean: f64,
+    /// Temporal behaviour parameters.
+    pub temporal: TemporalParams,
+    /// Spatial behaviour parameters.
+    pub spatial: SpatialParams,
+    /// Noise behaviour parameters.
+    pub noise: NoiseParams,
+    /// Mean instructions between consecutive trace events. The generator
+    /// emits only cache-relevant accesses (the L1 working set's misses and
+    /// near-misses), so this is on the order of the inter-*miss*
+    /// instruction distance of a server workload (hundreds), not the
+    /// inter-load distance.
+    pub gap_mean: f64,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec with default parameters under the given name.
+    pub fn named(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let salt = name.bytes().fold(0u64, |acc, b| {
+            acc.wrapping_mul(131).wrapping_add(u64::from(b))
+        });
+        WorkloadSpec {
+            name,
+            seed_salt: salt,
+            mix: MixWeights::default(),
+            burst_mean: 32.0,
+            temporal: TemporalParams::default(),
+            spatial: SpatialParams::default(),
+            noise: NoiseParams::default(),
+            gap_mean: 600.0,
+            write_frac: 0.12,
+        }
+    }
+
+    /// Instantiates the deterministic event generator for this workload.
+    pub fn generator(&self, seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator::new(self, seed)
+    }
+
+    // ------------------------------------------------------------------
+    // Fluent configuration (non-consuming builder style)
+    // ------------------------------------------------------------------
+
+    /// Sets the behaviour mixture.
+    pub fn with_mix(mut self, temporal: f64, spatial: f64, noise: f64) -> Self {
+        self.mix = MixWeights {
+            temporal,
+            spatial,
+            noise,
+        };
+        self
+    }
+
+    /// Sets the junction (shared-address) fraction — the prefix-ambiguity
+    /// knob that separates one- from two-address lookup.
+    pub fn with_junctions(mut self, frac: f64, pool: usize) -> Self {
+        self.temporal.junction_frac = frac;
+        self.temporal.junction_pool = pool;
+        self
+    }
+
+    /// Sets the document pool shape.
+    pub fn with_documents(mut self, num_docs: usize, doc_len: usize, skew: f64) -> Self {
+        self.temporal.num_docs = num_docs;
+        self.temporal.doc_len = doc_len;
+        self.temporal.doc_skew = skew;
+        self
+    }
+
+    /// Sets the dependent (pointer-chasing) miss fraction.
+    pub fn with_dependence(mut self, frac: f64) -> Self {
+        self.temporal.dependent_frac = frac;
+        self
+    }
+
+    /// Sets the mean instruction gap between trace events.
+    pub fn with_gap(mut self, gap_mean: f64) -> Self {
+        self.gap_mean = gap_mean;
+        self
+    }
+
+    /// Sets per-replay dataset mutation probability.
+    pub fn with_mutation(mut self, prob: f64) -> Self {
+        self.temporal.mutation_prob = prob;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn named_specs_differ_by_salt() {
+        let a = WorkloadSpec::named("a");
+        let b = WorkloadSpec::named("b");
+        assert_ne!(a.seed_salt, b.seed_salt);
+    }
+
+    #[test]
+    fn segment_dist_sample_bounds() {
+        let dist = SegmentDist::default();
+        let mut rng = SimRng::seed(1);
+        for _ in 0..5000 {
+            let len = dist.sample(&mut rng);
+            assert!(len >= 1);
+        }
+    }
+
+    #[test]
+    fn segment_dist_mean_roughly_matches_paper() {
+        // Average over the default distribution should be in the ballpark of
+        // the paper's 7.6-line Sequitur mean (before interleaving shortens
+        // observed streams slightly).
+        let dist = SegmentDist::default();
+        let mut rng = SimRng::seed(2);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((5.0..12.0).contains(&mean), "mean segment length {mean}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let spec = WorkloadSpec::named("determinism");
+        let a: Vec<_> = spec.generator(7).take(500).collect();
+        let b: Vec<_> = spec.generator(7).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fluent_builders_compose() {
+        let spec = WorkloadSpec::named("custom")
+            .with_mix(0.8, 0.1, 0.1)
+            .with_junctions(0.4, 256)
+            .with_documents(32, 128, 1.5)
+            .with_dependence(0.9)
+            .with_gap(500.0)
+            .with_mutation(0.01);
+        assert_eq!(spec.mix.temporal, 0.8);
+        assert_eq!(spec.temporal.junction_frac, 0.4);
+        assert_eq!(spec.temporal.junction_pool, 256);
+        assert_eq!(spec.temporal.num_docs, 32);
+        assert_eq!(spec.temporal.doc_len, 128);
+        assert_eq!(spec.temporal.dependent_frac, 0.9);
+        assert_eq!(spec.gap_mean, 500.0);
+        assert_eq!(spec.temporal.mutation_prob, 0.01);
+        // And it still generates.
+        assert_eq!(spec.generator(1).take(100).count(), 100);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = WorkloadSpec::named("seeds");
+        let a: Vec<_> = spec.generator(1).take(200).collect();
+        let b: Vec<_> = spec.generator(2).take(200).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! Temporal behaviour: segment replay over the document pool.
+//!
+//! Several traversal *contexts* (concurrent requests) are active at once;
+//! each replays a contiguous segment of a document. The interleaving of
+//! contexts is what a per-core miss stream actually looks like in a server:
+//! temporal streams recur, but chopped and shuffled by concurrency — the
+//! paper's prefetchers must cope with exactly this.
+
+use crate::addr::Pc;
+use crate::event::AccessEvent;
+use crate::rng::SimRng;
+
+use super::document::DocumentPool;
+use super::spec::TemporalParams;
+
+/// Base of the PC region used by temporal loops.
+const TEMPORAL_PC_BASE: u64 = 0x40_0000;
+
+#[derive(Debug, Clone)]
+struct Context {
+    doc: usize,
+    pos: usize,
+    remaining: usize,
+}
+
+/// Generator of temporal (document-replay) accesses.
+#[derive(Debug)]
+pub struct TemporalGen {
+    params: TemporalParams,
+    pool: DocumentPool,
+    contexts: Vec<Context>,
+    active: usize,
+    rng: SimRng,
+}
+
+impl TemporalGen {
+    /// Builds the generator (and its document pool) from `params`.
+    pub fn new(params: &TemporalParams, mut rng: SimRng) -> Self {
+        let pool = DocumentPool::new(params, &mut rng);
+        let mut gen = TemporalGen {
+            params: params.clone(),
+            pool,
+            contexts: Vec::new(),
+            active: 0,
+            rng,
+        };
+        for _ in 0..gen.params.concurrency.max(1) {
+            let ctx = gen.fresh_context();
+            gen.contexts.push(ctx);
+        }
+        gen
+    }
+
+    fn fresh_context(&mut self) -> Context {
+        let u = self.rng.unit();
+        let doc = ((u.powf(self.params.doc_skew.max(1e-6)) * self.pool.len() as f64) as usize)
+            .min(self.pool.len() - 1);
+        let doc_len = self.pool.doc_len(doc);
+        let len = self.params.segment.sample(&mut self.rng).min(doc_len);
+        let start = self.rng.index(doc_len - len + 1);
+        // Dataset churn happens between traversals; applying it at segment
+        // start makes recorded history stale exactly once per replay.
+        self.pool
+            .mutate_segment(doc, start, len, self.params.mutation_prob, &mut self.rng);
+        Context {
+            doc,
+            pos: start,
+            remaining: len,
+        }
+    }
+
+    /// PC of the memory instruction at `(doc, pos)`: documents are bound to
+    /// one of `pc_groups` traversal loops, each with `loop_pcs` memory
+    /// instructions visited round-robin. The same loop serves many
+    /// documents, which is what breaks PC-localized correlation.
+    fn pc_for(&self, doc: usize, pos: usize) -> Pc {
+        let group = doc % self.params.pc_groups.max(1);
+        let slot = pos % self.params.loop_pcs.max(1);
+        Pc::new(TEMPORAL_PC_BASE + (group as u64) * 0x100 + (slot as u64) * 4)
+    }
+
+    /// Emits the next temporal access, advancing or replacing contexts as
+    /// segments end, deviate, or switch.
+    pub fn step(&mut self, top_rng: &mut SimRng) -> AccessEvent {
+        if self.rng.chance(self.params.switch_prob) && self.contexts.len() > 1 {
+            self.active = self.rng.index(self.contexts.len());
+        }
+        if self.contexts[self.active].remaining == 0 || self.rng.chance(self.params.deviate_prob) {
+            self.contexts[self.active] = self.fresh_context();
+        }
+        let (doc, pos) = {
+            let ctx = &self.contexts[self.active];
+            (ctx.doc, ctx.pos)
+        };
+        let line = self.pool.line(doc, pos);
+        let pc = self.pc_for(doc, pos);
+        let dependent = top_rng.chance(self.params.dependent_frac);
+        let ctx = &mut self.contexts[self.active];
+        ctx.pos += 1;
+        ctx.remaining -= 1;
+        let mut ev = AccessEvent::read(pc, line.to_addr());
+        ev.dependent = dependent;
+        ev
+    }
+
+    /// The underlying document pool (for analyses and tests).
+    pub fn pool(&self) -> &DocumentPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn gen(params: TemporalParams) -> TemporalGen {
+        TemporalGen::new(&params, SimRng::seed(42))
+    }
+
+    #[test]
+    fn emits_addresses_from_pool() {
+        let mut g = gen(TemporalParams {
+            num_docs: 4,
+            doc_len: 32,
+            mutation_prob: 0.0,
+            ..TemporalParams::default()
+        });
+        let mut top = SimRng::seed(1);
+        let mut lines = std::collections::HashSet::new();
+        for d in 0..g.pool().len() {
+            for p in 0..g.pool().doc_len(d) {
+                lines.insert(g.pool().line(d, p));
+            }
+        }
+        for _ in 0..500 {
+            let ev = g.step(&mut top);
+            assert!(lines.contains(&ev.line()), "line outside pool");
+        }
+    }
+
+    #[test]
+    fn sequences_repeat_without_mutation() {
+        // With a single context, no deviation and no mutation, consecutive
+        // pairs must recur: the hallmark of temporal correlation.
+        let mut g = gen(TemporalParams {
+            num_docs: 4,
+            doc_len: 64,
+            concurrency: 1,
+            switch_prob: 0.0,
+            deviate_prob: 0.0,
+            mutation_prob: 0.0,
+            junction_frac: 0.0,
+            ..TemporalParams::default()
+        });
+        let mut top = SimRng::seed(9);
+        let trace: Vec<_> = (0..20_000).map(|_| g.step(&mut top).line()).collect();
+        let mut pair_counts: HashMap<(u64, u64), u32> = HashMap::new();
+        for w in trace.windows(2) {
+            *pair_counts.entry((w[0].raw(), w[1].raw())).or_default() += 1;
+        }
+        // Weight by occurrences: segment-boundary pairs are unique noise,
+        // but the bulk of pair *occurrences* must be recurring document
+        // transitions.
+        let repeated_occurrences: u64 = pair_counts
+            .values()
+            .filter(|&&c| c > 1)
+            .map(|&c| u64::from(c))
+            .sum();
+        let frac = repeated_occurrences as f64 / (trace.len() - 1) as f64;
+        assert!(frac > 0.5, "expected repeating pairs, got {frac}");
+    }
+
+    #[test]
+    fn pcs_come_from_loop_bodies() {
+        let params = TemporalParams {
+            loop_pcs: 4,
+            pc_groups: 2,
+            ..TemporalParams::default()
+        };
+        let mut g = gen(params);
+        let mut top = SimRng::seed(5);
+        let mut pcs = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            pcs.insert(g.step(&mut top).pc);
+        }
+        // At most pc_groups * loop_pcs distinct PCs.
+        assert!(pcs.len() <= 8, "expected at most 8 PCs, saw {}", pcs.len());
+        assert!(pcs.len() >= 4, "expected several PCs, saw {}", pcs.len());
+    }
+
+    #[test]
+    fn dependent_fraction_tracks_parameter() {
+        let mut g = gen(TemporalParams {
+            dependent_frac: 0.8,
+            ..TemporalParams::default()
+        });
+        let mut top = SimRng::seed(3);
+        let n = 10_000;
+        let dep = (0..n).filter(|_| g.step(&mut top).dependent).count();
+        let frac = dep as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.05, "dependent fraction {frac}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Beyond-the-paper analyses built on the same substrates:
+//!
+//! * the **extended roster** — every prefetcher in the library, including
+//!   the classics the paper cites as related work (next-line, stride,
+//!   GHB, Markov, SMS), under the paper's conditions;
+//! * **opportunity cross-validation** — the Sequitur grammar coverage
+//!   versus the longest-stream oracle, two independent algorithms that
+//!   should (and do) agree;
+//! * **MLP sensitivity** — how the dependent-miss fraction controls what
+//!   prefetching is worth, the paper's §V-C explanation for Web Search
+//!   and Media Streaming;
+//! * **confidence intervals** — Figure 14 measured over several seeds
+//!   with 95 % confidence half-widths, the paper's SimFlex sampling
+//!   methodology.
+//!
+//! ```sh
+//! cargo run --release --example extended_analyses
+//! ```
+
+use domino_repro::sim::figures::{
+    extended_roster, fig14_confidence, mlp_sensitivity, opportunity_methods, Scale,
+};
+
+fn main() {
+    let scale = Scale {
+        events: 200_000,
+        seed: 42,
+    };
+    for t in extended_roster(&scale) {
+        println!("{t}");
+    }
+    println!("{}", opportunity_methods(&scale));
+    println!("{}", mlp_sensitivity(&scale));
+    println!(
+        "{}",
+        fig14_confidence(
+            &Scale {
+                events: 120_000,
+                seed: 0,
+            },
+            &[1, 2, 3, 4, 5],
+        )
+    );
+    println!(
+        "Reading: GHB's few-thousand-entry on-chip history is far too short for\n\
+         server reuse distances; Markov's megabyte-scale table reaches STMS-like\n\
+         coverage but only one step of lookahead per miss (its classic cost\n\
+         criticism); the two opportunity measures agree within a few points on\n\
+         every workload; and the speedup of temporal prefetching grows with the\n\
+         dependent-miss fraction — why high-MLP workloads gain little despite\n\
+         high coverage (paper §V-C)."
+    );
+}

@@ -1,0 +1,82 @@
+//! Regenerates every table and figure of the paper's evaluation at full
+//! scale and prints them in order. This is the reproduction's main
+//! deliverable; EXPERIMENTS.md records one run of it against the paper's
+//! numbers.
+//!
+//! ```sh
+//! cargo run --release --example figures                     # full scale
+//! cargo run --release --example figures -- 100000           # events/workload
+//! cargo run --release --example figures -- 100000 out_dir   # + SVG & CSV files
+//! ```
+
+use domino_repro::sim::figures::{
+    bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11, fig12,
+    fig13, fig14, fig15, fig16, table1, table2, Scale,
+};
+
+fn main() {
+    let events: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let out_dir: Option<std::path::PathBuf> = std::env::args().nth(2).map(Into::into);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let scale = Scale { events, seed: 42 };
+    eprintln!(
+        "running all figures at {} events per workload...",
+        scale.events
+    );
+
+    println!("{}", table1());
+    println!("{}", table2());
+
+    let save = |name: &str, table: &domino_repro::sim::FigureTable| {
+        if let Some(dir) = &out_dir {
+            let svg = domino_repro::sim::svg::render_bar_chart(table);
+            std::fs::write(dir.join(format!("{name}.svg")), svg).expect("write svg");
+            std::fs::write(dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+        }
+    };
+    let t0 = std::time::Instant::now();
+    macro_rules! show {
+        ($name:literal, $figure:expr) => {{
+            let start = std::time::Instant::now();
+            let result = $figure;
+            eprintln!("  {} done in {:.1}s", $name, start.elapsed().as_secs_f32());
+            result
+        }};
+    }
+    let mut singles: Vec<(&str, domino_repro::sim::FigureTable)> = vec![
+        ("fig01", show!("fig01", fig01(&scale))),
+        ("fig02", show!("fig02", fig02(&scale))),
+        ("fig03", show!("fig03", fig03(&scale))),
+        ("fig04", show!("fig04", fig04(&scale))),
+    ];
+    for (i, t) in show!("fig05", fig05(&scale)).into_iter().enumerate() {
+        singles.push(if i == 0 { ("fig05a", t) } else { ("fig05b", t) });
+    }
+    singles.push(("fig06", show!("fig06", fig06(&scale))));
+    singles.push(("fig09", show!("fig09", fig09(&scale))));
+    singles.push(("fig10", show!("fig10", fig10(&scale))));
+    for (i, t) in show!("fig11", fig11(&scale)).into_iter().enumerate() {
+        singles.push(if i == 0 { ("fig11a", t) } else { ("fig11b", t) });
+    }
+    singles.push(("fig12", show!("fig12", fig12(&scale))));
+    for (i, t) in show!("fig13", fig13(&scale)).into_iter().enumerate() {
+        singles.push(if i == 0 { ("fig13a", t) } else { ("fig13b", t) });
+    }
+    singles.push(("fig14", show!("fig14", fig14(&scale))));
+    singles.push(("fig15", show!("fig15", fig15(&scale))));
+    singles.push(("fig16", show!("fig16", fig16(&scale))));
+    singles.push((
+        "bandwidth",
+        show!("bandwidth (§V-D)", bandwidth_utilization(&scale)),
+    ));
+    for (name, table) in &singles {
+        println!("{table}");
+        save(name, table);
+    }
+    eprintln!("all figures in {:.1}s", t0.elapsed().as_secs_f32());
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run Domino against STMS on one workload and print the
+//! headline metrics of the paper — coverage, overpredictions, stream
+//! length, stream-start timeliness, and speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use domino_repro::sim::{run_coverage, run_timing, System, SystemConfig};
+use domino_repro::trace::workload::catalog;
+
+fn main() {
+    let system = SystemConfig::paper();
+    let spec = catalog::oltp();
+    let events = 300_000;
+    println!("workload: {} ({events} accesses)\n", spec.name);
+
+    let trace: Vec<_> = spec.generator(42).take(events).collect();
+
+    let mut baseline = System::Baseline.build(1);
+    let base_timing = run_timing(&system, trace.clone(), baseline.as_mut());
+
+    println!(
+        "{:<8} {:>9} {:>14} {:>12} {:>12} {:>9}",
+        "system", "coverage", "overpredicts", "stream len", "start trips", "speedup"
+    );
+    for sys in [System::Stms, System::Domino] {
+        let mut p = sys.build(4);
+        let cov = run_coverage(&system, trace.clone(), p.as_mut());
+        let mut p = sys.build(4);
+        let timing = run_timing(&system, trace.clone(), p.as_mut());
+        println!(
+            "{:<8} {:>8.1}% {:>13.1}% {:>12.2} {:>12.2} {:>8.2}x",
+            sys.label(),
+            cov.coverage() * 100.0,
+            cov.overprediction_rate() * 100.0,
+            cov.mean_stream_length(),
+            cov.mean_first_prefetch_trips(),
+            timing.speedup_over(&base_timing),
+        );
+    }
+    println!(
+        "\nDomino opens streams after ~1 metadata round trip where STMS needs 2,\n\
+         and its two-address confirmation picks the right stream at junctions —\n\
+         the paper's two headline mechanisms (Figures 6 and 3)."
+    );
+}

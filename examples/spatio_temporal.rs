@@ -1,0 +1,55 @@
+//! Spatio-temporal prefetching (paper §V-E, Figure 16): VLDP and Domino
+//! capture disjoint miss populations, so stacking them covers more than
+//! either alone.
+//!
+//! ```sh
+//! cargo run --release --example spatio_temporal
+//! ```
+
+use domino_repro::sim::{run_coverage, System, SystemConfig};
+use domino_repro::trace::workload::catalog;
+
+fn main() {
+    let system = SystemConfig::paper();
+    let events = 300_000;
+    println!(
+        "{:<16} {:>8} {:>8} {:>13} {:>10}",
+        "workload", "VLDP", "Domino", "VLDP+Domino", "synergy"
+    );
+    let mut sums = [0.0f64; 3];
+    for spec in catalog::all() {
+        let trace: Vec<_> = spec.generator(42).take(events).collect();
+        let mut row = [0.0f64; 3];
+        for (i, sys) in [System::Vldp, System::Domino, System::VldpPlusDomino]
+            .into_iter()
+            .enumerate()
+        {
+            let mut p = sys.build(4);
+            row[i] = run_coverage(&system, trace.clone(), p.as_mut()).coverage();
+            sums[i] += row[i];
+        }
+        // "Synergy": how much the stack adds over the better component.
+        let synergy = row[2] - row[0].max(row[1]);
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}% {:>12.1}% {:>+9.1}%",
+            spec.name,
+            row[0] * 100.0,
+            row[1] * 100.0,
+            row[2] * 100.0,
+            synergy * 100.0
+        );
+    }
+    let n = catalog::all().len() as f64;
+    println!(
+        "{:<16} {:>7.1}% {:>7.1}% {:>12.1}%",
+        "Average",
+        sums[0] / n * 100.0,
+        sums[1] / n * 100.0,
+        sums[2] / n * 100.0
+    );
+    println!(
+        "\nVLDP prefetches delta patterns on cold pages that temporal history has\n\
+         never seen; Domino replays recorded pointer chases VLDP cannot guess.\n\
+         The stack trains Domino only on the misses VLDP leaves behind (§V-E)."
+    );
+}

@@ -1,0 +1,44 @@
+//! # domino-repro
+//!
+//! A full reproduction of *Domino Temporal Data Prefetcher*
+//! (Bakhshalipour, Lotfi-Kamran & Sarbazi-Azad, HPCA 2018) as a Rust
+//! workspace: the Domino prefetcher itself, every baseline the paper
+//! compares against, the memory-hierarchy and workload substrates, the
+//! Sequitur opportunity analysis, and a harness regenerating every table
+//! and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`domino`] — the paper's contribution: the Domino prefetcher, its
+//!   Enhanced Index Table, and the naive two-index strawman;
+//! * [`prefetchers`] — STMS, Digram, ISB, VLDP, next-line, stride, the
+//!   lookup-depth analyzer, and spatio-temporal stacking;
+//! * [`mem`] — caches, prefetch buffer, MSHRs, DRAM, history table, and
+//!   the `Prefetcher` interface;
+//! * [`trace`] — the nine synthetic server workload models (Table II);
+//! * [`sequitur`] — grammar inference and the opportunity oracle;
+//! * [`sim`] — the evaluation engine, timing model, and figure runners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use domino_repro::sim::{run_coverage, System, SystemConfig};
+//! use domino_repro::trace::workload::catalog;
+//!
+//! let system = SystemConfig::paper();
+//! let trace: Vec<_> = catalog::oltp().generator(42).take(50_000).collect();
+//! let mut prefetcher = System::Domino.build(4);
+//! let report = run_coverage(&system, trace, prefetcher.as_mut());
+//! println!("Domino covers {:.1}% of OLTP misses", report.coverage() * 100.0);
+//! # assert!(report.coverage() > 0.0);
+//! ```
+//!
+//! See `examples/` for full scenarios and `examples/figures.rs` for the
+//! complete paper reproduction.
+
+pub use domino;
+pub use domino_mem as mem;
+pub use domino_prefetchers as prefetchers;
+pub use domino_sequitur as sequitur;
+pub use domino_sim as sim;
+pub use domino_trace as trace;

@@ -1,0 +1,227 @@
+//! End-to-end checks of the paper's qualitative claims on the synthetic
+//! workloads, at a scale small enough for CI. These are the invariants
+//! EXPERIMENTS.md verifies at full scale; here they guard regressions.
+
+use domino_repro::sequitur::oracle::{oracle_replay, OracleConfig};
+use domino_repro::sim::figures::Scale;
+use domino_repro::sim::{baseline_miss_sequence, run_coverage, run_timing, System, SystemConfig};
+use domino_repro::trace::workload::catalog;
+use domino_repro::trace::workload::WorkloadSpec;
+
+const SCALE: Scale = Scale {
+    events: 120_000,
+    seed: 42,
+};
+
+fn coverage(spec: &WorkloadSpec, sys: System, degree: usize) -> f64 {
+    let system = SystemConfig::paper();
+    let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+    let mut p = sys.build(degree);
+    run_coverage(&system, trace, p.as_mut()).coverage()
+}
+
+/// Claim (§V-B, Figure 11): Domino has the highest coverage of the
+/// temporal prefetchers, and STMS beats Digram.
+#[test]
+fn domino_beats_stms_beats_digram_on_temporal_workloads() {
+    for spec in [
+        catalog::oltp(),
+        catalog::web_search(),
+        catalog::web_apache(),
+    ] {
+        let domino = coverage(&spec, System::Domino, 1);
+        let stms = coverage(&spec, System::Stms, 1);
+        let digram = coverage(&spec, System::Digram, 1);
+        assert!(
+            domino > stms,
+            "{}: Domino {domino:.3} must beat STMS {stms:.3}",
+            spec.name
+        );
+        assert!(
+            stms > digram,
+            "{}: STMS {stms:.3} must beat Digram {digram:.3}",
+            spec.name
+        );
+    }
+}
+
+/// Claim (Figure 1): a large gap separates STMS from the opportunity.
+#[test]
+fn stms_leaves_much_of_the_opportunity_uncovered() {
+    let system = SystemConfig::paper();
+    let spec = catalog::oltp();
+    let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+    let seq = baseline_miss_sequence(&system, trace.clone());
+    let opp = oracle_replay(&seq, &OracleConfig::default()).coverage();
+    let stms = coverage(&spec, System::Stms, 1);
+    assert!(
+        stms < 0.8 * opp,
+        "STMS {stms:.3} should fall well short of opportunity {opp:.3}"
+    );
+}
+
+/// Claim (§V-B): PC localization (ISB) underperforms global-history
+/// temporal prefetching on server workloads.
+#[test]
+fn isb_trails_global_history_prefetchers() {
+    for spec in [catalog::oltp(), catalog::data_serving()] {
+        let isb = coverage(&spec, System::Isb, 1);
+        let stms = coverage(&spec, System::Stms, 1);
+        assert!(
+            isb < stms,
+            "{}: ISB {isb:.3} must trail STMS {stms:.3}",
+            spec.name
+        );
+    }
+}
+
+/// Claim (Figure 2): Sequitur-oracle streams are much longer than
+/// STMS streams.
+#[test]
+fn oracle_streams_are_longer_than_stms_streams() {
+    let system = SystemConfig::paper();
+    let spec = catalog::web_search();
+    let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+    let seq = baseline_miss_sequence(&system, trace.clone());
+    let oracle = oracle_replay(&seq, &OracleConfig::default());
+    let mut p = System::Stms.build(1);
+    let stms = run_coverage(&system, trace, p.as_mut());
+    assert!(
+        oracle.mean_stream_length() > 1.4 * stms.mean_stream_length(),
+        "oracle {:.2} vs STMS {:.2}",
+        oracle.mean_stream_length(),
+        stms.mean_stream_length()
+    );
+}
+
+/// Claim (Figure 6): Domino opens streams with fewer serial metadata
+/// round trips than STMS.
+#[test]
+fn domino_opens_streams_faster_than_stms() {
+    let system = SystemConfig::paper();
+    let spec = catalog::oltp();
+    let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+    let mut stms = System::Stms.build(4);
+    let s = run_coverage(&system, trace.clone(), stms.as_mut());
+    let mut dom = System::Domino.build(4);
+    let d = run_coverage(&system, trace, dom.as_mut());
+    assert!(
+        d.mean_first_prefetch_trips() < s.mean_first_prefetch_trips(),
+        "Domino {:.2} trips vs STMS {:.2}",
+        d.mean_first_prefetch_trips(),
+        s.mean_first_prefetch_trips()
+    );
+}
+
+/// Claim (Figure 13): at degree 4, Domino's overpredictions are well
+/// below STMS's, near Digram's.
+#[test]
+fn domino_overpredicts_less_than_stms_at_degree_four() {
+    let system = SystemConfig::paper();
+    let spec = catalog::oltp();
+    let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+    let rate = |sys: System| {
+        let mut p = sys.build(4);
+        run_coverage(&system, trace.clone(), p.as_mut()).overprediction_rate()
+    };
+    let stms = rate(System::Stms);
+    let digram = rate(System::Digram);
+    let domino = rate(System::Domino);
+    assert!(
+        domino < stms,
+        "Domino {domino:.3} must overpredict less than STMS {stms:.3}"
+    );
+    assert!(
+        digram <= domino,
+        "Digram {digram:.3} should be the most conservative (≤ {domino:.3})"
+    );
+}
+
+/// Claim (Figure 14): Domino delivers the best speedup of the temporal
+/// prefetchers under the timing model.
+#[test]
+fn domino_has_best_speedup_on_oltp() {
+    let system = SystemConfig::paper();
+    let spec = catalog::oltp();
+    let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+    let mut base = System::Baseline.build(1);
+    let baseline = run_timing(&system, trace.clone(), base.as_mut());
+    let speedup = |sys: System| {
+        let mut p = sys.build(4);
+        run_timing(&system, trace.clone(), p.as_mut()).speedup_over(&baseline)
+    };
+    let domino = speedup(System::Domino);
+    let stms = speedup(System::Stms);
+    assert!(domino > 1.0, "Domino must speed up OLTP: {domino:.3}");
+    assert!(domino > stms, "Domino {domino:.3} must beat STMS {stms:.3}");
+}
+
+/// Claim (Figure 16): the spatio-temporal stack covers more than either
+/// component on workloads with both behaviours.
+#[test]
+fn spatio_temporal_stack_beats_components() {
+    for spec in [catalog::data_serving(), catalog::mapreduce_c()] {
+        let vldp = coverage(&spec, System::Vldp, 4);
+        let domino = coverage(&spec, System::Domino, 4);
+        let both = coverage(&spec, System::VldpPlusDomino, 4);
+        assert!(
+            both > vldp.max(domino),
+            "{}: stack {both:.3} must beat VLDP {vldp:.3} and Domino {domino:.3}",
+            spec.name
+        );
+    }
+}
+
+/// The two independent opportunity measures (Sequitur grammar coverage
+/// and longest-stream oracle replay) must agree on ordering and be close
+/// in magnitude — they are independent implementations of the same
+/// concept.
+#[test]
+fn opportunity_measures_cross_validate() {
+    use domino_repro::sequitur::{analysis, Sequitur};
+    let system = SystemConfig::paper();
+    let mut pairs = Vec::new();
+    for spec in [
+        catalog::oltp(),
+        catalog::sat_solver(),
+        catalog::web_search(),
+    ] {
+        let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
+        let seq = baseline_miss_sequence(&system, trace);
+        let grammar = Sequitur::from_sequence(seq.iter().copied().take(60_000));
+        let g = analysis::grammar_coverage(&grammar);
+        let o = oracle_replay(&seq, &OracleConfig::default()).coverage();
+        assert!(
+            (g - o).abs() < 0.12,
+            "{}: grammar {g:.3} vs oracle {o:.3} diverge",
+            spec.name
+        );
+        pairs.push((spec.name.clone(), g, o));
+    }
+    // Ordering agreement: OLTP/WebSearch > SAT on both measures.
+    let by = |name: &str| pairs.iter().find(|(n, _, _)| n == name).unwrap().clone();
+    let (_, g_sat, o_sat) = by("SAT Solver");
+    for n in ["OLTP", "Web Search"] {
+        let (_, g, o) = by(n);
+        assert!(g > g_sat && o > o_sat, "{n} must beat SAT on both measures");
+    }
+}
+
+/// Claim (§V-C): the SAT Solver's on-the-fly dataset defeats everyone.
+#[test]
+fn sat_solver_is_hard_for_all_prefetchers() {
+    let sat = catalog::sat_solver();
+    for sys in [System::Stms, System::Digram, System::Domino] {
+        let c = coverage(&sat, sys, 1);
+        assert!(
+            c < 0.25,
+            "{}: {c:.3} should stay low on SAT Solver",
+            sys.label()
+        );
+    }
+    // And it is the hardest workload for Domino.
+    let sat_cov = coverage(&sat, System::Domino, 1);
+    for spec in [catalog::oltp(), catalog::web_search()] {
+        assert!(coverage(&spec, System::Domino, 1) > sat_cov);
+    }
+}
