@@ -2,12 +2,11 @@
 //! bench prints the metric being ablated (coverage / traffic) before
 //! timing, so `cargo bench` doubles as an ablation report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use domino::{Domino, DominoConfig, EitConfig, NaiveDomino};
+use domino_bench::Harness;
 use domino_sim::{run_coverage, SystemConfig};
 use domino_trace::workload::catalog;
 use std::hint::black_box;
-use std::time::Duration;
 
 const EVENTS: usize = 40_000;
 
@@ -15,17 +14,17 @@ fn trace() -> Vec<domino_trace::event::AccessEvent> {
     catalog::oltp().generator(42).take(EVENTS).collect()
 }
 
-fn run(cfg: DominoConfig) -> domino_sim::CoverageReport {
+fn run(
+    cfg: DominoConfig,
+    trace: &[domino_trace::event::AccessEvent],
+) -> domino_sim::CoverageReport {
     let system = SystemConfig::paper();
     let mut p = Domino::new(cfg);
-    run_coverage(&system, trace(), &mut p)
+    run_coverage(&system, trace, &mut p)
 }
 
 /// Entries per super-entry (paper: 3).
-fn ablation_eit_entries(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_eit_entries");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
+fn ablation_eit_entries(h: &mut Harness, trace: &[domino_trace::event::AccessEvent]) {
     for entries in [1usize, 2, 3, 6] {
         let cfg = DominoConfig {
             eit: EitConfig {
@@ -34,24 +33,22 @@ fn ablation_eit_entries(c: &mut Criterion) {
             },
             ..DominoConfig::default()
         };
-        let r = run(cfg);
+        let r = run(cfg, trace);
         println!(
             "eit entries/super={entries}: coverage {:.1}%, overpred {:.1}%",
             r.coverage() * 100.0,
             r.overprediction_rate() * 100.0
         );
-        g.bench_function(format!("entries_{entries}"), |b| {
-            b.iter(|| black_box(run(cfg)))
-        });
+        h.bench(
+            &format!("eit_entries/entries_{entries}"),
+            EVENTS as u64,
+            || black_box(run(cfg, trace)),
+        );
     }
-    g.finish();
 }
 
 /// Metadata update sampling probability (paper: 12.5 %).
-fn ablation_sampling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_sampling");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
+fn ablation_sampling(h: &mut Harness, trace: &[domino_trace::event::AccessEvent]) {
     for (label, p) in [
         ("3pct", 0.03125),
         ("12.5pct", 0.125),
@@ -62,67 +59,59 @@ fn ablation_sampling(c: &mut Criterion) {
             sampling_probability: p,
             ..DominoConfig::default()
         };
-        let r = run(cfg);
+        let r = run(cfg, trace);
         println!(
             "sampling={label}: coverage {:.1}%, metadata writes {} blocks",
             r.coverage() * 100.0,
             r.meta_write_blocks
         );
-        g.bench_function(label, |b| b.iter(|| black_box(run(cfg))));
+        h.bench(&format!("sampling/{label}"), EVENTS as u64, || {
+            black_box(run(cfg, trace))
+        });
     }
-    g.finish();
 }
 
 /// Number of active streams (paper: 4).
-fn ablation_streams(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_streams");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
+fn ablation_streams(h: &mut Harness, trace: &[domino_trace::event::AccessEvent]) {
     for streams in [1usize, 2, 4, 8] {
         let cfg = DominoConfig {
             max_streams: streams,
             ..DominoConfig::default()
         };
-        let r = run(cfg);
+        let r = run(cfg, trace);
         println!("streams={streams}: coverage {:.1}%", r.coverage() * 100.0);
-        g.bench_function(format!("streams_{streams}"), |b| {
-            b.iter(|| black_box(run(cfg)))
+        h.bench(&format!("streams/streams_{streams}"), EVENTS as u64, || {
+            black_box(run(cfg, trace))
         });
     }
-    g.finish();
 }
 
 /// Stream-end detection on/off.
-fn ablation_stream_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_stream_end");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
+fn ablation_stream_end(h: &mut Harness, trace: &[domino_trace::event::AccessEvent]) {
     for (label, on) in [("on", true), ("off", false)] {
         let cfg = DominoConfig {
             stream_end_detection: on,
             ..DominoConfig::default()
         };
-        let r = run(cfg);
+        let r = run(cfg, trace);
         println!(
             "stream_end={label}: coverage {:.1}%, overpred {:.1}%",
             r.coverage() * 100.0,
             r.overprediction_rate() * 100.0
         );
-        g.bench_function(label, |b| b.iter(|| black_box(run(cfg))));
+        h.bench(&format!("stream_end/{label}"), EVENTS as u64, || {
+            black_box(run(cfg, trace))
+        });
     }
-    g.finish();
 }
 
 /// Practical EIT design versus the naive two-index-table strawman
 /// (paper §III-A): same lookup semantics, different metadata cost.
-fn ablation_lookup_design(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_lookup_design");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
+fn ablation_lookup_design(h: &mut Harness, trace: &[domino_trace::event::AccessEvent]) {
     let system = SystemConfig::paper();
-    let practical = run(DominoConfig::default());
+    let practical = run(DominoConfig::default(), trace);
     let mut naive = NaiveDomino::new(DominoConfig::default());
-    let naive_r = run_coverage(&system, trace(), &mut naive);
+    let naive_r = run_coverage(&system, trace, &mut naive);
     println!(
         "practical EIT : coverage {:.1}%, metadata reads {}",
         practical.coverage() * 100.0,
@@ -133,24 +122,18 @@ fn ablation_lookup_design(c: &mut Criterion) {
         naive_r.coverage() * 100.0,
         naive_r.meta_read_blocks
     );
-    g.bench_function("practical", |b| {
-        b.iter(|| black_box(run(DominoConfig::default())))
+    h.bench("lookup_design/practical", EVENTS as u64, || {
+        black_box(run(DominoConfig::default(), trace))
     });
-    g.bench_function("naive_two_it", |b| {
-        b.iter(|| {
-            let mut p = NaiveDomino::new(DominoConfig::default());
-            black_box(run_coverage(&system, trace(), &mut p))
-        })
+    h.bench("lookup_design/naive_two_it", EVENTS as u64, || {
+        let mut p = NaiveDomino::new(DominoConfig::default());
+        black_box(run_coverage(&system, trace, &mut p))
     });
-    g.finish();
 }
 
 /// Stream replacement policy: the paper's round-robin versus LRU.
-fn ablation_stream_replacement(c: &mut Criterion) {
+fn ablation_stream_replacement(h: &mut Harness, trace: &[domino_trace::event::AccessEvent]) {
     use domino_mem::streams::ReplacePolicy;
-    let mut g = c.benchmark_group("ablation_stream_replacement");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
     for (label, policy) in [
         ("round_robin", ReplacePolicy::RoundRobin),
         ("lru", ReplacePolicy::Lru),
@@ -159,33 +142,33 @@ fn ablation_stream_replacement(c: &mut Criterion) {
             stream_replacement: policy,
             ..DominoConfig::default()
         };
-        let r = run(cfg);
+        let r = run(cfg, trace);
         println!(
             "stream_replacement={label}: coverage {:.1}%, overpred {:.1}%",
             r.coverage() * 100.0,
             r.overprediction_rate() * 100.0
         );
-        g.bench_function(label, |b| b.iter(|| black_box(run(cfg))));
+        h.bench(
+            &format!("stream_replacement/{label}"),
+            EVENTS as u64,
+            || black_box(run(cfg, trace)),
+        );
     }
-    g.finish();
 }
 
 /// Feedback throttling (extension): fixed-degree Domino versus the
 /// accuracy-adaptive wrapper on an overprediction-prone workload.
-fn ablation_adaptive(c: &mut Criterion) {
+fn ablation_adaptive(h: &mut Harness) {
     use domino_prefetchers::AdaptiveDegree;
-    let mut g = c.benchmark_group("ablation_adaptive");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(5));
     let system = SystemConfig::paper();
     let sat: Vec<_> = catalog::sat_solver().generator(42).take(EVENTS).collect();
     let fixed = {
         let mut p = Domino::new(DominoConfig::default());
-        run_coverage(&system, sat.clone(), &mut p)
+        run_coverage(&system, &sat, &mut p)
     };
     let adaptive = {
         let mut p = AdaptiveDegree::new(Domino::new(DominoConfig::default()));
-        run_coverage(&system, sat.clone(), &mut p)
+        run_coverage(&system, &sat, &mut p)
     };
     println!(
         "fixed Domino   : coverage {:.1}%, overpred {:.1}%",
@@ -197,29 +180,24 @@ fn ablation_adaptive(c: &mut Criterion) {
         adaptive.coverage() * 100.0,
         adaptive.overprediction_rate() * 100.0
     );
-    g.bench_function("fixed", |b| {
-        b.iter(|| {
-            let mut p = Domino::new(DominoConfig::default());
-            black_box(run_coverage(&system, sat.clone(), &mut p))
-        })
+    h.bench("adaptive/fixed", EVENTS as u64, || {
+        let mut p = Domino::new(DominoConfig::default());
+        black_box(run_coverage(&system, &sat, &mut p))
     });
-    g.bench_function("adaptive", |b| {
-        b.iter(|| {
-            let mut p = AdaptiveDegree::new(Domino::new(DominoConfig::default()));
-            black_box(run_coverage(&system, sat.clone(), &mut p))
-        })
+    h.bench("adaptive/adaptive", EVENTS as u64, || {
+        let mut p = AdaptiveDegree::new(Domino::new(DominoConfig::default()));
+        black_box(run_coverage(&system, &sat, &mut p))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_eit_entries,
-    ablation_sampling,
-    ablation_streams,
-    ablation_stream_end,
-    ablation_stream_replacement,
-    ablation_adaptive,
-    ablation_lookup_design
-);
-criterion_main!(benches);
+fn main() {
+    let trace = trace();
+    let mut h = Harness::new("ablations");
+    ablation_eit_entries(&mut h, &trace);
+    ablation_sampling(&mut h, &trace);
+    ablation_streams(&mut h, &trace);
+    ablation_stream_end(&mut h, &trace);
+    ablation_stream_replacement(&mut h, &trace);
+    ablation_adaptive(&mut h);
+    ablation_lookup_design(&mut h, &trace);
+}

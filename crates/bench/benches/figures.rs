@@ -1,9 +1,9 @@
-//! One Criterion bench per paper table/figure: each runs the figure's
-//! full pipeline (workload generation → L1 filter → prefetchers →
-//! metrics) at reduced scale, so `cargo bench` both regenerates every
-//! figure's machinery and tracks the harness's performance over time.
+//! One benchmark per paper table/figure: each runs the figure's full
+//! pipeline (workload generation → L1 filter → prefetchers → metrics)
+//! at reduced scale, so `cargo bench` both regenerates every figure's
+//! machinery and tracks the harness's performance over time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use domino_bench::Harness;
 use domino_sim::figures::{
     fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11, fig12, fig13, fig14, fig15,
     fig16, Scale,
@@ -18,53 +18,27 @@ fn bench_scale() -> Scale {
     }
 }
 
-fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
-    g
-}
-
-fn figures(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
-    let mut g = configure(c);
-    g.bench_function("fig01_coverage_vs_opportunity", |b| {
-        b.iter(|| black_box(fig01(&scale)))
+    let mut h = Harness::new("figures")
+        .warmup(Duration::from_millis(500))
+        .budget(Duration::from_secs(3));
+    h.bench("fig01_coverage_vs_opportunity", 1, || {
+        black_box(fig01(&scale))
     });
-    g.bench_function("fig02_stream_lengths", |b| {
-        b.iter(|| black_box(fig02(&scale)))
+    h.bench("fig02_stream_lengths", 1, || black_box(fig02(&scale)));
+    h.bench("fig03_lookup_accuracy", 1, || black_box(fig03(&scale)));
+    h.bench("fig04_lookup_match_rate", 1, || black_box(fig04(&scale)));
+    h.bench("fig05_multi_depth", 1, || black_box(fig05(&scale)));
+    h.bench("fig06_stream_start_timeliness", 1, || {
+        black_box(fig06(&scale))
     });
-    g.bench_function("fig03_lookup_accuracy", |b| {
-        b.iter(|| black_box(fig03(&scale)))
-    });
-    g.bench_function("fig04_lookup_match_rate", |b| {
-        b.iter(|| black_box(fig04(&scale)))
-    });
-    g.bench_function("fig05_multi_depth", |b| b.iter(|| black_box(fig05(&scale))));
-    g.bench_function("fig06_stream_start_timeliness", |b| {
-        b.iter(|| black_box(fig06(&scale)))
-    });
-    g.bench_function("fig09_ht_sweep", |b| b.iter(|| black_box(fig09(&scale))));
-    g.bench_function("fig10_eit_sweep", |b| b.iter(|| black_box(fig10(&scale))));
-    g.bench_function("fig11_roster_degree1", |b| {
-        b.iter(|| black_box(fig11(&scale)))
-    });
-    g.bench_function("fig12_stream_histogram", |b| {
-        b.iter(|| black_box(fig12(&scale)))
-    });
-    g.bench_function("fig13_roster_degree4", |b| {
-        b.iter(|| black_box(fig13(&scale)))
-    });
-    g.bench_function("fig14_speedups", |b| b.iter(|| black_box(fig14(&scale))));
-    g.bench_function("fig15_traffic_overhead", |b| {
-        b.iter(|| black_box(fig15(&scale)))
-    });
-    g.bench_function("fig16_spatio_temporal", |b| {
-        b.iter(|| black_box(fig16(&scale)))
-    });
-    g.finish();
+    h.bench("fig09_ht_sweep", 1, || black_box(fig09(&scale)));
+    h.bench("fig10_eit_sweep", 1, || black_box(fig10(&scale)));
+    h.bench("fig11_roster_degree1", 1, || black_box(fig11(&scale)));
+    h.bench("fig12_stream_histogram", 1, || black_box(fig12(&scale)));
+    h.bench("fig13_roster_degree4", 1, || black_box(fig13(&scale)));
+    h.bench("fig14_speedups", 1, || black_box(fig14(&scale)));
+    h.bench("fig15_traffic_overhead", 1, || black_box(fig15(&scale)));
+    h.bench("fig16_spatio_temporal", 1, || black_box(fig16(&scale)));
 }
-
-criterion_group!(benches, figures);
-criterion_main!(benches);

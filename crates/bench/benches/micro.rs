@@ -1,18 +1,20 @@
 //! Microbenchmarks of the substrates: per-event prefetcher costs, EIT
-//! operations, Sequitur throughput, workload generation, and the cache
-//! model — the hot paths of the whole reproduction.
+//! operations, hasher comparison, Sequitur throughput, workload
+//! generation, and the cache model — the hot paths of the whole
+//! reproduction.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use domino::{Domino, DominoConfig, Eit, EitConfig};
+use domino_bench::Harness;
 use domino_mem::cache::{CacheConfig, SetAssocCache};
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_prefetchers::{Stms, TemporalConfig};
 use domino_sequitur::oracle::{oracle_replay, OracleConfig};
 use domino_sequitur::Sequitur;
 use domino_trace::addr::{LineAddr, Pc};
+use domino_trace::hash::FxHashMap;
 use domino_trace::workload::catalog;
+use std::collections::HashMap;
 use std::hint::black_box;
-use std::time::Duration;
 
 const N: usize = 20_000;
 
@@ -21,126 +23,125 @@ fn miss_lines() -> Vec<u64> {
     spec.generator(42).take(N).map(|e| e.line().raw()).collect()
 }
 
-fn group<'a>(
-    c: &'a mut Criterion,
-    name: &str,
-    items: u64,
-) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name.to_string());
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(5));
-    g.warm_up_time(Duration::from_secs(1));
-    g.throughput(Throughput::Elements(items));
-    g
-}
-
-fn workload_generation(c: &mut Criterion) {
-    let mut g = group(c, "micro/workload_generation", N as u64);
-    g.bench_function("oltp_events", |b| {
-        b.iter(|| {
-            let spec = catalog::oltp();
-            black_box(spec.generator(42).take(N).count())
-        })
+fn workload_generation(h: &mut Harness) {
+    h.bench("workload_generation/oltp_events", N as u64, || {
+        let spec = catalog::oltp();
+        black_box(spec.generator(42).take(N).count())
     });
-    g.finish();
 }
 
-fn cache_model(c: &mut Criterion) {
+fn cache_model(h: &mut Harness) {
     let lines = miss_lines();
-    let mut g = group(c, "micro/cache", lines.len() as u64);
-    g.bench_function("l1_access_insert", |b| {
-        b.iter(|| {
-            let mut l1 = SetAssocCache::new(CacheConfig::l1d());
-            for &l in &lines {
-                let line = LineAddr::new(l);
-                if !l1.access(line) {
-                    l1.insert(line);
-                }
+    let n = lines.len() as u64;
+    h.bench("cache/l1_access_insert", n, || {
+        let mut l1 = SetAssocCache::new(CacheConfig::l1d());
+        for &l in &lines {
+            let line = LineAddr::new(l);
+            if !l1.access(line) {
+                l1.insert(line);
             }
-            black_box(l1.len())
-        })
+        }
+        black_box(l1.len())
     });
-    g.finish();
 }
 
-fn prefetcher_event_throughput(c: &mut Criterion) {
+fn prefetcher_event_throughput(h: &mut Harness) {
     let lines = miss_lines();
-    let mut g = group(c, "micro/prefetcher_events", lines.len() as u64);
-    g.bench_function("stms", |b| {
-        b.iter(|| {
-            let mut p = Stms::new(TemporalConfig::default());
-            let mut sink = CollectSink::new();
-            for &l in &lines {
-                sink.clear();
-                p.on_trigger(&TriggerEvent::miss(Pc::new(0), LineAddr::new(l)), &mut sink);
-            }
-            black_box(sink.requests.len())
-        })
+    let n = lines.len() as u64;
+    h.bench("prefetcher_events/stms", n, || {
+        let mut p = Stms::new(TemporalConfig::default());
+        let mut sink = CollectSink::new();
+        for &l in &lines {
+            sink.clear();
+            p.on_trigger(&TriggerEvent::miss(Pc::new(0), LineAddr::new(l)), &mut sink);
+        }
+        black_box(sink.requests.len())
     });
-    g.bench_function("domino", |b| {
-        b.iter(|| {
-            let mut p = Domino::new(DominoConfig {
-                eit: EitConfig {
-                    rows: 1 << 16,
-                    ..EitConfig::default()
-                },
-                ht_entries: 1 << 20,
-                ..DominoConfig::default()
-            });
-            let mut sink = CollectSink::new();
-            for &l in &lines {
-                sink.clear();
-                p.on_trigger(&TriggerEvent::miss(Pc::new(0), LineAddr::new(l)), &mut sink);
-            }
-            black_box(sink.requests.len())
-        })
-    });
-    g.finish();
-}
-
-fn eit_operations(c: &mut Criterion) {
-    let lines = miss_lines();
-    let mut g = group(c, "micro/eit", lines.len() as u64);
-    g.bench_function("update_lookup", |b| {
-        b.iter(|| {
-            let mut eit = Eit::new(EitConfig {
-                rows: 1 << 14,
+    h.bench("prefetcher_events/domino", n, || {
+        let mut p = Domino::new(DominoConfig {
+            eit: EitConfig {
+                rows: 1 << 16,
                 ..EitConfig::default()
-            });
-            let mut hits = 0u64;
-            for w in lines.windows(2) {
-                eit.update(LineAddr::new(w[0]), LineAddr::new(w[1]), 0);
-                if eit.lookup(LineAddr::new(w[1])).is_some() {
-                    hits += 1;
-                }
+            },
+            ht_entries: 1 << 20,
+            ..DominoConfig::default()
+        });
+        let mut sink = CollectSink::new();
+        for &l in &lines {
+            sink.clear();
+            p.on_trigger(&TriggerEvent::miss(Pc::new(0), LineAddr::new(l)), &mut sink);
+        }
+        black_box(sink.requests.len())
+    });
+}
+
+fn eit_operations(h: &mut Harness) {
+    let lines = miss_lines();
+    let n = lines.len() as u64;
+    h.bench("eit/update_lookup", n, || {
+        let mut eit = Eit::new(EitConfig {
+            rows: 1 << 14,
+            ..EitConfig::default()
+        });
+        let mut hits = 0u64;
+        for w in lines.windows(2) {
+            eit.update(LineAddr::new(w[0]), LineAddr::new(w[1]), 0);
+            if eit.lookup(LineAddr::new(w[1])).is_some() {
+                hits += 1;
             }
-            black_box(hits)
-        })
+        }
+        black_box(hits)
     });
-    g.finish();
 }
 
-fn sequitur_throughput(c: &mut Criterion) {
+/// Head-to-head: std SipHash map vs the FxHash map now used on the EIT
+/// lookup path, on the exact access pattern the EIT sees (update the
+/// predecessor's entry, probe the successor).
+fn hasher_comparison(h: &mut Harness) {
+    let lines = miss_lines();
+    let n = lines.len() as u64;
+    h.bench("hasher/siphash_map_update_lookup", n, || {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let mut hits = 0u64;
+        for w in lines.windows(2) {
+            *m.entry(w[0]).or_insert(0) = w[1];
+            if m.contains_key(&w[1]) {
+                hits += 1;
+            }
+        }
+        black_box(hits)
+    });
+    h.bench("hasher/fxhash_map_update_lookup", n, || {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut hits = 0u64;
+        for w in lines.windows(2) {
+            *m.entry(w[0]).or_insert(0) = w[1];
+            if m.contains_key(&w[1]) {
+                hits += 1;
+            }
+        }
+        black_box(hits)
+    });
+}
+
+fn sequitur_throughput(h: &mut Harness) {
     let lines: Vec<u64> = miss_lines().into_iter().take(6_000).collect();
-    let mut g = group(c, "micro/sequitur", lines.len() as u64);
-    g.bench_function("grammar_build", |b| {
-        b.iter(|| {
-            let gr = Sequitur::from_sequence(lines.iter().copied());
-            black_box(gr.rule_count())
-        })
+    let n = lines.len() as u64;
+    h.bench("sequitur/grammar_build", n, || {
+        let gr = Sequitur::from_sequence(lines.iter().copied());
+        black_box(gr.rule_count())
     });
-    g.bench_function("oracle_replay", |b| {
-        b.iter(|| black_box(oracle_replay(&lines, &OracleConfig::default()).covered))
+    h.bench("sequitur/oracle_replay", n, || {
+        black_box(oracle_replay(&lines, &OracleConfig::default()).covered)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    workload_generation,
-    cache_model,
-    prefetcher_event_throughput,
-    eit_operations,
-    sequitur_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("micro");
+    workload_generation(&mut h);
+    cache_model(&mut h);
+    prefetcher_event_throughput(&mut h);
+    eit_operations(&mut h);
+    hasher_comparison(&mut h);
+    sequitur_throughput(&mut h);
+}

@@ -1,1 +1,146 @@
-//! Benchmark-only crate: see the `benches/` directory (figures, ablations, micro).
+//! Dependency-free benchmark harness.
+//!
+//! A minimal stand-in for criterion that works in offline build
+//! environments: each benchmark runs a warm-up period, then as many
+//! iterations as fit in a fixed time budget, and reports mean wall-clock
+//! per iteration plus element throughput. Use from a `harness = false`
+//! bench target:
+//!
+//! ```no_run
+//! use domino_bench::Harness;
+//! let mut h = Harness::new("micro");
+//! h.bench("sum", 1_000, || (0u64..1_000).sum::<u64>());
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group: shared warm-up and measurement budget, aligned
+/// console output.
+pub struct Harness {
+    group: String,
+    warmup: Duration,
+    budget: Duration,
+    /// Collected (name, mean seconds per iter, elements per second).
+    pub results: Vec<BenchResult>,
+}
+
+/// Outcome of a single benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u64,
+    pub mean_secs: f64,
+    pub elems_per_sec: f64,
+}
+
+impl Harness {
+    pub fn new(group: &str) -> Self {
+        println!("== {group} ==");
+        Harness {
+            group: group.to_string(),
+            warmup: Duration::from_millis(300),
+            budget: Duration::from_secs(2),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark warm-up period.
+    pub fn warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn budget(mut self, d: Duration) -> Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs `f` repeatedly for the time budget and prints mean latency
+    /// and throughput (`items` elements processed per call).
+    pub fn bench<T>(&mut self, name: &str, items: u64, mut f: impl FnMut() -> T) {
+        // Warm-up: at least one call, then until the warm-up clock expires.
+        let start = Instant::now();
+        black_box(f());
+        while start.elapsed() < self.warmup {
+            black_box(f());
+        }
+
+        let mut iters = 0u64;
+        let measure = Instant::now();
+        while measure.elapsed() < self.budget {
+            black_box(f());
+            iters += 1;
+        }
+        let total = measure.elapsed().as_secs_f64();
+        let mean = total / iters as f64;
+        let throughput = items as f64 * iters as f64 / total;
+        println!(
+            "{:<44} {:>12}  {:>14}/s  ({iters} iters)",
+            format!("{}/{}", self.group, name),
+            format_time(mean),
+            format_count(throughput),
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters,
+            mean_secs: mean,
+            elems_per_sec: throughput,
+        });
+    }
+}
+
+/// Human-readable duration (s / ms / µs / ns).
+pub fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Human-readable count (G / M / k).
+pub fn format_count(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.2} G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2} M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.2} k", n / 1e3)
+    } else {
+        format!("{n:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_results() {
+        let mut h = Harness::new("test")
+            .warmup(Duration::from_millis(1))
+            .budget(Duration::from_millis(10));
+        h.bench("noop", 10, || 1 + 1);
+        assert_eq!(h.results.len(), 1);
+        assert!(h.results[0].iters > 0);
+        assert!(h.results[0].mean_secs > 0.0);
+    }
+
+    #[test]
+    fn formatting_covers_ranges() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+        assert!(format_count(2e9).ends_with(" G"));
+        assert!(format_count(2e6).ends_with(" M"));
+        assert!(format_count(2e3).ends_with(" k"));
+        assert_eq!(format_count(2.0), "2.0");
+    }
+}

@@ -19,7 +19,7 @@
 //! "the most recent entry of 'A'").
 
 use domino_trace::addr::LineAddr;
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 /// One `(address, pointer)` pair: `address` followed the tag in the miss
 /// stream, `pointer` is the History Table position of that `address`
@@ -129,7 +129,7 @@ enum Backing {
     /// (front = oldest).
     Finite(Vec<Vec<SuperEntry>>),
     /// Idealized: one super-entry per tag, no row conflicts.
-    Unbounded(HashMap<LineAddr, SuperEntry>),
+    Unbounded(FxHashMap<LineAddr, SuperEntry>),
 }
 
 /// The Enhanced Index Table.
@@ -162,7 +162,7 @@ impl Eit {
     pub fn new(cfg: EitConfig) -> Self {
         cfg.validate();
         let backing = if cfg.rows == 0 {
-            Backing::Unbounded(HashMap::new())
+            Backing::Unbounded(FxHashMap::default())
         } else {
             Backing::Finite(vec![Vec::new(); cfg.rows])
         };

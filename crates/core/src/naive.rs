@@ -12,7 +12,7 @@
 //! measure exactly what the EIT saves: compare its metadata traffic and
 //! `delay_trips` against [`crate::Domino`] at equal coverage.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::history::{HistoryTable, ROW_ENTRIES};
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
@@ -30,9 +30,9 @@ pub struct NaiveDomino {
     cfg: DominoConfig,
     ht: HistoryTable,
     /// Single-address IT: line → HT position of its last occurrence.
-    single: HashMap<LineAddr, u64>,
+    single: FxHashMap<LineAddr, u64>,
     /// Pair IT: (prev, line) → HT position of `line`.
-    pair: HashMap<PairKey, u64>,
+    pair: FxHashMap<PairKey, u64>,
     streams: StreamTable<PairKey>,
     sampler: UpdateSampler,
     prev: Option<LineAddr>,
@@ -50,8 +50,8 @@ impl NaiveDomino {
         cfg.validate();
         NaiveDomino {
             ht: HistoryTable::new(cfg.ht_entries),
-            single: HashMap::new(),
-            pair: HashMap::new(),
+            single: FxHashMap::default(),
+            pair: FxHashMap::default(),
             streams: StreamTable::new(cfg.max_streams),
             sampler: UpdateSampler::new(cfg.sampling_probability, cfg.seed ^ 0x7A17E),
             cfg,

@@ -1,10 +1,13 @@
 //! Property tests for the Enhanced Index Table: its two-level LRU
 //! behaviour is checked against a straightforward reference model over
 //! arbitrary update/lookup interleavings.
+//!
+//! Interleavings are drawn from a seeded [`SimRng`] so the suite is
+//! fully deterministic and dependency-free.
 
 use domino::{Eit, EitConfig};
 use domino_trace::addr::LineAddr;
-use proptest::prelude::*;
+use domino_trace::rng::SimRng;
 use std::collections::VecDeque;
 
 /// Reference model: per row, an ordered list of (tag, entries) where the
@@ -75,32 +78,33 @@ enum Op {
     Lookup { tag: u64 },
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..24, 0u64..24, 0u64..1000).prop_map(|(tag, next, pointer)| Op::Update {
-                tag,
-                next,
-                pointer
-            }),
-            (0u64..24).prop_map(|tag| Op::Lookup { tag }),
-        ],
-        1..400,
-    )
+fn ops(rng: &mut SimRng) -> Vec<Op> {
+    let len = 1 + rng.index(400);
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.5) {
+                Op::Update {
+                    tag: rng.below(24),
+                    next: rng.below(24),
+                    pointer: rng.below(1000),
+                }
+            } else {
+                Op::Lookup { tag: rng.below(24) }
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The EIT agrees with the reference model on every lookup: same
-    /// presence, same entries in the same LRU order, same pointers.
-    #[test]
-    fn eit_matches_reference_model(
-        ops in ops(),
-        rows in 1usize..6,
-        super_cap in 1usize..4,
-        entry_cap in 1usize..4,
-    ) {
+/// The EIT agrees with the reference model on every lookup: same
+/// presence, same entries in the same LRU order, same pointers.
+#[test]
+fn eit_matches_reference_model() {
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed(0xE17_0000 + case);
+        let ops = ops(&mut rng);
+        let rows = 1 + rng.index(5);
+        let super_cap = 1 + rng.index(3);
+        let entry_cap = 1 + rng.index(3);
         let mut eit = Eit::new(EitConfig {
             rows,
             super_entries_per_row: super_cap,
@@ -114,27 +118,30 @@ proptest! {
                     reference.update(tag, next, pointer);
                 }
                 Op::Lookup { tag } => {
-                    let got = eit
-                        .lookup(LineAddr::new(tag))
-                        .map(|se| {
-                            se.entries()
-                                .iter()
-                                .map(|e| (e.addr.raw(), e.pointer))
-                                .collect::<Vec<_>>()
-                        });
+                    let got = eit.lookup(LineAddr::new(tag)).map(|se| {
+                        se.entries()
+                            .iter()
+                            .map(|e| (e.addr.raw(), e.pointer))
+                            .collect::<Vec<_>>()
+                    });
                     let want = reference.lookup(tag);
-                    prop_assert_eq!(got, want, "divergence at tag {}", tag);
+                    assert_eq!(got, want, "divergence at tag {tag}");
                 }
             }
         }
     }
+}
 
-    /// The unbounded EIT never loses a tag and its most-recent entry is
-    /// always the latest update for that tag.
-    #[test]
-    fn unbounded_eit_remembers_latest(updates in proptest::collection::vec(
-        (0u64..16, 0u64..64, 0u64..1000), 1..300))
-    {
+/// The unbounded EIT never loses a tag and its most-recent entry is
+/// always the latest update for that tag.
+#[test]
+fn unbounded_eit_remembers_latest() {
+    for case in 0..96u64 {
+        let mut rng = SimRng::seed(0x0B0_0000 + case);
+        let len = 1 + rng.index(300);
+        let updates: Vec<(u64, u64, u64)> = (0..len)
+            .map(|_| (rng.below(16), rng.below(64), rng.below(1000)))
+            .collect();
         let mut eit = Eit::new(EitConfig::unbounded());
         let mut latest: std::collections::HashMap<u64, (u64, u64)> =
             std::collections::HashMap::new();
@@ -145,8 +152,8 @@ proptest! {
         for (&tag, &(next, pointer)) in &latest {
             let se = eit.lookup(LineAddr::new(tag)).expect("tag present");
             let mr = se.most_recent().expect("entries present");
-            prop_assert_eq!(mr.addr.raw(), next);
-            prop_assert_eq!(mr.pointer, pointer);
+            assert_eq!(mr.addr.raw(), next);
+            assert_eq!(mr.pointer, pointer);
         }
     }
 }

@@ -1,14 +1,20 @@
 //! Fuzz-style property tests for the Domino core: totality, determinism,
 //! no self-prefetch, bounded fan-out, and structural invariants of the
 //! practical design versus the naive strawman.
+//!
+//! Cases are generated from a seeded [`SimRng`] so the suite is fully
+//! deterministic and dependency-free.
 
 use domino::{Domino, DominoConfig, EitConfig, NaiveDomino};
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_trace::addr::{LineAddr, Pc};
-use proptest::prelude::*;
+use domino_trace::rng::SimRng;
 
-fn events() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    proptest::collection::vec((0u64..48, prop::bool::ANY), 1..600)
+const CASES: u64 = 64;
+
+fn events(rng: &mut SimRng) -> Vec<(u64, bool)> {
+    let len = 1 + rng.index(600);
+    (0..len).map(|_| (rng.below(48), rng.chance(0.5))).collect()
 }
 
 fn cfg(degree: usize) -> DominoConfig {
@@ -48,14 +54,15 @@ fn drive(p: &mut dyn Prefetcher, evs: &[(u64, bool)]) -> Vec<(u64, u8, u64, u64)
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Domino is total, never prefetches the triggering line, and issues
-    /// a bounded number of requests per event (the speculative prefetch
-    /// plus at most `degree` replay prefetches).
-    #[test]
-    fn domino_totality_and_bounds(evs in events(), degree in 1usize..6) {
+/// Domino is total, never prefetches the triggering line, and issues
+/// a bounded number of requests per event (the speculative prefetch
+/// plus at most `degree` replay prefetches).
+#[test]
+fn domino_totality_and_bounds() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xD0_0000 + case);
+        let evs = events(&mut rng);
+        let degree = 1 + rng.index(5);
         let mut d = Domino::new(cfg(degree));
         let mut sink = CollectSink::new();
         for &(line, hit) in &evs {
@@ -66,58 +73,61 @@ proptest! {
                 TriggerEvent::miss(Pc::new(0), LineAddr::new(line))
             };
             d.on_trigger(&ev, &mut sink);
-            prop_assert!(
+            assert!(
                 sink.requests.len() <= degree + 1,
                 "degree {degree}: {} requests",
                 sink.requests.len()
             );
             for r in &sink.requests {
-                prop_assert_ne!(r.line, LineAddr::new(line));
-                prop_assert!(r.delay_trips <= 2);
+                assert_ne!(r.line, LineAddr::new(line));
+                assert!(r.delay_trips <= 2);
             }
         }
     }
+}
 
-    /// Determinism for both designs.
-    #[test]
-    fn designs_are_deterministic(evs in events()) {
+/// Determinism for both designs.
+#[test]
+fn designs_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xDE7_0000 + case);
+        let evs = events(&mut rng);
         let a = drive(&mut Domino::new(cfg(4)), &evs);
         let b = drive(&mut Domino::new(cfg(4)), &evs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         let a = drive(&mut NaiveDomino::new(cfg(4)), &evs);
         let b = drive(&mut NaiveDomino::new(cfg(4)), &evs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// The practical design's stream-opening prefetches need at most one
-    /// serial metadata round trip; the naive strawman's speculative path
-    /// needs up to three. This is the EIT's whole point, so it must hold
-    /// on every input.
-    #[test]
-    fn practical_design_is_never_slower_to_first_prefetch(evs in events()) {
+/// The practical design's stream-opening prefetches need at most one
+/// serial metadata round trip; the naive strawman's speculative path
+/// needs up to three. This is the EIT's whole point, so it must hold
+/// on every input.
+#[test]
+fn practical_design_is_never_slower_to_first_prefetch() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0x791_0000 + case);
+        let evs = events(&mut rng);
         let practical = drive(&mut Domino::new(cfg(2)), &evs);
         for &(_, trips, _, _) in &practical {
-            prop_assert!(trips <= 2, "practical trips {trips}");
+            assert!(trips <= 2, "practical trips {trips}");
         }
         let naive = drive(&mut NaiveDomino::new(cfg(2)), &evs);
         for &(_, trips, _, _) in &naive {
-            prop_assert!(trips <= 3, "naive trips {trips}");
+            assert!(trips <= 3, "naive trips {trips}");
         }
-        // If the naive design used its single-address fallback, it paid
-        // three trips at least once; the practical design never pays more
-        // than one before its first speculative prefetch.
-        let max_first_practical = practical
-            .iter()
-            .map(|&(_, t, _, _)| t)
-            .filter(|&t| t == 1)
-            .count();
-        let _ = max_first_practical;
     }
+}
 
-    /// Counters are consistent: matches never exceed lookups, and
-    /// confirmations never exceed matches.
-    #[test]
-    fn counters_are_ordered(evs in events()) {
+/// Counters are consistent: matches never exceed lookups, and
+/// confirmations never exceed matches.
+#[test]
+fn counters_are_ordered() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xC0_0000 + case);
+        let evs = events(&mut rng);
         let mut d = Domino::new(cfg(3));
         let mut sink = CollectSink::new();
         for &(line, hit) in &evs {
@@ -128,8 +138,8 @@ proptest! {
             };
             d.on_trigger(&ev, &mut sink);
             let (lookups, matches, confirmations) = d.counters();
-            prop_assert!(matches <= lookups);
-            prop_assert!(confirmations <= matches);
+            assert!(matches <= lookups);
+            assert!(confirmations <= matches);
         }
     }
 }

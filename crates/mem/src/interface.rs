@@ -95,7 +95,11 @@ pub trait PrefetchSink {
 /// Implementations include the baselines in `domino-prefetchers`
 /// (next-line, stride, STMS, Digram, ISB, VLDP) and the Domino prefetcher
 /// in the `domino` crate.
-pub trait Prefetcher {
+///
+/// `Send` is a supertrait so built prefetchers can be handed to the
+/// parallel sweep executor's worker threads; prefetcher state is plain
+/// owned data, so this costs implementations nothing.
+pub trait Prefetcher: Send {
     /// Display name used in reports (matches the paper's figure labels).
     fn name(&self) -> &str;
 

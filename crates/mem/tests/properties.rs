@@ -1,14 +1,19 @@
 //! Property-based tests for the memory substrates: the set-associative
 //! cache against a reference model, prefetch-buffer accounting, MSHR
 //! bounds, and history-table residency.
+//!
+//! Inputs are drawn from a seeded [`SimRng`] so the suite is fully
+//! deterministic and dependency-free.
 
 use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
 use domino_mem::history::HistoryTable;
 use domino_mem::mshr::MshrFile;
 use domino_mem::prefetch_buffer::PrefetchBuffer;
 use domino_trace::addr::{LineAddr, LINE_BYTES};
-use proptest::prelude::*;
+use domino_trace::rng::SimRng;
 use std::collections::VecDeque;
+
+const CASES: u64 = 64;
 
 /// Reference LRU model: per set, a deque with MRU at the back.
 #[derive(Debug)]
@@ -54,16 +59,15 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The LRU cache agrees with a straightforward reference model on
-    /// every access of any sequence.
-    #[test]
-    fn cache_matches_reference_lru(
-        lines in proptest::collection::vec(0u64..64, 1..600),
-        ways in 1usize..5,
-    ) {
+/// The LRU cache agrees with a straightforward reference model on
+/// every access of any sequence.
+#[test]
+fn cache_matches_reference_lru() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0x1_4B00 + case);
+        let len = 1 + rng.index(600);
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(64)).collect();
+        let ways = 1 + rng.index(4);
         let sets = 8usize;
         let mut cache = SetAssocCache::new(CacheConfig {
             size_bytes: (sets * ways) as u64 * LINE_BYTES,
@@ -75,24 +79,27 @@ proptest! {
             let line = LineAddr::new(l);
             let hit = cache.access(line);
             let ref_hit = reference.access(l);
-            prop_assert_eq!(hit, ref_hit, "divergence at line {}", l);
+            assert_eq!(hit, ref_hit, "divergence at line {l}");
             if !hit {
                 cache.insert(line);
                 reference.insert(l);
             }
         }
     }
+}
 
-    /// Capacity is never exceeded under any policy.
-    #[test]
-    fn cache_capacity_bound(
-        lines in proptest::collection::vec(0u64..10_000, 1..500),
-        policy in prop_oneof![
-            Just(Replacement::Lru),
-            Just(Replacement::Fifo),
-            Just(Replacement::Random)
-        ],
-    ) {
+/// Capacity is never exceeded under any policy.
+#[test]
+fn cache_capacity_bound() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xCA_B000 + case);
+        let len = 1 + rng.index(500);
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(10_000)).collect();
+        let policy = match rng.index(3) {
+            0 => Replacement::Lru,
+            1 => Replacement::Fifo,
+            _ => Replacement::Random,
+        };
         let mut cache = SetAssocCache::new(CacheConfig {
             size_bytes: 16 * LINE_BYTES,
             ways: 4,
@@ -100,17 +107,20 @@ proptest! {
         });
         for &l in &lines {
             cache.insert(LineAddr::new(l));
-            prop_assert!(cache.len() <= 16);
+            assert!(cache.len() <= 16);
         }
     }
+}
 
-    /// Buffer accounting: inserted = hits + overpredictions + duplicates
-    /// + still-resident, for any interleaving of inserts and takes.
-    #[test]
-    fn prefetch_buffer_accounting(
-        ops in proptest::collection::vec((0u64..32, prop::bool::ANY), 1..400),
-        capacity in 1usize..40,
-    ) {
+/// Buffer accounting: inserted = hits + overpredictions + duplicates
+/// + still-resident, for any interleaving of inserts and takes.
+#[test]
+fn prefetch_buffer_accounting() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xB0F_0000 + case);
+        let len = 1 + rng.index(400);
+        let ops: Vec<(u64, bool)> = (0..len).map(|_| (rng.below(32), rng.chance(0.5))).collect();
+        let capacity = 1 + rng.index(39);
         let mut buf = PrefetchBuffer::new(capacity);
         for &(line, is_insert) in &ops {
             if is_insert {
@@ -120,57 +130,65 @@ proptest! {
             }
         }
         let s = buf.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.inserted,
             s.hits + s.evicted_unused + s.duplicate_inserts + buf.len() as u64,
             "{:?} + resident {}",
             s,
             buf.len()
         );
-        prop_assert!(buf.len() <= capacity);
+        assert!(buf.len() <= capacity);
     }
+}
 
-    /// MSHRs never track more than their capacity and never lose a
-    /// completion.
-    #[test]
-    fn mshr_bounds(
-        ops in proptest::collection::vec((0u64..16, 1.0f64..100.0), 1..200),
-        capacity in 1usize..8,
-    ) {
+/// MSHRs never track more than their capacity and never lose a
+/// completion.
+#[test]
+fn mshr_bounds() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0x3_58F0 + case);
+        let len = 1 + rng.index(200);
+        let ops: Vec<(u64, f64)> = (0..len)
+            .map(|_| (rng.below(16), 1.0 + rng.unit() * 99.0))
+            .collect();
+        let capacity = 1 + rng.index(7);
         let mut mshrs = MshrFile::new(capacity);
         let mut clock = 0.0;
         for &(line, dur) in &ops {
             clock += 1.0;
             mshrs.retire_until(clock);
             let _ = mshrs.allocate(LineAddr::new(line), clock + dur);
-            prop_assert!(mshrs.in_flight() <= capacity);
+            assert!(mshrs.in_flight() <= capacity);
             if let Some(c) = mshrs.earliest_completion() {
-                prop_assert!(c > clock);
+                assert!(c > clock);
             }
         }
     }
+}
 
-    /// History-table residency: a bounded table keeps exactly the last
-    /// `capacity` positions readable, and reads return what was written.
-    #[test]
-    fn history_residency(
-        lines in proptest::collection::vec(0u64..1000, 1..300),
-        capacity in 1usize..64,
-    ) {
+/// History-table residency: a bounded table keeps exactly the last
+/// `capacity` positions readable, and reads return what was written.
+#[test]
+fn history_residency() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0x415_0000 + case);
+        let len = 1 + rng.index(300);
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
+        let capacity = 1 + rng.index(63);
         let mut ht = HistoryTable::new(capacity);
         for (i, &l) in lines.iter().enumerate() {
             let pos = ht.append(LineAddr::new(l), i % 2 == 0);
-            prop_assert_eq!(pos, i as u64);
+            assert_eq!(pos, i as u64);
         }
         let n = lines.len() as u64;
         for pos in 0..n {
             let live = n - pos <= capacity as u64;
-            prop_assert_eq!(ht.is_live(pos), live);
+            assert_eq!(ht.is_live(pos), live);
             if live {
                 let e = ht.get(pos).expect("live entries are readable");
-                prop_assert_eq!(e.line, LineAddr::new(lines[pos as usize]));
+                assert_eq!(e.line, LineAddr::new(lines[pos as usize]));
             } else {
-                prop_assert!(ht.get(pos).is_none());
+                assert!(ht.get(pos).is_none());
             }
         }
     }

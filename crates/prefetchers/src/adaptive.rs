@@ -19,7 +19,9 @@
 //! The `ablation_adaptive` bench quantifies the coverage/overprediction
 //! trade against the fixed-degree Domino.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use domino_trace::FxHashSet;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::LineAddr;
@@ -57,7 +59,7 @@ struct ThrottlingSink<'a> {
     allowed: usize,
     issued_this_event: usize,
     dropped: &'a mut u64,
-    shadow_set: &'a mut HashSet<LineAddr>,
+    shadow_set: &'a mut FxHashSet<LineAddr>,
     shadow_order: &'a mut VecDeque<LineAddr>,
     shadow_cap: usize,
     issued_total: &'a mut u32,
@@ -105,7 +107,7 @@ pub struct AdaptiveDegree<P> {
     issued_in_epoch: u32,
     useful_in_epoch: u32,
     dropped: u64,
-    shadow_set: HashSet<LineAddr>,
+    shadow_set: FxHashSet<LineAddr>,
     shadow_order: VecDeque<LineAddr>,
     epochs: u64,
 }
@@ -138,7 +140,7 @@ impl<P: Prefetcher> AdaptiveDegree<P> {
             issued_in_epoch: 0,
             useful_in_epoch: 0,
             dropped: 0,
-            shadow_set: HashSet::new(),
+            shadow_set: FxHashSet::default(),
             shadow_order: VecDeque::new(),
             epochs: 0,
         }

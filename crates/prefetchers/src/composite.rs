@@ -19,7 +19,9 @@
 //! Stream ids are namespaced (spatial ids get the top bit) so buffer
 //! discards cannot collide.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use domino_trace::FxHashSet;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::LineAddr;
@@ -32,7 +34,7 @@ const SPATIAL_STREAM_BIT: u32 = 1 << 31;
 
 #[derive(Debug, Default)]
 struct ShadowSet {
-    set: HashSet<LineAddr>,
+    set: FxHashSet<LineAddr>,
     order: VecDeque<LineAddr>,
 }
 

@@ -10,7 +10,7 @@
 //! cancel: Digram's coverage lands slightly *below* STMS's, which is why
 //! the idea was shelved until Domino combined both lookups.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::history::{HistoryTable, ROW_ENTRIES};
 use domino_mem::interface::{PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
@@ -29,7 +29,7 @@ pub struct Digram {
     cfg: TemporalConfig,
     ht: HistoryTable,
     /// Index Table: (previous, current) → HT position of `current`.
-    index: HashMap<PairKey, u64>,
+    index: FxHashMap<PairKey, u64>,
     streams: StreamTable<PairKey>,
     sampler: UpdateSampler,
     /// The previous triggering event, if any.
@@ -44,7 +44,7 @@ impl Digram {
         cfg.validate();
         Digram {
             ht: HistoryTable::new(cfg.ht_entries),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             streams: StreamTable::new(cfg.max_streams),
             sampler: UpdateSampler::new(cfg.sampling_probability, cfg.seed ^ 0xD16),
             cfg,

@@ -15,7 +15,7 @@
 //! buffer. Including it in the roster shows *why* temporal prefetching
 //! for servers needs off-chip metadata (paper §III-A).
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::LineAddr;
@@ -54,7 +54,7 @@ pub struct Ghb {
     /// Total misses recorded (next sequence number).
     seq: u64,
     /// Index table: address → most recent sequence number.
-    index: HashMap<LineAddr, u64>,
+    index: FxHashMap<LineAddr, u64>,
 }
 
 impl Ghb {
@@ -69,7 +69,7 @@ impl Ghb {
         Ghb {
             ring: vec![None; cfg.entries],
             seq: 0,
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             cfg,
         }
     }

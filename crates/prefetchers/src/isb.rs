@@ -18,7 +18,7 @@
 //! naturally here: the predictions are per-PC successors, and the shared
 //! 32-block prefetch buffer does the evicting.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent};
 use domino_trace::addr::{LineAddr, Pc};
@@ -28,9 +28,9 @@ use domino_trace::addr::{LineAddr, Pc};
 pub struct Isb {
     degree: usize,
     /// Per-PC miss sequences (infinite idealized storage).
-    seqs: HashMap<Pc, Vec<LineAddr>>,
+    seqs: FxHashMap<Pc, Vec<LineAddr>>,
     /// `(PC, line)` → index of the last occurrence in that PC's sequence.
-    last: HashMap<(Pc, LineAddr), u32>,
+    last: FxHashMap<(Pc, LineAddr), u32>,
 }
 
 impl Isb {
@@ -43,8 +43,8 @@ impl Isb {
         assert!(degree > 0, "degree must be positive");
         Isb {
             degree,
-            seqs: HashMap::new(),
-            last: HashMap::new(),
+            seqs: FxHashMap::default(),
+            last: FxHashMap::default(),
         }
     }
 }

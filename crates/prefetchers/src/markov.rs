@@ -11,7 +11,7 @@
 //! it costs (no stream replay — only one step of lookahead per miss, so
 //! coverage cannot extend down a stream the way HT replay does).
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::LineAddr;
@@ -47,7 +47,7 @@ struct SuccessorSlot {
 #[derive(Debug)]
 pub struct Markov {
     cfg: MarkovConfig,
-    table: HashMap<LineAddr, Vec<SuccessorSlot>>,
+    table: FxHashMap<LineAddr, Vec<SuccessorSlot>>,
     prev: Option<LineAddr>,
 }
 
@@ -66,7 +66,7 @@ impl Markov {
         );
         Markov {
             cfg,
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             prev: None,
         }
     }

@@ -14,7 +14,7 @@
 //! Contexts are keyed by a 128-bit hash so memory stays linear in the
 //! trace length; collisions are negligible at the trace sizes involved.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::LineAddr;
@@ -78,7 +78,7 @@ pub struct LookupAnalyzer {
     max_depth: usize,
     history: Vec<u64>,
     /// Per depth: context hash → position of the context's last element.
-    maps: Vec<HashMap<u128, u64>>,
+    maps: Vec<FxHashMap<u128, u64>>,
     /// Predictions awaiting the next event, per depth.
     pending: Vec<Option<u64>>,
     stats: LookupDepthStats,
@@ -95,7 +95,7 @@ impl LookupAnalyzer {
         LookupAnalyzer {
             max_depth,
             history: Vec::new(),
-            maps: vec![HashMap::new(); max_depth],
+            maps: vec![FxHashMap::default(); max_depth],
             pending: vec![None; max_depth],
             stats: LookupDepthStats::new(max_depth),
         }
@@ -147,7 +147,7 @@ pub struct MultiDepthPrefetcher {
     degree: usize,
     name: String,
     history: Vec<u64>,
-    maps: Vec<HashMap<u128, u64>>,
+    maps: Vec<FxHashMap<u128, u64>>,
 }
 
 impl MultiDepthPrefetcher {
@@ -165,7 +165,7 @@ impl MultiDepthPrefetcher {
             degree,
             name: format!("Lookup-{depth}"),
             history: Vec::new(),
-            maps: vec![HashMap::new(); depth],
+            maps: vec![FxHashMap::default(); depth],
         }
     }
 }

@@ -12,7 +12,7 @@
 //! trigger, which is stronger on sparse-but-repeating layouts and weaker
 //! when footprints vary per region.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::{LineAddr, Pc, LINES_PER_PAGE};
@@ -54,7 +54,7 @@ pub struct Sms {
     /// generation and trains the PHT).
     active: Vec<Generation>,
     /// Learned footprints by trigger.
-    pht: HashMap<Trigger, u64>,
+    pht: FxHashMap<Trigger, u64>,
 }
 
 impl Sms {
@@ -69,7 +69,7 @@ impl Sms {
         Sms {
             cfg,
             active: Vec::new(),
-            pht: HashMap::new(),
+            pht: FxHashMap::default(),
         }
     }
 

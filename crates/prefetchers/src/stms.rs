@@ -18,7 +18,7 @@
 //! written back, which the original work showed performs like
 //! always-update at far less bandwidth.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::history::{HistoryTable, ROW_ENTRIES};
 use domino_mem::interface::{PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
@@ -46,7 +46,7 @@ pub struct Stms {
     cfg: TemporalConfig,
     ht: HistoryTable,
     /// Index Table: miss address → last sampled HT position.
-    index: HashMap<LineAddr, u64>,
+    index: FxHashMap<LineAddr, u64>,
     streams: StreamTable<LineAddr>,
     sampler: UpdateSampler,
     lookups: u64,
@@ -59,7 +59,7 @@ impl Stms {
         cfg.validate();
         Stms {
             ht: HistoryTable::new(cfg.ht_entries),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             streams: StreamTable::new(cfg.max_streams),
             sampler: UpdateSampler::new(cfg.sampling_probability, cfg.seed),
             cfg,

@@ -5,7 +5,7 @@
 //! confidence state. Included as a baseline so the reproduction can show
 //! the same conclusion on its synthetic workloads.
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
 use domino_trace::addr::Pc;
@@ -21,7 +21,7 @@ struct RptEntry {
 #[derive(Debug)]
 pub struct StridePrefetcher {
     degree: usize,
-    table: HashMap<Pc, RptEntry>,
+    table: FxHashMap<Pc, RptEntry>,
     max_entries: usize,
     confidence_threshold: u8,
 }
@@ -37,7 +37,7 @@ impl StridePrefetcher {
         assert!(max_entries > 0, "table needs capacity");
         StridePrefetcher {
             degree,
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             max_entries,
             confidence_threshold: 2,
         }

@@ -18,7 +18,7 @@
 //! further — the mechanism the paper notes becomes inaccurate for server
 //! workloads as degree grows (§V-B).
 
-use std::collections::HashMap;
+use domino_trace::FxHashMap;
 
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent};
 use domino_trace::addr::{LineAddr, LINES_PER_PAGE};
@@ -62,7 +62,7 @@ pub struct Vldp {
     /// LRU order: front = victim.
     dhb: Vec<DhbEntry>,
     /// `dpts[k]` maps the last `k+1` deltas to the next delta.
-    dpts: Vec<HashMap<Vec<i64>, i64>>,
+    dpts: Vec<FxHashMap<Vec<i64>, i64>>,
     /// First-access offset → first delta.
     opt: Vec<Option<i64>>,
 }
@@ -79,7 +79,7 @@ impl Vldp {
         assert!(cfg.degree > 0, "degree must be positive");
         Vldp {
             dhb: Vec::with_capacity(cfg.dhb_entries),
-            dpts: vec![HashMap::new(); cfg.num_dpts],
+            dpts: vec![FxHashMap::default(); cfg.num_dpts],
             opt: vec![None; cfg.opt_entries.max(1)],
             cfg,
         }

@@ -1,6 +1,9 @@
 //! Fuzz-style property tests: every prefetcher must be total (no panics),
 //! deterministic, and well-behaved (bounded per-event output, no
 //! self-prefetch) on arbitrary trigger sequences.
+//!
+//! Cases are generated from a seeded [`SimRng`] so the suite is fully
+//! deterministic and dependency-free.
 
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_prefetchers::{
@@ -8,12 +11,17 @@ use domino_prefetchers::{
     Stms, StridePrefetcher, TemporalConfig, Vldp, VldpConfig,
 };
 use domino_trace::addr::{LineAddr, Pc};
-use proptest::prelude::*;
+use domino_trace::rng::SimRng;
+
+const CASES: u64 = 48;
 
 /// (pc, line, is_hit) triples over a small universe — small alphabets
 /// maximise junctions, replays, and stream churn.
-fn events() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
-    proptest::collection::vec((0u64..8, 0u64..64, prop::bool::ANY), 1..500)
+fn events(rng: &mut SimRng) -> Vec<(u64, u64, bool)> {
+    let len = 1 + rng.index(500);
+    (0..len)
+        .map(|_| (rng.below(8), rng.below(64), rng.chance(0.5)))
+        .collect()
 }
 
 fn all_prefetchers() -> Vec<Box<dyn Prefetcher>> {
@@ -72,12 +80,12 @@ fn drive(p: &mut dyn Prefetcher, evs: &[(u64, u64, bool)]) -> Vec<(u64, u8)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// No prefetcher panics or prefetches the triggering line itself.
-    #[test]
-    fn total_and_never_self_prefetching(evs in events()) {
+/// No prefetcher panics or prefetches the triggering line itself.
+#[test]
+fn total_and_never_self_prefetching() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xA11C_E500 + case);
+        let evs = events(&mut rng);
         for mut p in all_prefetchers() {
             let mut sink = CollectSink::new();
             for &(pc, line, hit) in &evs {
@@ -89,14 +97,14 @@ proptest! {
                 };
                 p.on_trigger(&ev, &mut sink);
                 for r in &sink.requests {
-                    prop_assert_ne!(
+                    assert_ne!(
                         r.line,
                         LineAddr::new(line),
                         "{} prefetched the demand line",
                         p.name()
                     );
                 }
-                prop_assert!(
+                assert!(
                     sink.requests.len() <= 64,
                     "{} issued {} requests in one event",
                     p.name(),
@@ -105,10 +113,14 @@ proptest! {
             }
         }
     }
+}
 
-    /// Every prefetcher is deterministic: same inputs, same outputs.
-    #[test]
-    fn deterministic(evs in events()) {
+/// Every prefetcher is deterministic: same inputs, same outputs.
+#[test]
+fn deterministic() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0xDE7E_0000 + case);
+        let evs = events(&mut rng);
         let out_a: Vec<Vec<(u64, u8)>> = all_prefetchers()
             .iter_mut()
             .map(|p| drive(p.as_mut(), &evs))
@@ -117,24 +129,28 @@ proptest! {
             .iter_mut()
             .map(|p| drive(p.as_mut(), &evs))
             .collect();
-        prop_assert_eq!(out_a, out_b);
+        assert_eq!(out_a, out_b);
     }
+}
 
-    /// Metadata accounting never goes backwards and only the off-chip
-    /// temporal prefetchers produce it.
-    #[test]
-    fn metadata_only_from_offchip_designs(evs in events()) {
+/// Metadata accounting never goes backwards and only the off-chip
+/// temporal prefetchers produce it.
+#[test]
+fn metadata_only_from_offchip_designs() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed(0x0FFC_0000 + case);
+        let evs = events(&mut rng);
         for mut p in all_prefetchers() {
             let mut sink = CollectSink::new();
             for &(pc, line, _) in &evs {
-                p.on_trigger(&TriggerEvent::miss(Pc::new(pc), LineAddr::new(line)), &mut sink);
+                p.on_trigger(
+                    &TriggerEvent::miss(Pc::new(pc), LineAddr::new(line)),
+                    &mut sink,
+                );
             }
             let offchip = matches!(p.name(), "STMS" | "Digram" | "VLDP+STMS");
             if !offchip {
-                prop_assert_eq!(
-                    sink.meta_read_blocks, 0,
-                    "{} should be on-chip", p.name()
-                );
+                assert_eq!(sink.meta_read_blocks, 0, "{} should be on-chip", p.name());
             }
         }
     }

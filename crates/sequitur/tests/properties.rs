@@ -4,81 +4,125 @@
 //! lossless-reconstruction property must hold for *every* input; random
 //! sequences over small alphabets are the harshest exercise because they
 //! maximize rule churn (create/absorb/expand cycles).
+//!
+//! Inputs are drawn from a seeded [`SimRng`] so the suite is fully
+//! deterministic and dependency-free.
 
 use domino_sequitur::oracle::{oracle_replay, OracleConfig};
 use domino_sequitur::{analysis, GrammarStats, Sequitur};
-use proptest::prelude::*;
+use domino_trace::rng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn seq(rng: &mut SimRng, alphabet: u64, min: usize, max: usize) -> Vec<u64> {
+    let len = min + rng.index(max - min);
+    (0..len).map(|_| rng.below(alphabet)).collect()
+}
 
-    /// Expansion reproduces the input exactly, for any sequence.
-    #[test]
-    fn expansion_is_lossless(input in proptest::collection::vec(0u64..8, 0..400)) {
+/// Expansion reproduces the input exactly, for any sequence.
+#[test]
+fn expansion_is_lossless() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0x5E0_0000 + case);
+        let input = seq(&mut rng, 8, 0, 400);
         let g = Sequitur::from_sequence(input.iter().copied());
-        prop_assert_eq!(g.expand(), input);
+        assert_eq!(g.expand(), input);
     }
+}
 
-    /// Both grammar invariants hold after every prefix of any input.
-    #[test]
-    fn invariants_hold_incrementally(input in proptest::collection::vec(0u64..6, 0..120)) {
+/// Both grammar invariants hold after every prefix of any input.
+#[test]
+fn invariants_hold_incrementally() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0x1_4C00 + case);
+        let input = seq(&mut rng, 6, 0, 120);
         let mut g = Sequitur::new();
         for &t in &input {
             g.push(t);
             if let Err(e) = g.check_invariants() {
-                prop_assert!(false, "invariant violated: {e}");
+                panic!("invariant violated: {e}");
             }
         }
     }
+}
 
-    /// Wider alphabets (less rule churn) must also stay lossless and valid.
-    #[test]
-    fn wide_alphabet_lossless(input in proptest::collection::vec(0u64..1000, 0..300)) {
+/// Wider alphabets (less rule churn) must also stay lossless and valid.
+#[test]
+fn wide_alphabet_lossless() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0x71D_E000 + case);
+        let input = seq(&mut rng, 1000, 0, 300);
         let g = Sequitur::from_sequence(input.iter().copied());
-        prop_assert_eq!(g.expand(), input);
-        prop_assert!(g.check_invariants().is_ok());
+        assert_eq!(g.expand(), input);
+        assert!(g.check_invariants().is_ok());
     }
+}
 
-    /// Grammar coverage is always a valid fraction, and zero for inputs
-    /// with no repeated digram.
-    #[test]
-    fn coverage_bounds(input in proptest::collection::vec(0u64..16, 0..300)) {
+/// Grammar coverage is always a valid fraction, and zero for inputs
+/// with no repeated digram.
+#[test]
+fn coverage_bounds() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0xC0F_E000 + case);
+        let input = seq(&mut rng, 16, 0, 300);
         let g = Sequitur::from_sequence(input.iter().copied());
         let cov = analysis::grammar_coverage(&g);
-        prop_assert!((0.0..=1.0).contains(&cov));
+        assert!((0.0..=1.0).contains(&cov));
     }
+}
 
-    /// Grammar size never exceeds input size (compression, never expansion).
-    #[test]
-    fn grammar_never_larger_than_input(input in proptest::collection::vec(0u64..10, 1..300)) {
+/// Grammar size never exceeds input size (compression, never expansion).
+#[test]
+fn grammar_never_larger_than_input() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0x6_4A00 + case);
+        let input = seq(&mut rng, 10, 1, 300);
         let g = Sequitur::from_sequence(input.iter().copied());
         let stats = GrammarStats::of(&g);
-        prop_assert!(stats.grammar_symbols as u64 <= stats.input_len + 1,
-            "grammar {} vs input {}", stats.grammar_symbols, stats.input_len);
+        assert!(
+            stats.grammar_symbols as u64 <= stats.input_len + 1,
+            "grammar {} vs input {}",
+            stats.grammar_symbols,
+            stats.input_len
+        );
     }
+}
 
-    /// Oracle accounting: covered misses equal the sum of stream lengths,
-    /// and coverage is a fraction.
-    #[test]
-    fn oracle_accounting(input in proptest::collection::vec(0u64..32, 0..500)) {
+/// Oracle accounting: covered misses equal the sum of stream lengths,
+/// and coverage is a fraction.
+#[test]
+fn oracle_accounting() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0x0AC_1E00 + case);
+        let input = seq(&mut rng, 32, 0, 500);
         let r = oracle_replay(&input, &OracleConfig::default());
-        prop_assert!(r.covered <= r.total);
+        assert!(r.covered <= r.total);
         let hist_streams: u64 = r.stream_lengths.counts().iter().sum();
-        prop_assert_eq!(hist_streams, r.streams);
+        assert_eq!(hist_streams, r.streams);
         let mean_times_streams = r.mean_stream_length() * r.streams as f64;
-        prop_assert!((mean_times_streams - r.covered as f64).abs() < 1e-6,
-            "streams sum {} vs covered {}", mean_times_streams, r.covered);
+        assert!(
+            (mean_times_streams - r.covered as f64).abs() < 1e-6,
+            "streams sum {} vs covered {}",
+            mean_times_streams,
+            r.covered
+        );
     }
+}
 
-    /// Doubling a sequence always yields at least 40% oracle coverage on
-    /// the second half (minus the single trigger miss).
-    #[test]
-    fn oracle_covers_verbatim_repeats(base in proptest::collection::vec(0u64..64, 8..100)) {
+/// Doubling a sequence always yields at least 40% oracle coverage on
+/// the second half (minus the single trigger miss).
+#[test]
+fn oracle_covers_verbatim_repeats() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::seed(0x4E_9E00 + case);
+        let base = seq(&mut rng, 64, 8, 100);
         let mut input = base.clone();
         input.extend_from_slice(&base);
         let r = oracle_replay(&input, &OracleConfig::default());
         // The entire second half except stream (re)starts is coverable.
-        prop_assert!(r.covered as usize + 8 >= base.len() / 2,
-            "covered {} of {} repeated", r.covered, base.len());
+        assert!(
+            r.covered as usize + 8 >= base.len() / 2,
+            "covered {} of {} repeated",
+            r.covered,
+            base.len()
+        );
     }
 }

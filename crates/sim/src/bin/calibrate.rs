@@ -26,11 +26,11 @@ fn main() {
     );
     for spec in catalog::all() {
         let trace: Vec<_> = spec.generator(scale.seed).take(scale.events).collect();
-        let seq = baseline_miss_sequence(&system, trace.clone());
+        let seq = baseline_miss_sequence(&system, &trace);
         let opp = oracle_replay(&seq, &OracleConfig::default());
         let run = |sys: System, degree: usize| {
             let mut p = sys.build(degree);
-            run_coverage(&system, trace.clone(), p.as_mut())
+            run_coverage(&system, &trace, p.as_mut())
         };
         let vldp = run(System::Vldp, 1);
         let isb = run(System::Isb, 1);

@@ -151,12 +151,12 @@ fn main() {
     };
     for (name, trace) in &runs {
         let mut base = System::Baseline.build(1);
-        let baseline = run_timing(&system, trace.clone(), base.as_mut());
+        let baseline = run_timing(&system, trace, base.as_mut());
         for &sys in &args.systems {
             let mut p = sys.build(args.degree);
-            let cov = run_coverage(&system, trace.clone(), p.as_mut());
+            let cov = run_coverage(&system, trace, p.as_mut());
             let mut p = sys.build(args.degree);
-            let t = run_timing(&system, trace.clone(), p.as_mut());
+            let t = run_timing(&system, trace, p.as_mut());
             let speedup = t.speedup_over(&baseline);
             if args.csv {
                 println!(

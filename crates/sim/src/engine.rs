@@ -131,14 +131,14 @@ impl CoverageReport {
 }
 
 /// Runs `prefetcher` over `trace` under the paper's methodology.
-pub fn run_coverage<I>(
+///
+/// Takes a borrowed slice so one generated trace can be shared across
+/// many runs (and across the threads of [`crate::exec`]).
+pub fn run_coverage(
     system: &SystemConfig,
-    trace: I,
+    trace: &[AccessEvent],
     prefetcher: &mut dyn Prefetcher,
-) -> CoverageReport
-where
-    I: IntoIterator<Item = AccessEvent>,
-{
+) -> CoverageReport {
     run_coverage_warmed(system, trace, prefetcher, 0)
 }
 
@@ -146,15 +146,12 @@ where
 /// train the caches and the prefetcher but are excluded from every
 /// metric — the paper's SimFlex methodology of measuring from warmed
 /// checkpoints (§IV-C).
-pub fn run_coverage_warmed<I>(
+pub fn run_coverage_warmed(
     system: &SystemConfig,
-    trace: I,
+    trace: &[AccessEvent],
     prefetcher: &mut dyn Prefetcher,
     warmup: usize,
-) -> CoverageReport
-where
-    I: IntoIterator<Item = AccessEvent>,
-{
+) -> CoverageReport {
     let mut l1 = SetAssocCache::new(system.l1d);
     let mut buffer = PrefetchBuffer::new(system.prefetch_buffer_blocks);
     let mut sink = CollectSink::new();
@@ -179,7 +176,7 @@ where
     // final counts so warmup overpredictions are not charged.
     let mut warmup_overpredictions = 0u64;
     let mut measuring = warmup == 0;
-    for (i, ev) in trace.into_iter().enumerate() {
+    for (i, &ev) in trace.iter().enumerate() {
         if !measuring && i >= warmup {
             measuring = true;
             warmup_overpredictions = buffer.stats().overpredictions();
@@ -257,10 +254,7 @@ where
 /// Convenience: the baseline miss sequence (line addresses, reads and
 /// writes) after L1 filtering — the input for Sequitur/oracle analyses
 /// and the lookup-depth studies.
-pub fn baseline_miss_sequence<I>(system: &SystemConfig, trace: I) -> Vec<u64>
-where
-    I: IntoIterator<Item = AccessEvent>,
-{
+pub fn baseline_miss_sequence(system: &SystemConfig, trace: &[AccessEvent]) -> Vec<u64> {
     let mut l1 = SetAssocCache::new(system.l1d);
     let mut out = Vec::new();
     for ev in trace {
@@ -304,7 +298,7 @@ mod tests {
     fn baseline_has_zero_coverage() {
         let trace = synthetic_repeating(3, 4096);
         let mut p = NoPrefetcher;
-        let r = run_coverage(&system(), trace, &mut p);
+        let r = run_coverage(&system(), &trace, &mut p);
         assert_eq!(r.covered, 0);
         assert_eq!(r.coverage(), 0.0);
         assert_eq!(r.overpredictions, 0);
@@ -321,7 +315,7 @@ mod tests {
             stream_end_detection: false,
             ..TemporalConfig::default()
         });
-        let r = run_coverage(&system(), trace, &mut p);
+        let r = run_coverage(&system(), &trace, &mut p);
         assert!(
             r.coverage() > 0.5,
             "coverage {} of {} misses",
@@ -342,7 +336,7 @@ mod tests {
             }
         }
         let mut p = NoPrefetcher;
-        let r = run_coverage(&system(), trace, &mut p);
+        let r = run_coverage(&system(), &trace, &mut p);
         assert_eq!(r.baseline_misses, 16);
         assert_eq!(r.l1_hits, 9 * 16);
     }
@@ -352,9 +346,9 @@ mod tests {
         let spec = catalog::oltp();
         let trace: Vec<_> = spec.generator(11).take(30_000).collect();
         let mut none = NoPrefetcher;
-        let base = run_coverage(&system(), trace.clone(), &mut none);
+        let base = run_coverage(&system(), &trace, &mut none);
         let mut stms = Stms::new(TemporalConfig::default());
-        let with = run_coverage(&system(), trace, &mut stms);
+        let with = run_coverage(&system(), &trace, &mut stms);
         assert_eq!(
             base.baseline_misses, with.baseline_misses,
             "prefetching must not perturb the baseline miss count"
@@ -365,9 +359,9 @@ mod tests {
     fn miss_sequence_matches_engine_count() {
         let spec = catalog::web_search();
         let trace: Vec<_> = spec.generator(5).take(20_000).collect();
-        let seq = baseline_miss_sequence(&system(), trace.clone());
+        let seq = baseline_miss_sequence(&system(), &trace);
         let mut p = NoPrefetcher;
-        let r = run_coverage(&system(), trace, &mut p);
+        let r = run_coverage(&system(), &trace, &mut p);
         assert_eq!(seq.len() as u64, r.baseline_misses);
     }
 
@@ -376,7 +370,7 @@ mod tests {
         let spec = catalog::oltp();
         let trace: Vec<_> = spec.generator(4).take(50_000).collect();
         let mut p = Stms::new(TemporalConfig::default());
-        let r = run_coverage(&system(), trace, &mut p);
+        let r = run_coverage(&system(), &trace, &mut p);
         assert!(r.read_misses > 0 && r.read_misses < r.baseline_misses);
         assert!(
             (r.read_coverage() - r.coverage()).abs() < 0.05,
@@ -391,9 +385,9 @@ mod tests {
         let spec = catalog::oltp();
         let trace: Vec<_> = spec.generator(21).take(40_000).collect();
         let mut cold = Stms::new(TemporalConfig::default());
-        let cold_r = run_coverage(&system(), trace.clone(), &mut cold);
+        let cold_r = run_coverage(&system(), &trace, &mut cold);
         let mut warm = Stms::new(TemporalConfig::default());
-        let warm_r = super::run_coverage_warmed(&system(), trace, &mut warm, 10_000);
+        let warm_r = super::run_coverage_warmed(&system(), &trace, &mut warm, 10_000);
         // The warmed run measures fewer accesses but higher coverage: the
         // cold-start region (empty tables, first touches) is excluded.
         assert!(warm_r.accesses < cold_r.accesses);
@@ -410,7 +404,7 @@ mod tests {
         let spec = catalog::oltp();
         let trace: Vec<_> = spec.generator(21).take(1_000).collect();
         let mut p = NoPrefetcher;
-        let r = super::run_coverage_warmed(&system(), trace, &mut p, 5_000);
+        let r = super::run_coverage_warmed(&system(), &trace, &mut p, 5_000);
         assert_eq!(r.accesses, 0);
         assert_eq!(r.baseline_misses, 0);
     }
@@ -420,7 +414,7 @@ mod tests {
         let spec = catalog::oltp();
         let trace: Vec<_> = spec.generator(3).take(60_000).collect();
         let mut stms = Stms::new(TemporalConfig::default());
-        let r = run_coverage(&system(), trace, &mut stms);
+        let r = run_coverage(&system(), &trace, &mut stms);
         assert!(r.coverage() > 0.1, "OLTP coverage {}", r.coverage());
     }
 }

@@ -1,0 +1,159 @@
+//! Parallel sweep executor for figure/table runs.
+//!
+//! Every paper figure is a sweep over independent (workload × prefetcher
+//! × parameter) cells, each of which replays a trace through its own
+//! private engine state — embarrassingly parallel work that the figure
+//! runners used to execute strictly sequentially. This module fans such
+//! runs across a dependency-free scoped-thread pool
+//! (`std::thread::scope`; the build environment cannot fetch crates, so
+//! no rayon) while keeping results **deterministic**: they are returned
+//! in submission order regardless of completion order or job count.
+//!
+//! The job count resolves, in priority order, from
+//! [`set_jobs_override`] (used by tests and the `figures` example), the
+//! `DOMINO_JOBS` environment variable, and finally
+//! [`std::thread::available_parallelism`].
+//!
+//! ```
+//! use domino_sim::exec;
+//! let squares = exec::sweep((0..8).map(|i| move || i * i));
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Job-count override set programmatically; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the sweep job count for this process, taking precedence
+/// over `DOMINO_JOBS`. Pass `None` to restore env/host resolution.
+/// Used by the determinism tests and the `--jobs` flag of the figures
+/// example; safer than mutating the environment from threaded code.
+pub fn set_jobs_override(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the number of worker threads a sweep will use: the
+/// [`set_jobs_override`] value if set, else `DOMINO_JOBS` if set and
+/// positive, else the host's available parallelism.
+pub fn jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(val) = std::env::var("DOMINO_JOBS") {
+        if let Ok(n) = val.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every closure of `tasks` and returns their results **in
+/// submission order**, fanning the work across [`jobs`] scoped threads.
+///
+/// Workers claim tasks through a shared atomic cursor (dynamic
+/// scheduling: long cells don't straggle behind a static partition) and
+/// each result is written to the slot of its submission index, so the
+/// output is byte-for-byte identical at any job count.
+pub fn sweep<T, F, I>(tasks: I) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    I: IntoIterator<Item = F>,
+{
+    sweep_with(jobs(), tasks)
+}
+
+/// [`sweep`] with an explicit job count (mainly for tests).
+pub fn sweep_with<T, F, I>(jobs: usize, tasks: I) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+    I: IntoIterator<Item = F>,
+{
+    // Each task sits in a Mutex<Option<..>> cell so the claiming worker
+    // can move it out; the atomic cursor hands every index to exactly
+    // one worker, so the locks are uncontended.
+    let cells: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.max(1).min(n);
+    if workers == 1 {
+        return cells
+            .into_iter()
+            .map(|c| (c.into_inner().expect("unpoisoned").expect("present"))())
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slot_cells: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = cells[i]
+                    .lock()
+                    .expect("unpoisoned")
+                    .take()
+                    .expect("claimed exactly once");
+                let result = task();
+                **slot_cells[i].lock().expect("unpoisoned") = Some(result);
+            });
+        }
+    });
+    drop(slot_cells);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        let out = sweep_with(4, (0..64).map(|i| move || i * 3));
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let serial = sweep_with(1, (0..37).map(|i| move || i * i + 1));
+        let parallel = sweep_with(8, (0..37).map(|i| move || i * i + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let out: Vec<u64> = sweep_with(4, Vec::<fn() -> u64>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = sweep_with(64, (0..3).map(|i| move || i));
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn override_takes_precedence() {
+        set_jobs_override(Some(3));
+        assert_eq!(jobs(), 3);
+        set_jobs_override(None);
+        assert!(jobs() >= 1);
+    }
+}

@@ -3,17 +3,28 @@
 //! Each `figNN` function runs the corresponding experiment at a given
 //! [`Scale`] and returns one or more [`FigureTable`]s that print the same
 //! rows/series the paper plots. `examples/figures.rs` runs them all at
-//! full scale; the Criterion benches run them at reduced scale.
+//! full scale; the benches run them at reduced scale.
+//!
+//! Every runner submits its independent (workload × prefetcher ×
+//! parameter) cells to the parallel executor in [`crate::exec`] and
+//! assembles rows from the deterministically-ordered results, with the
+//! per-(spec, seed, events) trace generated once in
+//! [`crate::trace_cache`] and shared across cells.
 
 use domino_prefetchers::LookupAnalyzer;
 use domino_sequitur::oracle::{oracle_replay, OracleConfig};
 use domino_trace::workload::{catalog, WorkloadSpec};
 
 use crate::config::SystemConfig;
-use crate::engine::{baseline_miss_sequence, run_coverage_warmed, CoverageReport};
+use crate::engine::{run_coverage_warmed, CoverageReport};
+use crate::exec;
 use crate::report::FigureTable;
 use crate::roster::System;
-use crate::timing::run_timing_warmed;
+use crate::timing::{run_timing_warmed, TimingReport};
+use crate::trace_cache::{shared_miss_sequence, shared_trace};
+
+/// A figure cell: one independent run, boxed for the sweep executor.
+type Job<T> = Box<dyn FnOnce() -> T + Send>;
 
 /// How much trace to simulate per workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,10 +60,6 @@ impl Scale {
     }
 }
 
-fn trace(spec: &WorkloadSpec, scale: &Scale) -> Vec<domino_trace::event::AccessEvent> {
-    spec.generator(scale.seed).take(scale.events).collect()
-}
-
 fn coverage_of(
     system: &SystemConfig,
     spec: &WorkloadSpec,
@@ -60,8 +67,21 @@ fn coverage_of(
     sys: System,
     degree: usize,
 ) -> CoverageReport {
+    let trace = shared_trace(spec, scale.events, scale.seed);
     let mut p = sys.build(degree);
-    run_coverage_warmed(system, trace(spec, scale), p.as_mut(), scale.warmup())
+    run_coverage_warmed(system, &trace, p.as_mut(), scale.warmup())
+}
+
+fn timing_of(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    sys: System,
+    degree: usize,
+) -> TimingReport {
+    let trace = shared_trace(spec, scale.events, scale.seed);
+    let mut p = sys.build(degree);
+    run_timing_warmed(system, &trace, p.as_mut(), scale.warmup())
 }
 
 fn oracle_of(
@@ -69,7 +89,7 @@ fn oracle_of(
     spec: &WorkloadSpec,
     scale: &Scale,
 ) -> domino_sequitur::OracleReport {
-    let seq = baseline_miss_sequence(system, trace(spec, scale));
+    let seq = shared_miss_sequence(system, spec, scale.events, scale.seed);
     // The warmup is defined in accesses; misses are the large majority of
     // accesses in these models, so scale the prefix by the miss ratio.
     let warmup = (scale.warmup() as f64 * seq.len() as f64 / scale.events.max(1) as f64) as usize;
@@ -86,17 +106,30 @@ fn oracle_of(
 /// versus the Sequitur-oracle opportunity, prefetch degree 1.
 pub fn fig01(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut t = FigureTable::new(
         "Figure 1 — miss coverage vs temporal opportunity (degree 1)",
         "workload",
         vec!["ISB".into(), "STMS".into(), "Opportunity".into()],
     );
     t.percent = true;
-    for spec in catalog::all() {
-        let isb = coverage_of(&system, &spec, scale, System::Isb, 1).coverage();
-        let stms = coverage_of(&system, &spec, scale, System::Stms, 1).coverage();
-        let opp = oracle_of(&system, &spec, scale).coverage();
-        t.push_row(spec.name.clone(), vec![isb, stms, opp]);
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<f64>> = Vec::new();
+    for spec in &specs {
+        for sys in [System::Isb, System::Stms] {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                coverage_of(&system, &spec, &scale, sys, 1).coverage()
+            }));
+        }
+        let spec = spec.clone();
+        jobs.push(Box::new(move || {
+            oracle_of(&system, &spec, &scale).coverage()
+        }));
+    }
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results.chunks(3)) {
+        t.push_row(spec.name.clone(), row.to_vec());
     }
     t.push_mean_row("Average");
     t
@@ -106,16 +139,29 @@ pub fn fig01(scale: &Scale) -> FigureTable {
 /// oracle ("a stream is the sequence of consecutive correct prefetches").
 pub fn fig02(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut t = FigureTable::new(
         "Figure 2 — average stream length",
         "workload",
         vec!["STMS".into(), "Digram".into(), "Sequitur".into()],
     );
-    for spec in catalog::all() {
-        let stms = coverage_of(&system, &spec, scale, System::Stms, 1).mean_stream_length();
-        let digram = coverage_of(&system, &spec, scale, System::Digram, 1).mean_stream_length();
-        let seq = oracle_of(&system, &spec, scale).mean_stream_length();
-        t.push_row(spec.name.clone(), vec![stms, digram, seq]);
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<f64>> = Vec::new();
+    for spec in &specs {
+        for sys in [System::Stms, System::Digram] {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                coverage_of(&system, &spec, &scale, sys, 1).mean_stream_length()
+            }));
+        }
+        let spec = spec.clone();
+        jobs.push(Box::new(move || {
+            oracle_of(&system, &spec, &scale).mean_stream_length()
+        }));
+    }
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results.chunks(3)) {
+        t.push_row(spec.name.clone(), row.to_vec());
     }
     t.push_mean_row("Average");
     t
@@ -127,51 +173,64 @@ fn lookup_stats(
     scale: &Scale,
     max_depth: usize,
 ) -> domino_prefetchers::LookupDepthStats {
-    let seq = baseline_miss_sequence(system, trace(spec, scale));
+    let seq = shared_miss_sequence(system, spec, scale.events, scale.seed);
     let mut analyzer = LookupAnalyzer::new(max_depth);
-    for &v in &seq {
+    for &v in seq.iter() {
         analyzer.push(domino_trace::addr::LineAddr::new(v));
     }
     analyzer.stats().clone()
 }
 
-/// Figure 3 — fraction of matching lookups that predict correctly, as a
-/// function of lookup depth (1..=5).
-pub fn fig03(scale: &Scale) -> FigureTable {
+/// Shared body of Figures 3 and 4: one lookup-depth analysis per
+/// workload, fanned across the executor.
+fn lookup_depth_table(
+    scale: &Scale,
+    title: &str,
+    extract: fn(&domino_prefetchers::LookupDepthStats) -> Vec<f64>,
+) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let cols: Vec<String> = (1..=5).map(|k| format!("{k}-addr")).collect();
-    let mut t = FigureTable::new(
-        "Figure 3 — P(correct | match) by lookup depth",
-        "workload",
-        cols,
-    );
+    let mut t = FigureTable::new(title, "workload", cols);
     t.percent = true;
-    for spec in catalog::all() {
-        let stats = lookup_stats(&system, &spec, scale, 5);
-        t.push_row(spec.name.clone(), stats.correct_given_match());
+    let specs = catalog::all();
+    let jobs: Vec<Job<Vec<f64>>> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            Box::new(move || extract(&lookup_stats(&system, &spec, &scale, 5))) as Job<Vec<f64>>
+        })
+        .collect();
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results) {
+        t.push_row(spec.name.clone(), row);
     }
     t.push_mean_row("Average");
     t
 }
 
+/// Figure 3 — fraction of matching lookups that predict correctly, as a
+/// function of lookup depth (1..=5).
+pub fn fig03(scale: &Scale) -> FigureTable {
+    lookup_depth_table(
+        scale,
+        "Figure 3 — P(correct | match) by lookup depth",
+        |stats| stats.correct_given_match(),
+    )
+}
+
 /// Figure 4 — fraction of lookups that find a match, by lookup depth.
 pub fn fig04(scale: &Scale) -> FigureTable {
-    let system = SystemConfig::paper();
-    let cols: Vec<String> = (1..=5).map(|k| format!("{k}-addr")).collect();
-    let mut t = FigureTable::new("Figure 4 — P(match) by lookup depth", "workload", cols);
-    t.percent = true;
-    for spec in catalog::all() {
-        let stats = lookup_stats(&system, &spec, scale, 5);
-        t.push_row(spec.name.clone(), stats.match_fractions());
-    }
-    t.push_mean_row("Average");
-    t
+    lookup_depth_table(scale, "Figure 4 — P(match) by lookup depth", |stats| {
+        stats.match_fractions()
+    })
 }
 
 /// Figure 5 — coverage and overpredictions of the recursive multi-depth
 /// prefetcher for maximum depths 1..=5 (degree 1, unlimited storage).
 pub fn fig05(scale: &Scale) -> Vec<FigureTable> {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let cols: Vec<String> = (1..=5).map(|k| format!("N={k}")).collect();
     let mut cov = FigureTable::new(
         "Figure 5a — coverage by maximum lookup depth (degree 1)",
@@ -185,16 +244,21 @@ pub fn fig05(scale: &Scale) -> Vec<FigureTable> {
         cols,
     );
     over.percent = true;
-    for spec in catalog::all() {
-        let mut cov_row = Vec::new();
-        let mut over_row = Vec::new();
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<(f64, f64)>> = Vec::new();
+    for spec in &specs {
         for n in 1..=5 {
-            let r = coverage_of(&system, &spec, scale, System::MultiDepth(n), 1);
-            cov_row.push(r.coverage());
-            over_row.push(r.overprediction_rate());
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let r = coverage_of(&system, &spec, &scale, System::MultiDepth(n), 1);
+                (r.coverage(), r.overprediction_rate())
+            }));
         }
-        cov.push_row(spec.name.clone(), cov_row);
-        over.push_row(spec.name.clone(), over_row);
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(5)) {
+        cov.push_row(spec.name.clone(), cells.iter().map(|c| c.0).collect());
+        over.push_row(spec.name.clone(), cells.iter().map(|c| c.1).collect());
     }
     cov.push_mean_row("Average");
     over.push_mean_row("Average");
@@ -205,6 +269,7 @@ pub fn fig05(scale: &Scale) -> Vec<FigureTable> {
 /// the implied nanoseconds) before a stream's first prefetch.
 pub fn fig06(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let lat = system.memory.latency_ns;
     let mut t = FigureTable::new(
         "Figure 6 — serial metadata round trips before the first prefetch of a stream",
@@ -216,10 +281,54 @@ pub fn fig06(scale: &Scale) -> FigureTable {
             "Domino ns".into(),
         ],
     );
-    for spec in catalog::all() {
-        let stms = coverage_of(&system, &spec, scale, System::Stms, 4).mean_first_prefetch_trips();
-        let dom = coverage_of(&system, &spec, scale, System::Domino, 4).mean_first_prefetch_trips();
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<f64>> = Vec::new();
+    for spec in &specs {
+        for sys in [System::Stms, System::Domino] {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                coverage_of(&system, &spec, &scale, sys, 4).mean_first_prefetch_trips()
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(2)) {
+        let (stms, dom) = (cells[0], cells[1]);
         t.push_row(spec.name.clone(), vec![stms, dom, stms * lat, dom * lat]);
+    }
+    t.push_mean_row("Average");
+    t
+}
+
+/// Shared body of Figures 9 and 10: Domino coverage over a sweep of one
+/// storage parameter, every (workload × size) cell run in parallel.
+fn domino_size_sweep(
+    scale: &Scale,
+    title: &str,
+    sizes: &[(usize, &str)],
+    cfg_of: fn(usize) -> domino::DominoConfig,
+) -> FigureTable {
+    use domino::Domino;
+    let system = SystemConfig::paper();
+    let scale = *scale;
+    let cols: Vec<String> = sizes.iter().map(|&(_, n)| n.to_string()).collect();
+    let mut t = FigureTable::new(title, "workload", cols);
+    t.percent = true;
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<f64>> = Vec::new();
+    for spec in &specs {
+        for &(size, _) in sizes {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let trace = shared_trace(&spec, scale.events, scale.seed);
+                let mut p = Domino::new(cfg_of(size));
+                run_coverage_warmed(&system, &trace, &mut p, scale.warmup()).coverage()
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results.chunks(sizes.len())) {
+        t.push_row(spec.name.clone(), row.to_vec());
     }
     t.push_mean_row("Average");
     t
@@ -228,8 +337,7 @@ pub fn fig06(scale: &Scale) -> FigureTable {
 /// Figure 9 — Domino coverage versus History Table entries (unbounded
 /// EIT), degree 4.
 pub fn fig09(scale: &Scale) -> FigureTable {
-    use domino::{Domino, DominoConfig};
-    let system = SystemConfig::paper();
+    use domino::DominoConfig;
     let sizes: [(usize, &str); 6] = [
         (1 << 12, "4K"),
         (1 << 14, "16K"),
@@ -238,36 +346,22 @@ pub fn fig09(scale: &Scale) -> FigureTable {
         (1 << 20, "1M"),
         (16 << 20, "16M"),
     ];
-    let cols: Vec<String> = sizes.iter().map(|&(_, n)| n.to_string()).collect();
-    let mut t = FigureTable::new(
+    domino_size_sweep(
+        scale,
         "Figure 9 — Domino coverage vs HT entries (EIT unbounded, degree 4)",
-        "workload",
-        cols,
-    );
-    t.percent = true;
-    for spec in catalog::all() {
-        let mut row = Vec::new();
-        for &(entries, _) in &sizes {
-            let cfg = DominoConfig {
-                ht_entries: entries,
-                eit: domino::EitConfig::unbounded(),
-                ..DominoConfig::default()
-            };
-            let mut p = Domino::new(cfg);
-            let r = run_coverage_warmed(&system, trace(&spec, scale), &mut p, scale.warmup());
-            row.push(r.coverage());
-        }
-        t.push_row(spec.name.clone(), row);
-    }
-    t.push_mean_row("Average");
-    t
+        &sizes,
+        |entries| DominoConfig {
+            ht_entries: entries,
+            eit: domino::EitConfig::unbounded(),
+            ..DominoConfig::default()
+        },
+    )
 }
 
 /// Figure 10 — Domino coverage versus EIT rows (HT at its 16 M-entry
 /// paper size), degree 4.
 pub fn fig10(scale: &Scale) -> FigureTable {
-    use domino::{Domino, DominoConfig, EitConfig};
-    let system = SystemConfig::paper();
+    use domino::{DominoConfig, EitConfig};
     let sizes: [(usize, &str); 6] = [
         (1 << 8, "256"),
         (1 << 10, "1K"),
@@ -276,37 +370,25 @@ pub fn fig10(scale: &Scale) -> FigureTable {
         (1 << 16, "64K"),
         (2 << 20, "2M"),
     ];
-    let cols: Vec<String> = sizes.iter().map(|&(_, n)| n.to_string()).collect();
-    let mut t = FigureTable::new(
+    domino_size_sweep(
+        scale,
         "Figure 10 — Domino coverage vs EIT rows (HT = 16 M entries, degree 4)",
-        "workload",
-        cols,
-    );
-    t.percent = true;
-    for spec in catalog::all() {
-        let mut row = Vec::new();
-        for &(rows, _) in &sizes {
-            let cfg = DominoConfig {
-                eit: EitConfig {
-                    rows,
-                    ..EitConfig::default()
-                },
-                ..DominoConfig::default()
-            };
-            let mut p = Domino::new(cfg);
-            let r = run_coverage_warmed(&system, trace(&spec, scale), &mut p, scale.warmup());
-            row.push(r.coverage());
-        }
-        t.push_row(spec.name.clone(), row);
-    }
-    t.push_mean_row("Average");
-    t
+        &sizes,
+        |rows| DominoConfig {
+            eit: EitConfig {
+                rows,
+                ..EitConfig::default()
+            },
+            ..DominoConfig::default()
+        },
+    )
 }
 
 /// Shared body of Figures 11 and 13: coverage and overpredictions for the
 /// full roster at a given degree, plus the Sequitur-oracle opportunity.
 fn roster_comparison(scale: &Scale, degree: usize, figure: &str) -> Vec<FigureTable> {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut cols: Vec<String> = System::paper_roster().iter().map(|s| s.label()).collect();
     cols.push("Sequitur".into());
     let mut cov = FigureTable::new(
@@ -321,19 +403,27 @@ fn roster_comparison(scale: &Scale, degree: usize, figure: &str) -> Vec<FigureTa
         cols,
     );
     over.percent = true;
-    for spec in catalog::all() {
-        let mut cov_row = Vec::new();
-        let mut over_row = Vec::new();
-        for sys in System::paper_roster() {
-            let r = coverage_of(&system, &spec, scale, sys, degree);
-            cov_row.push(r.coverage());
-            over_row.push(r.overprediction_rate());
+    let specs = catalog::all();
+    let roster = System::paper_roster();
+    let per_row = roster.len() + 1;
+    let mut jobs: Vec<Job<(f64, f64)>> = Vec::new();
+    for spec in &specs {
+        for sys in roster {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let r = coverage_of(&system, &spec, &scale, sys, degree);
+                (r.coverage(), r.overprediction_rate())
+            }));
         }
-        let opp = oracle_of(&system, &spec, scale);
-        cov_row.push(opp.coverage());
-        over_row.push(f64::NAN);
-        cov.push_row(spec.name.clone(), cov_row);
-        over.push_row(spec.name.clone(), over_row);
+        let spec = spec.clone();
+        jobs.push(Box::new(move || {
+            (oracle_of(&system, &spec, &scale).coverage(), f64::NAN)
+        }));
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(per_row)) {
+        cov.push_row(spec.name.clone(), cells.iter().map(|c| c.0).collect());
+        over.push_row(spec.name.clone(), cells.iter().map(|c| c.1).collect());
     }
     cov.push_mean_row("Average");
     over.rows.push("Average".into());
@@ -366,6 +456,7 @@ pub fn fig11(scale: &Scale) -> Vec<FigureTable> {
 /// Figure 12 — cumulative histogram of oracle stream lengths.
 pub fn fig12(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let bounds = domino_sequitur::histogram::FIG12_BOUNDS;
     let cols: Vec<String> = bounds
         .iter()
@@ -383,9 +474,21 @@ pub fn fig12(scale: &Scale) -> FigureTable {
         cols,
     );
     t.percent = true;
-    for spec in catalog::all() {
-        let opp = oracle_of(&system, &spec, scale);
-        t.push_row(spec.name.clone(), opp.stream_lengths.cumulative_fractions());
+    let specs = catalog::all();
+    let jobs: Vec<Job<Vec<f64>>> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            Box::new(move || {
+                oracle_of(&system, &spec, &scale)
+                    .stream_lengths
+                    .cumulative_fractions()
+            }) as Job<Vec<f64>>
+        })
+        .collect();
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results) {
+        t.push_row(spec.name.clone(), row);
     }
     t.push_mean_row("Average");
     t
@@ -400,24 +503,39 @@ pub fn fig13(scale: &Scale) -> Vec<FigureTable> {
 /// timing model, degree 4.
 pub fn fig14(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
-    let cols: Vec<String> = System::paper_roster().iter().map(|s| s.label()).collect();
+    let scale = *scale;
+    let roster = System::paper_roster();
+    let cols: Vec<String> = roster.iter().map(|s| s.label()).collect();
     let mut t = FigureTable::new(
         "Figure 14 — speedup over baseline (degree 4)",
         "workload",
         cols,
     );
-    for spec in catalog::all() {
-        let events = trace(&spec, scale);
-        let warm = scale.warmup();
-        let mut base = System::Baseline.build(1);
-        let baseline = run_timing_warmed(&system, events.clone(), base.as_mut(), warm);
-        let mut row = Vec::new();
-        for sys in System::paper_roster() {
-            let mut p = sys.build(4);
-            let r = run_timing_warmed(&system, events.clone(), p.as_mut(), warm);
-            row.push(r.speedup_over(&baseline));
+    let specs = catalog::all();
+    let per_row = roster.len() + 1;
+    let mut jobs: Vec<Job<TimingReport>> = Vec::new();
+    for spec in &specs {
+        {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                timing_of(&system, &spec, &scale, System::Baseline, 1)
+            }));
         }
-        t.push_row(spec.name.clone(), row);
+        for sys in roster {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || timing_of(&system, &spec, &scale, sys, 4)));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(per_row)) {
+        let baseline = &cells[0];
+        t.push_row(
+            spec.name.clone(),
+            cells[1..]
+                .iter()
+                .map(|r| r.speedup_over(baseline))
+                .collect(),
+        );
     }
     t.push_gmean_row("GMean");
     t
@@ -428,6 +546,7 @@ pub fn fig14(scale: &Scale) -> FigureTable {
 /// metadata reads (averaged over workloads, degree 4).
 pub fn fig15(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let roster = [System::Stms, System::Digram, System::Domino];
     let mut t = FigureTable::new(
         "Figure 15 — off-chip traffic overhead over baseline (degree 4, average of workloads)",
@@ -440,22 +559,28 @@ pub fn fig15(scale: &Scale) -> FigureTable {
         ],
     );
     t.percent = true;
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<(f64, f64, f64)>> = Vec::new();
     for sys in roster {
-        let mut incorrect = 0.0;
-        let mut update = 0.0;
-        let mut read = 0.0;
-        let specs = catalog::all();
         for spec in &specs {
-            let r = coverage_of(&system, spec, scale, sys, 4);
-            let demand = r.demand_bytes() as f64;
-            incorrect += r.incorrect_prefetch_bytes() as f64 / demand;
-            update += r.metadata_write_bytes() as f64 / demand;
-            read += r.metadata_read_bytes() as f64 / demand;
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let r = coverage_of(&system, &spec, &scale, sys, 4);
+                let demand = r.demand_bytes() as f64;
+                (
+                    r.incorrect_prefetch_bytes() as f64 / demand,
+                    r.metadata_write_bytes() as f64 / demand,
+                    r.metadata_read_bytes() as f64 / demand,
+                )
+            }));
         }
-        let n = specs.len() as f64;
-        incorrect /= n;
-        update /= n;
-        read /= n;
+    }
+    let results = exec::sweep(jobs);
+    let n = specs.len() as f64;
+    for (sys, cells) in roster.iter().zip(results.chunks(specs.len())) {
+        let incorrect = cells.iter().map(|c| c.0).sum::<f64>() / n;
+        let update = cells.iter().map(|c| c.1).sum::<f64>() / n;
+        let read = cells.iter().map(|c| c.2).sum::<f64>() / n;
         t.push_row(
             sys.label(),
             vec![incorrect, update, read, incorrect + update + read],
@@ -472,6 +597,7 @@ pub fn fig15(scale: &Scale) -> FigureTable {
 pub fn bandwidth_utilization(scale: &Scale) -> FigureTable {
     use crate::multicore::run_homogeneous;
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut t = FigureTable::new(
         "§V-D — chip bandwidth, 4 cores (GB/s and % of 37.5 GB/s peak)",
         "workload",
@@ -485,9 +611,19 @@ pub fn bandwidth_utilization(scale: &Scale) -> FigureTable {
     // A quarter of the single-core scale per core keeps the total work
     // comparable to the other figures.
     let events = (scale.events / 2).max(10_000);
-    for spec in catalog::all() {
-        let base = run_homogeneous(&system, &spec, events, scale.seed, System::Baseline, 1);
-        let dom = run_homogeneous(&system, &spec, events, scale.seed, System::Domino, 4);
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<crate::multicore::MulticoreReport>> = Vec::new();
+    for spec in &specs {
+        for (sys, degree) in [(System::Baseline, 1), (System::Domino, 4)] {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                run_homogeneous(&system, &spec, events, scale.seed, sys, degree)
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(2)) {
+        let (base, dom) = (&cells[0], &cells[1]);
         t.push_row(
             spec.name.clone(),
             vec![
@@ -506,17 +642,27 @@ pub fn bandwidth_utilization(scale: &Scale) -> FigureTable {
 /// of both (degree 4 coverage).
 pub fn fig16(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut t = FigureTable::new(
         "Figure 16 — spatio-temporal coverage (degree 4)",
         "workload",
         vec!["VLDP".into(), "Domino".into(), "VLDP+Domino".into()],
     );
     t.percent = true;
-    for spec in catalog::all() {
-        let v = coverage_of(&system, &spec, scale, System::Vldp, 4).coverage();
-        let d = coverage_of(&system, &spec, scale, System::Domino, 4).coverage();
-        let both = coverage_of(&system, &spec, scale, System::VldpPlusDomino, 4).coverage();
-        t.push_row(spec.name.clone(), vec![v, d, both]);
+    let specs = catalog::all();
+    let roster = [System::Vldp, System::Domino, System::VldpPlusDomino];
+    let mut jobs: Vec<Job<f64>> = Vec::new();
+    for spec in &specs {
+        for sys in roster {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                coverage_of(&system, &spec, &scale, sys, 4).coverage()
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results.chunks(roster.len())) {
+        t.push_row(spec.name.clone(), row.to_vec());
     }
     t.push_mean_row("Average");
     t
@@ -528,6 +674,7 @@ pub fn fig16(scale: &Scale) -> FigureTable {
 /// under identical conditions at degree 4.
 pub fn extended_roster(scale: &Scale) -> Vec<FigureTable> {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let roster = [
         System::NextLine,
         System::Stride,
@@ -554,16 +701,21 @@ pub fn extended_roster(scale: &Scale) -> Vec<FigureTable> {
         cols,
     );
     over.percent = true;
-    for spec in catalog::all() {
-        let mut cov_row = Vec::new();
-        let mut over_row = Vec::new();
+    let specs = catalog::all();
+    let mut jobs: Vec<Job<(f64, f64)>> = Vec::new();
+    for spec in &specs {
         for sys in roster {
-            let r = coverage_of(&system, &spec, scale, sys, 4);
-            cov_row.push(r.coverage());
-            over_row.push(r.overprediction_rate());
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let r = coverage_of(&system, &spec, &scale, sys, 4);
+                (r.coverage(), r.overprediction_rate())
+            }));
         }
-        cov.push_row(spec.name.clone(), cov_row);
-        over.push_row(spec.name.clone(), over_row);
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(roster.len())) {
+        cov.push_row(spec.name.clone(), cells.iter().map(|c| c.0).collect());
+        over.push_row(spec.name.clone(), cells.iter().map(|c| c.1).collect());
     }
     cov.push_mean_row("Average");
     over.push_mean_row("Average");
@@ -578,6 +730,7 @@ pub fn extended_roster(scale: &Scale) -> Vec<FigureTable> {
 pub fn opportunity_methods(scale: &Scale) -> FigureTable {
     use domino_sequitur::{analysis, Sequitur};
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut t = FigureTable::new(
         "Opportunity measures — Sequitur grammar vs longest-stream oracle",
         "workload",
@@ -586,12 +739,23 @@ pub fn opportunity_methods(scale: &Scale) -> FigureTable {
     t.percent = true;
     // The grammar is O(n) but allocation-heavy; cap its input.
     let cap = scale.events.min(150_000);
-    for spec in catalog::all() {
-        let seq = baseline_miss_sequence(&system, trace(&spec, scale));
-        let grammar = Sequitur::from_sequence(seq.iter().copied().take(cap));
-        let g = analysis::grammar_coverage(&grammar);
-        let o = oracle_replay(&seq, &OracleConfig::default()).coverage();
-        t.push_row(spec.name.clone(), vec![g, o]);
+    let specs = catalog::all();
+    let jobs: Vec<Job<Vec<f64>>> = specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            Box::new(move || {
+                let seq = shared_miss_sequence(&system, &spec, scale.events, scale.seed);
+                let grammar = Sequitur::from_sequence(seq.iter().copied().take(cap));
+                let g = analysis::grammar_coverage(&grammar);
+                let o = oracle_replay(&seq, &OracleConfig::default()).coverage();
+                vec![g, o]
+            }) as Job<Vec<f64>>
+        })
+        .collect();
+    let results = exec::sweep(jobs);
+    for (spec, row) in specs.iter().zip(results) {
+        t.push_row(spec.name.clone(), row);
     }
     t.push_mean_row("Average");
     t
@@ -602,6 +766,7 @@ pub fn opportunity_methods(scale: &Scale) -> FigureTable {
 /// dependent (serializing) misses, on the OLTP model.
 pub fn mlp_sensitivity(scale: &Scale) -> FigureTable {
     let system = SystemConfig::paper();
+    let scale = *scale;
     let fracs = [0.1, 0.3, 0.5, 0.7, 0.9];
     let cols: Vec<String> = fracs.iter().map(|f| format!("dep={f:.1}")).collect();
     let mut t = FigureTable::new(
@@ -609,22 +774,27 @@ pub fn mlp_sensitivity(scale: &Scale) -> FigureTable {
         "system",
         cols,
     );
+    let mut jobs: Vec<Job<TimingReport>> = Vec::new();
+    for &f in &fracs {
+        for (sys, degree) in [
+            (System::Baseline, 1),
+            (System::Stms, 4),
+            (System::Domino, 4),
+        ] {
+            jobs.push(Box::new(move || {
+                let mut spec = catalog::oltp();
+                spec.temporal.dependent_frac = f;
+                timing_of(&system, &spec, &scale, sys, degree)
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
     let mut stms_row = Vec::new();
     let mut domino_row = Vec::new();
-    for &f in &fracs {
-        let mut spec = catalog::oltp();
-        spec.temporal.dependent_frac = f;
-        let events = trace(&spec, scale);
-        let warm = scale.warmup();
-        let mut base = System::Baseline.build(1);
-        let baseline = run_timing_warmed(&system, events.clone(), base.as_mut(), warm);
-        let mut p = System::Stms.build(4);
-        stms_row.push(
-            run_timing_warmed(&system, events.clone(), p.as_mut(), warm).speedup_over(&baseline),
-        );
-        let mut p = System::Domino.build(4);
-        domino_row
-            .push(run_timing_warmed(&system, events, p.as_mut(), warm).speedup_over(&baseline));
+    for cells in results.chunks(3) {
+        let baseline = &cells[0];
+        stms_row.push(cells[1].speedup_over(baseline));
+        domino_row.push(cells[2].speedup_over(baseline));
     }
     t.push_row("STMS", stms_row);
     t.push_row("Domino", domino_row);
@@ -636,8 +806,9 @@ pub fn mlp_sensitivity(scale: &Scale) -> FigureTable {
 /// speedups measured over several workload seeds, reported as mean and
 /// 95 % confidence half-width.
 pub fn fig14_confidence(scale: &Scale, seeds: &[u64]) -> FigureTable {
-    use crate::stats::over_seeds;
+    use crate::stats::Sample;
     let system = SystemConfig::paper();
+    let scale = *scale;
     let mut t = FigureTable::new(
         format!(
             "Figure 14 with 95% confidence over {} seeds (degree 4)",
@@ -651,19 +822,31 @@ pub fn fig14_confidence(scale: &Scale, seeds: &[u64]) -> FigureTable {
             "Domino ±".into(),
         ],
     );
-    for spec in catalog::all() {
-        let measure = |sys: System| {
-            over_seeds(seeds, |seed| {
-                let events: Vec<_> = spec.generator(seed).take(scale.events).collect();
-                let warm = scale.warmup();
-                let mut base = System::Baseline.build(1);
-                let baseline = run_timing_warmed(&system, events.clone(), base.as_mut(), warm);
-                let mut p = sys.build(4);
-                run_timing_warmed(&system, events, p.as_mut(), warm).speedup_over(&baseline)
-            })
-        };
-        let stms = measure(System::Stms);
-        let domino = measure(System::Domino);
+    let specs = catalog::all();
+    // One job per (workload, seed): the baseline run is computed once and
+    // shared by both prefetchers' speedups for that seed.
+    let mut jobs: Vec<Job<(f64, f64)>> = Vec::new();
+    for spec in &specs {
+        for &seed in seeds {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                let seeded = Scale {
+                    events: scale.events,
+                    seed,
+                };
+                let baseline = timing_of(&system, &spec, &seeded, System::Baseline, 1);
+                let stms = timing_of(&system, &spec, &seeded, System::Stms, 4);
+                let domino = timing_of(&system, &spec, &seeded, System::Domino, 4);
+                (stms.speedup_over(&baseline), domino.speedup_over(&baseline))
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(seeds.len())) {
+        let stms_speedups: Vec<f64> = cells.iter().map(|c| c.0).collect();
+        let domino_speedups: Vec<f64> = cells.iter().map(|c| c.1).collect();
+        let stms = Sample::of(&stms_speedups);
+        let domino = Sample::of(&domino_speedups);
         t.push_row(
             spec.name.clone(),
             vec![stms.mean, stms.ci95, domino.mean, domino.ci95],

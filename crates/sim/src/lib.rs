@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod figures;
 pub mod multicore;
 pub mod report;
@@ -34,6 +35,7 @@ pub mod roster;
 pub mod stats;
 pub mod svg;
 pub mod timing;
+pub mod trace_cache;
 
 pub use config::SystemConfig;
 pub use engine::{baseline_miss_sequence, run_coverage, CoverageReport};
@@ -43,3 +45,4 @@ pub use report::FigureTable;
 pub use roster::System;
 pub use stats::Sample;
 pub use timing::{run_timing, TimingReport};
+pub use trace_cache::{shared_miss_sequence, shared_trace};

@@ -188,7 +188,7 @@ mod tests {
         let single = {
             let trace: Vec<_> = catalog::oltp().generator(42).take(20_000).collect();
             let mut p = System::Domino.build(4);
-            crate::timing::run_timing(&system, trace, p.as_mut())
+            crate::timing::run_timing(&system, &trace, p.as_mut())
         };
         assert!(r.chip.total() > single.traffic.total());
     }

@@ -116,7 +116,7 @@ mod tests {
         let sample = over_seeds(&[1, 2, 3, 4], |seed| {
             let trace: Vec<_> = spec.generator(seed).take(40_000).collect();
             let mut p = System::Domino.build(4);
-            run_coverage(&system, trace, p.as_mut()).coverage()
+            run_coverage(&system, &trace, p.as_mut()).coverage()
         });
         assert_eq!(sample.n, 4);
         assert!(sample.mean > 0.05);

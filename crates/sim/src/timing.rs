@@ -327,29 +327,23 @@ impl<'a> CoreEngine<'a> {
 /// synthetic fills from the other (unsimulated) cores keeping the shared
 /// LLC under pressure. For real multi-core sharing see
 /// [`crate::multicore::run_multicore`].
-pub fn run_timing<I>(
+pub fn run_timing(
     system: &SystemConfig,
-    trace: I,
+    trace: &[AccessEvent],
     prefetcher: &mut dyn Prefetcher,
-) -> TimingReport
-where
-    I: IntoIterator<Item = AccessEvent>,
-{
+) -> TimingReport {
     run_timing_warmed(system, trace, prefetcher, 0)
 }
 
 /// [`run_timing`] with a warmup prefix excluded from all metrics
 /// (time, instructions, stalls, hit classes). Traffic remains cumulative,
 /// as a shared channel's counters would be.
-pub fn run_timing_warmed<I>(
+pub fn run_timing_warmed(
     system: &SystemConfig,
-    trace: I,
+    trace: &[AccessEvent],
     prefetcher: &mut dyn Prefetcher,
     warmup: usize,
-) -> TimingReport
-where
-    I: IntoIterator<Item = AccessEvent>,
-{
+) -> TimingReport {
     let mut l2 = SetAssocCache::new(system.l2);
     let mut dram = Dram::new(system.memory);
     // Cross-core LLC pollution state (other cores' fills). Two fills per
@@ -359,7 +353,7 @@ where
     let mut pollute_state: u64 = 0x1234_5678_9abc_def1;
     let pollute_per_event = 2 * (system.cores - 1) as usize;
     let mut engine = CoreEngine::new(system, prefetcher);
-    for (i, ev) in trace.into_iter().enumerate() {
+    for (i, ev) in trace.iter().enumerate() {
         if i == warmup && warmup > 0 {
             engine.mark_measurement_start();
         }
@@ -371,7 +365,7 @@ where
                 0x0F00_0000_0000 | (pollute_state & 0xFFFF_FFFF),
             ));
         }
-        engine.step(&ev, &mut l2, &mut dram);
+        engine.step(ev, &mut l2, &mut dram);
     }
     let traffic = dram.traffic();
     engine.finish(traffic)
@@ -407,9 +401,9 @@ mod tests {
     #[test]
     fn dependent_chains_are_slower_than_independent() {
         let mut p1 = NoPrefetcher;
-        let dep = run_timing(&system(), chase_trace(2, 100_000, true), &mut p1);
+        let dep = run_timing(&system(), &chase_trace(2, 100_000, true), &mut p1);
         let mut p2 = NoPrefetcher;
-        let indep = run_timing(&system(), chase_trace(2, 100_000, false), &mut p2);
+        let indep = run_timing(&system(), &chase_trace(2, 100_000, false), &mut p2);
         assert!(
             dep.total_ns > indep.total_ns * 1.5,
             "dependent {} vs independent {}",
@@ -422,13 +416,13 @@ mod tests {
     fn prefetching_speeds_up_repeating_dependent_misses() {
         let trace = chase_trace(4, 100_000, true);
         let mut base = NoPrefetcher;
-        let baseline = run_timing(&system(), trace.clone(), &mut base);
+        let baseline = run_timing(&system(), &trace, &mut base);
         let mut stms = Stms::new(TemporalConfig {
             sampling_probability: 1.0,
             stream_end_detection: false,
             ..TemporalConfig::default()
         });
-        let with = run_timing(&system(), trace, &mut stms);
+        let with = run_timing(&system(), &trace, &mut stms);
         let speedup = with.speedup_over(&baseline);
         assert!(speedup > 1.05, "speedup {speedup}");
         assert!(with.timely_hits + with.late_hits > 0);
@@ -438,7 +432,7 @@ mod tests {
     fn traffic_includes_metadata_for_temporal_prefetchers() {
         let trace = chase_trace(2, 80_000, true);
         let mut stms = Stms::new(TemporalConfig::default());
-        let r = run_timing(&system(), trace, &mut stms);
+        let r = run_timing(&system(), &trace, &mut stms);
         assert!(r.traffic.metadata_read > 0);
         assert!(r.traffic.demand > 0);
     }
@@ -448,7 +442,7 @@ mod tests {
         let spec = catalog::web_apache();
         let trace: Vec<_> = spec.generator(2).take(40_000).collect();
         let mut p = NoPrefetcher;
-        let r = run_timing(&system(), trace, &mut p);
+        let r = run_timing(&system(), &trace, &mut p);
         assert!(r.bandwidth_gbps() < system().memory.bandwidth_bytes_per_ns);
         assert!(r.throughput() > 0.0);
     }
@@ -457,9 +451,9 @@ mod tests {
     fn warmed_timing_subtracts_the_prefix() {
         let trace = chase_trace(2, 50_000, true);
         let mut p1 = NoPrefetcher;
-        let full = run_timing(&system(), trace.clone(), &mut p1);
+        let full = run_timing(&system(), &trace, &mut p1);
         let mut p2 = NoPrefetcher;
-        let warmed = super::run_timing_warmed(&system(), trace, &mut p2, 50_000);
+        let warmed = super::run_timing_warmed(&system(), &trace, &mut p2, 50_000);
         assert!(warmed.total_ns < full.total_ns);
         assert!(warmed.instructions < full.instructions);
         // The measured window is the second (warmed) pass: roughly half
@@ -476,7 +470,7 @@ mod tests {
     fn instructions_counted() {
         let trace = chase_trace(1, 100, false);
         let mut p = NoPrefetcher;
-        let r = run_timing(&system(), trace, &mut p);
+        let r = run_timing(&system(), &trace, &mut p);
         assert_eq!(r.instructions, 100 * 21);
     }
 }

@@ -1,0 +1,138 @@
+//! Process-wide cache of generated workload traces.
+//!
+//! Figure runners used to call `spec.generator(seed).take(n)` afresh for
+//! every (prefetcher × degree × sweep-point) cell — regenerating the
+//! same 300k-event vector four or more times per figure and dozens of
+//! times per full `figures` run. This cache generates each distinct
+//! `(spec, seed, events)` trace once and hands out `Arc<[AccessEvent]>`
+//! clones, which are cheap to share across the [`crate::exec`] worker
+//! threads (events are plain `Copy` data, so the slices are `Sync`).
+//!
+//! Keys use the spec's `Debug` rendering: workload specs are plain
+//! config structs whose debug output covers every field, so two specs
+//! key equal exactly when they generate identical traces (this also
+//! distinguishes the mutated specs of e.g. the MLP-sensitivity study).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use domino_trace::event::AccessEvent;
+use domino_trace::workload::WorkloadSpec;
+
+use crate::config::SystemConfig;
+use crate::engine::baseline_miss_sequence;
+
+type Key = (String, u64, usize);
+type Cell<T> = Arc<OnceLock<T>>;
+type CellMap<T> = OnceLock<Mutex<HashMap<Key, Cell<T>>>>;
+
+static TRACES: CellMap<Arc<[AccessEvent]>> = OnceLock::new();
+static MISS_SEQS: CellMap<Arc<Vec<u64>>> = OnceLock::new();
+
+fn key_of(spec: &WorkloadSpec, events: usize, seed: u64) -> Key {
+    (format!("{spec:?}"), seed, events)
+}
+
+/// `DOMINO_TRACE_CACHE=0` disables the cache (every call regenerates),
+/// restoring the pre-cache behaviour for benchmarking comparisons.
+fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("DOMINO_TRACE_CACHE").map_or(true, |v| v.trim() != "0"))
+}
+
+/// Returns the `events`-long trace of `spec` at `seed`, generating it at
+/// most once per process. Concurrent callers for the *same* key block
+/// only on that key's generation (the map lock is held just to fetch the
+/// cell), so distinct workloads generate in parallel.
+pub fn shared_trace(spec: &WorkloadSpec, events: usize, seed: u64) -> Arc<[AccessEvent]> {
+    if !enabled() {
+        return spec.generator(seed).take(events).collect::<Vec<_>>().into();
+    }
+    let cell = {
+        let map = TRACES.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = map.lock().expect("unpoisoned");
+        Arc::clone(map.entry(key_of(spec, events, seed)).or_default())
+    };
+    cell.get_or_init(|| spec.generator(seed).take(events).collect::<Vec<_>>().into())
+        .clone()
+}
+
+/// The L1-filtered baseline miss sequence of `spec`'s trace under
+/// `system`, cached per `(spec, seed, events)`. Valid because the miss
+/// sequence is independent of any prefetcher (prefetches fill only the
+/// buffer) — and every figure currently consumes it under the single
+/// paper [`SystemConfig`].
+pub fn shared_miss_sequence(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    events: usize,
+    seed: u64,
+) -> Arc<Vec<u64>> {
+    if !enabled() {
+        let trace = shared_trace(spec, events, seed);
+        return Arc::new(baseline_miss_sequence(system, &trace));
+    }
+    let cell = {
+        let map = MISS_SEQS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = map.lock().expect("unpoisoned");
+        Arc::clone(map.entry(key_of(spec, events, seed)).or_default())
+    };
+    cell.get_or_init(|| {
+        let trace = shared_trace(spec, events, seed);
+        Arc::new(baseline_miss_sequence(system, &trace))
+    })
+    .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_trace::workload::catalog;
+
+    #[test]
+    fn same_key_shares_the_allocation() {
+        let spec = catalog::oltp();
+        let a = shared_trace(&spec, 1_000, 42);
+        let b = shared_trace(&spec, 1_000, 42);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 1_000);
+    }
+
+    #[test]
+    fn distinct_seeds_get_distinct_traces() {
+        let spec = catalog::oltp();
+        let a = shared_trace(&spec, 500, 1);
+        let b = shared_trace(&spec, 500, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a[..], b[..]);
+    }
+
+    #[test]
+    fn mutated_specs_key_separately() {
+        let base = catalog::oltp();
+        let mut tweaked = catalog::oltp();
+        tweaked.temporal.junction_frac += 0.1;
+        let a = shared_trace(&base, 300, 7);
+        let b = shared_trace(&tweaked, 300, 7);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cached_trace_matches_direct_generation() {
+        let spec = catalog::web_search();
+        let cached = shared_trace(&spec, 800, 9);
+        let direct: Vec<_> = spec.generator(9).take(800).collect();
+        assert_eq!(&cached[..], &direct[..]);
+    }
+
+    #[test]
+    fn miss_sequence_is_cached_and_correct() {
+        let system = SystemConfig::paper();
+        let spec = catalog::oltp();
+        let a = shared_miss_sequence(&system, &spec, 2_000, 3);
+        let b = shared_miss_sequence(&system, &spec, 2_000, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let trace = shared_trace(&spec, 2_000, 3);
+        assert_eq!(*a, baseline_miss_sequence(&system, &trace));
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod addr;
 pub mod event;
+pub mod hash;
 pub mod io;
 pub mod reuse;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod workload;
 
 pub use addr::{Addr, LineAddr, Pc, LINE_BYTES};
 pub use event::{AccessEvent, AccessKind};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use reuse::ReuseProfile;
 pub use rng::SimRng;
 pub use stats::TraceStats;

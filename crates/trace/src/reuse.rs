@@ -13,7 +13,7 @@
 //! index over last-access timestamps (a Fenwick tree over access time),
 //! O(log n) per access.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 use crate::addr::LineAddr;
 use crate::event::AccessEvent;
@@ -69,7 +69,7 @@ impl ReuseProfile {
         let events: Vec<AccessEvent> = events.into_iter().collect();
         let n = events.len();
         let mut fenwick = Fenwick::new(n);
-        let mut last_seen: HashMap<LineAddr, usize> = HashMap::new();
+        let mut last_seen: FxHashMap<LineAddr, usize> = FxHashMap::default();
         let mut buckets = vec![0u64; 40];
         let mut cold = 0u64;
         for (t, ev) in events.iter().enumerate() {

@@ -3,9 +3,10 @@
 //! Every generator in this crate is seeded explicitly so traces are exactly
 //! reproducible — a requirement for comparing prefetchers on *the same* miss
 //! sequence, as the paper does.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman and Vigna) seeded through SplitMix64, so the crate carries
+//! no external dependency and builds in offline environments.
 
 /// A small, fast, deterministic RNG with the sampling helpers the workload
 /// models need.
@@ -18,14 +19,29 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used only to expand the seed into the xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
@@ -33,7 +49,7 @@ impl SimRng {
     /// component its own stream so adding one component does not perturb
     /// the others.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         SimRng::seed(s)
     }
 
@@ -44,7 +60,9 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below() requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift; bias is < bound / 2^64, irrelevant at
+        // simulation bounds.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform draw in `[0, bound)` as `usize`.
@@ -59,7 +77,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -72,19 +90,28 @@ impl SimRng {
             return 1;
         }
         let p = 1.0 / mean;
-        let u: f64 = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.unit().max(f64::MIN_POSITIVE);
         let draw = (u.ln() / (1.0 - p).ln()).ceil();
         (draw as u64).max(1)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Raw 64-bit draw.
+    /// Raw 64-bit draw (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Picks a weighted index; weights need not be normalised.
@@ -123,6 +150,13 @@ mod tests {
     }
 
     #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+
+    #[test]
     fn forks_are_independent_of_sibling_use() {
         let mut root1 = SimRng::seed(5);
         let mut root2 = SimRng::seed(5);
@@ -144,6 +178,15 @@ mod tests {
     #[should_panic(expected = "positive bound")]
     fn below_zero_panics() {
         SimRng::seed(0).below(0);
+    }
+
+    #[test]
+    fn unit_is_a_fraction() {
+        let mut rng = SimRng::seed(12);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]

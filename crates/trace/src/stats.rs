@@ -1,6 +1,6 @@
 //! Trace statistics used for sanity checks and workload calibration.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 use crate::addr::{LineAddr, Pc};
 use crate::event::AccessEvent;
@@ -39,9 +39,9 @@ impl TraceStats {
     /// Computes statistics over an event stream.
     pub fn from_events<I: IntoIterator<Item = AccessEvent>>(events: I) -> Self {
         let mut stats = TraceStats::default();
-        let mut lines: HashMap<LineAddr, ()> = HashMap::new();
-        let mut pcs: HashMap<Pc, ()> = HashMap::new();
-        let mut pairs: HashMap<(u64, u64), u32> = HashMap::new();
+        let mut lines: FxHashMap<LineAddr, ()> = FxHashMap::default();
+        let mut pcs: FxHashMap<Pc, ()> = FxHashMap::default();
+        let mut pairs: FxHashMap<(u64, u64), u32> = FxHashMap::default();
         let mut prev: Option<LineAddr> = None;
         for ev in events {
             stats.accesses += 1;

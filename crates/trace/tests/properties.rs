@@ -1,113 +1,128 @@
 //! Property-based tests of the workload generators: determinism, mixture
 //! bounds, address-space hygiene, and reuse structure over arbitrary
 //! parameterisations.
+//!
+//! Parameterisations are drawn from a seeded [`SimRng`] so the suite is
+//! fully deterministic and dependency-free.
 
 use domino_trace::reuse::ReuseProfile;
+use domino_trace::rng::SimRng;
 use domino_trace::workload::{MixWeights, SegmentDist, WorkloadSpec};
-use proptest::prelude::*;
 
-fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        0.1f64..0.95,
-        0.01f64..0.5,
-        0.01f64..0.5,
-        0.0f64..0.6,
-        4usize..64,
-        16usize..256,
-        1.0f64..3.0,
-    )
-        .prop_map(
-            |(temporal, spatial, noise, junction, docs, doc_len, skew)| {
-                let mut spec = WorkloadSpec::named("prop");
-                spec.mix = MixWeights {
-                    temporal,
-                    spatial,
-                    noise,
-                };
-                spec.temporal.num_docs = docs;
-                spec.temporal.doc_len = doc_len;
-                spec.temporal.junction_frac = junction;
-                spec.temporal.doc_skew = skew;
-                spec
-            },
-        )
+fn arbitrary_spec(rng: &mut SimRng) -> WorkloadSpec {
+    let temporal = 0.1 + rng.unit() * 0.85;
+    let spatial = 0.01 + rng.unit() * 0.49;
+    let noise = 0.01 + rng.unit() * 0.49;
+    let junction = rng.unit() * 0.6;
+    let docs = 4 + rng.index(60);
+    let doc_len = 16 + rng.index(240);
+    let skew = 1.0 + rng.unit() * 2.0;
+    let mut spec = WorkloadSpec::named("prop");
+    spec.mix = MixWeights {
+        temporal,
+        spatial,
+        noise,
+    };
+    spec.temporal.num_docs = docs;
+    spec.temporal.doc_len = doc_len;
+    spec.temporal.junction_frac = junction;
+    spec.temporal.doc_skew = skew;
+    spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Identical (spec, seed) produce identical traces; different seeds
-    /// produce different ones.
-    #[test]
-    fn generator_determinism(spec in arbitrary_spec(), seed in 0u64..1000) {
+/// Identical (spec, seed) produce identical traces; different seeds
+/// produce different ones.
+#[test]
+fn generator_determinism() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::seed(0x7AC_E000 + case);
+        let spec = arbitrary_spec(&mut rng);
+        let seed = rng.below(1000);
         let a: Vec<_> = spec.generator(seed).take(2_000).collect();
         let b: Vec<_> = spec.generator(seed).take(2_000).collect();
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         let c: Vec<_> = spec.generator(seed ^ 0xFFFF).take(2_000).collect();
-        prop_assert_ne!(&a, &c);
+        assert_ne!(&a, &c);
     }
+}
 
-    /// All events carry valid gaps and addresses within the generator's
-    /// reserved regions.
-    #[test]
-    fn events_are_well_formed(spec in arbitrary_spec()) {
+/// All events carry valid gaps and addresses within the generator's
+/// reserved regions.
+#[test]
+fn events_are_well_formed() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::seed(0xF0_4D00 + case);
+        let spec = arbitrary_spec(&mut rng);
         for ev in spec.generator(7).take(3_000) {
-            prop_assert!(ev.gap_insts >= 1);
+            assert!(ev.gap_insts >= 1);
             let line = ev.line().raw();
             // All three behaviour regions live above 2^40 line numbers.
-            prop_assert!(line >= 0x0100_0000_0000, "line {line:#x} below regions");
-            prop_assert!(ev.pc.raw() > 0);
+            assert!(line >= 0x0100_0000_0000, "line {line:#x} below regions");
+            assert!(ev.pc.raw() > 0);
         }
     }
+}
 
-    /// The temporal mixture share controls repetitiveness monotonically:
-    /// an all-noise workload has (almost) no repeated pairs, a
-    /// temporal-heavy one has plenty.
-    #[test]
-    fn temporal_share_drives_repetition(seed in 0u64..100) {
+/// The temporal mixture share controls repetitiveness monotonically:
+/// an all-noise workload has (almost) no repeated pairs, a
+/// temporal-heavy one has plenty.
+#[test]
+fn temporal_share_drives_repetition() {
+    for seed in 0..24u64 {
         let mut noisy = WorkloadSpec::named("noisy");
-        noisy.mix = MixWeights { temporal: 0.02, spatial: 0.02, noise: 0.96 };
+        noisy.mix = MixWeights {
+            temporal: 0.02,
+            spatial: 0.02,
+            noise: 0.96,
+        };
         let mut temporal = WorkloadSpec::named("temporal");
-        temporal.mix = MixWeights { temporal: 0.96, spatial: 0.02, noise: 0.02 };
+        temporal.mix = MixWeights {
+            temporal: 0.96,
+            spatial: 0.02,
+            noise: 0.02,
+        };
         let profile = |spec: &WorkloadSpec| {
-            let stats = domino_trace::stats::TraceStats::from_events(
-                spec.generator(seed).take(20_000),
-            );
+            let stats =
+                domino_trace::stats::TraceStats::from_events(spec.generator(seed).take(20_000));
             stats.pair_repeat_fraction()
         };
-        prop_assert!(profile(&temporal) > profile(&noisy));
+        assert!(profile(&temporal) > profile(&noisy));
     }
+}
 
-    /// Reuse structure: generated workloads always exceed an L1-sized
-    /// cache while a trace-footprint-sized cache captures the revisits.
-    #[test]
-    fn reuse_profile_brackets_cache_sizes(spec in arbitrary_spec(), seed in 0u64..50) {
+/// Reuse structure: generated workloads always exceed an L1-sized
+/// cache while a trace-footprint-sized cache captures the revisits.
+#[test]
+fn reuse_profile_brackets_cache_sizes() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::seed(0x4E05_E000 + case);
+        let spec = arbitrary_spec(&mut rng);
+        let seed = rng.below(50);
         let p = ReuseProfile::from_events(spec.generator(seed).take(15_000));
-        prop_assert!(p.total > 0);
+        assert!(p.total > 0);
         let h_small = p.hit_ratio_at(64);
         let h_huge = p.hit_ratio_at(1 << 30);
-        prop_assert!(h_small <= h_huge + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&h_small));
-        prop_assert!((0.0..=1.0).contains(&(p.cold_fraction())));
+        assert!(h_small <= h_huge + 1e-9);
+        assert!((0.0..=1.0).contains(&h_small));
+        assert!((0.0..=1.0).contains(&(p.cold_fraction())));
     }
+}
 
-    /// Segment lengths respect the distribution's support (≥ 1, bounded
-    /// by document length after clamping).
-    #[test]
-    fn segment_samples_positive(
-        short in 0.0f64..0.9,
-        mid in 1.5f64..20.0,
-        long in 0.0f64..0.3,
-    ) {
+/// Segment lengths respect the distribution's support (≥ 1, bounded
+/// by document length after clamping).
+#[test]
+fn segment_samples_positive() {
+    for case in 0..24u64 {
+        let mut param_rng = SimRng::seed(0x5E6_0000 + case);
         let dist = SegmentDist {
-            short_frac: short,
-            mid_mean: mid,
-            long_frac: long,
+            short_frac: param_rng.unit() * 0.9,
+            mid_mean: 1.5 + param_rng.unit() * 18.5,
+            long_frac: param_rng.unit() * 0.3,
             long_mean: 64.0,
         };
-        let mut rng = domino_trace::rng::SimRng::seed(9);
+        let mut rng = SimRng::seed(9);
         for _ in 0..2_000 {
-            prop_assert!(dist.sample(&mut rng) >= 1);
+            assert!(dist.sample(&mut rng) >= 1);
         }
     }
 }

@@ -7,32 +7,66 @@
 //! cargo run --release --example figures                     # full scale
 //! cargo run --release --example figures -- 100000           # events/workload
 //! cargo run --release --example figures -- 100000 out_dir   # + SVG & CSV files
+//! cargo run --release --example figures -- --jobs 8         # worker threads
 //! ```
+//!
+//! Figure cells fan out across the parallel sweep executor; the worker
+//! count comes from `--jobs`, else the `DOMINO_JOBS` environment
+//! variable, else the host's available parallelism. Output tables are
+//! byte-identical at any job count.
+//!
+//! Each run also writes `BENCH_sweep.json` (to the output directory if
+//! one is given, else the working directory): per-figure wall-clock and
+//! replay throughput, plus the job count and host core count, so sweeps
+//! at different `--jobs` values can be compared mechanically.
 
 use domino_repro::sim::figures::{
     bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11, fig12,
     fig13, fig14, fig15, fig16, table1, table2, Scale,
 };
+use domino_repro::sim::{exec, FigureTable};
+
+/// Workloads per figure (denominator of the throughput metric).
+const WORKLOADS: usize = 9;
+
+struct FigureTiming {
+    name: &'static str,
+    seconds: f64,
+    events_per_sec: f64,
+}
 
 fn main() {
-    let events: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400_000);
-    let out_dir: Option<std::path::PathBuf> = std::env::args().nth(2).map(Into::into);
+    let mut events: Option<usize> = None;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let n = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--jobs needs a positive integer");
+            exec::set_jobs_override(Some(n));
+        } else if events.is_none() && arg.parse::<usize>().is_ok() {
+            events = arg.parse().ok();
+        } else {
+            out_dir = Some(arg.into());
+        }
+    }
+    let events = events.unwrap_or(400_000);
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
     let scale = Scale { events, seed: 42 };
+    let jobs = exec::jobs();
     eprintln!(
-        "running all figures at {} events per workload...",
+        "running all figures at {} events per workload on {jobs} worker(s)...",
         scale.events
     );
 
     println!("{}", table1());
     println!("{}", table2());
 
-    let save = |name: &str, table: &domino_repro::sim::FigureTable| {
+    let save = |name: &str, table: &FigureTable| {
         if let Some(dir) = &out_dir {
             let svg = domino_repro::sim::svg::render_bar_chart(table);
             std::fs::write(dir.join(format!("{name}.svg")), svg).expect("write svg");
@@ -40,15 +74,22 @@ fn main() {
         }
     };
     let t0 = std::time::Instant::now();
+    let mut timings: Vec<FigureTiming> = Vec::new();
     macro_rules! show {
         ($name:literal, $figure:expr) => {{
             let start = std::time::Instant::now();
             let result = $figure;
-            eprintln!("  {} done in {:.1}s", $name, start.elapsed().as_secs_f32());
+            let seconds = start.elapsed().as_secs_f64();
+            eprintln!("  {} done in {seconds:.1}s", $name);
+            timings.push(FigureTiming {
+                name: $name,
+                seconds,
+                events_per_sec: (scale.events * WORKLOADS) as f64 / seconds,
+            });
             result
         }};
     }
-    let mut singles: Vec<(&str, domino_repro::sim::FigureTable)> = vec![
+    let mut singles: Vec<(&str, FigureTable)> = vec![
         ("fig01", show!("fig01", fig01(&scale))),
         ("fig02", show!("fig02", fig02(&scale))),
         ("fig03", show!("fig03", fig03(&scale))),
@@ -72,11 +113,45 @@ fn main() {
     singles.push(("fig16", show!("fig16", fig16(&scale))));
     singles.push((
         "bandwidth",
-        show!("bandwidth (§V-D)", bandwidth_utilization(&scale)),
+        show!("bandwidth", bandwidth_utilization(&scale)),
     ));
     for (name, table) in &singles {
         println!("{table}");
         save(name, table);
     }
-    eprintln!("all figures in {:.1}s", t0.elapsed().as_secs_f32());
+    let total = t0.elapsed().as_secs_f64();
+    eprintln!("all figures in {total:.1}s");
+
+    let bench_path = out_dir
+        .as_deref()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("BENCH_sweep.json");
+    std::fs::write(&bench_path, bench_json(&timings, total, events, jobs)).expect("write bench");
+    eprintln!("wrote {}", bench_path.display());
+}
+
+/// Renders the sweep timings as JSON by hand (the tree is tiny and the
+/// build is offline, so no serde).
+fn bench_json(timings: &[FigureTiming], total: f64, events: usize, jobs: usize) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"domino-bench-sweep/1\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"events_per_workload\": {events},\n"));
+    out.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    out.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            t.name,
+            t.seconds,
+            t.events_per_sec,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

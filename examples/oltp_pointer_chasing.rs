@@ -25,7 +25,7 @@ fn main() {
     println!("workload: {} ({events} accesses)\n", spec.name);
 
     // 1. The opportunity: how repetitive is the miss sequence?
-    let seq = baseline_miss_sequence(&system, trace.clone());
+    let seq = baseline_miss_sequence(&system, &trace);
     let oracle = oracle_replay(&seq, &OracleConfig::default());
     println!(
         "L1-D misses: {}   temporal opportunity: {:.1}%   oracle stream length: {:.1}",
@@ -69,7 +69,7 @@ fn main() {
         System::Domino,
     ] {
         let mut p = sys.build(1);
-        let r = run_coverage(&system, trace.clone(), p.as_mut());
+        let r = run_coverage(&system, &trace, p.as_mut());
         println!(
             "{:<14} {:>8.1}% {:>13.1}% {:>12.2}",
             sys.label(),

@@ -18,7 +18,7 @@ fn main() {
     let trace: Vec<_> = spec.generator(42).take(events).collect();
 
     let mut baseline = System::Baseline.build(1);
-    let base_timing = run_timing(&system, trace.clone(), baseline.as_mut());
+    let base_timing = run_timing(&system, &trace, baseline.as_mut());
 
     println!(
         "{:<8} {:>9} {:>14} {:>12} {:>12} {:>9}",
@@ -26,9 +26,9 @@ fn main() {
     );
     for sys in [System::Stms, System::Domino] {
         let mut p = sys.build(4);
-        let cov = run_coverage(&system, trace.clone(), p.as_mut());
+        let cov = run_coverage(&system, &trace, p.as_mut());
         let mut p = sys.build(4);
-        let timing = run_timing(&system, trace.clone(), p.as_mut());
+        let timing = run_timing(&system, &trace, p.as_mut());
         println!(
             "{:<8} {:>8.1}% {:>13.1}% {:>12.2} {:>12.2} {:>8.2}x",
             sys.label(),

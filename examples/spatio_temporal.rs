@@ -25,7 +25,7 @@ fn main() {
             .enumerate()
         {
             let mut p = sys.build(4);
-            row[i] = run_coverage(&system, trace.clone(), p.as_mut()).coverage();
+            row[i] = run_coverage(&system, &trace, p.as_mut()).coverage();
             sums[i] += row[i];
         }
         // "Synergy": how much the stack adds over the better component.

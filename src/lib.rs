@@ -28,7 +28,7 @@
 //! let system = SystemConfig::paper();
 //! let trace: Vec<_> = catalog::oltp().generator(42).take(50_000).collect();
 //! let mut prefetcher = System::Domino.build(4);
-//! let report = run_coverage(&system, trace, prefetcher.as_mut());
+//! let report = run_coverage(&system, &trace, prefetcher.as_mut());
 //! println!("Domino covers {:.1}% of OLTP misses", report.coverage() * 100.0);
 //! # assert!(report.coverage() > 0.0);
 //! ```

@@ -17,7 +17,7 @@ fn coverage(spec: &WorkloadSpec, sys: System, degree: usize) -> f64 {
     let system = SystemConfig::paper();
     let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
     let mut p = sys.build(degree);
-    run_coverage(&system, trace, p.as_mut()).coverage()
+    run_coverage(&system, &trace, p.as_mut()).coverage()
 }
 
 /// Claim (§V-B, Figure 11): Domino has the highest coverage of the
@@ -51,7 +51,7 @@ fn stms_leaves_much_of_the_opportunity_uncovered() {
     let system = SystemConfig::paper();
     let spec = catalog::oltp();
     let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
-    let seq = baseline_miss_sequence(&system, trace.clone());
+    let seq = baseline_miss_sequence(&system, &trace);
     let opp = oracle_replay(&seq, &OracleConfig::default()).coverage();
     let stms = coverage(&spec, System::Stms, 1);
     assert!(
@@ -82,10 +82,10 @@ fn oracle_streams_are_longer_than_stms_streams() {
     let system = SystemConfig::paper();
     let spec = catalog::web_search();
     let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
-    let seq = baseline_miss_sequence(&system, trace.clone());
+    let seq = baseline_miss_sequence(&system, &trace);
     let oracle = oracle_replay(&seq, &OracleConfig::default());
     let mut p = System::Stms.build(1);
-    let stms = run_coverage(&system, trace, p.as_mut());
+    let stms = run_coverage(&system, &trace, p.as_mut());
     assert!(
         oracle.mean_stream_length() > 1.4 * stms.mean_stream_length(),
         "oracle {:.2} vs STMS {:.2}",
@@ -102,9 +102,9 @@ fn domino_opens_streams_faster_than_stms() {
     let spec = catalog::oltp();
     let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
     let mut stms = System::Stms.build(4);
-    let s = run_coverage(&system, trace.clone(), stms.as_mut());
+    let s = run_coverage(&system, &trace, stms.as_mut());
     let mut dom = System::Domino.build(4);
-    let d = run_coverage(&system, trace, dom.as_mut());
+    let d = run_coverage(&system, &trace, dom.as_mut());
     assert!(
         d.mean_first_prefetch_trips() < s.mean_first_prefetch_trips(),
         "Domino {:.2} trips vs STMS {:.2}",
@@ -122,7 +122,7 @@ fn domino_overpredicts_less_than_stms_at_degree_four() {
     let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
     let rate = |sys: System| {
         let mut p = sys.build(4);
-        run_coverage(&system, trace.clone(), p.as_mut()).overprediction_rate()
+        run_coverage(&system, &trace, p.as_mut()).overprediction_rate()
     };
     let stms = rate(System::Stms);
     let digram = rate(System::Digram);
@@ -145,10 +145,10 @@ fn domino_has_best_speedup_on_oltp() {
     let spec = catalog::oltp();
     let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
     let mut base = System::Baseline.build(1);
-    let baseline = run_timing(&system, trace.clone(), base.as_mut());
+    let baseline = run_timing(&system, &trace, base.as_mut());
     let speedup = |sys: System| {
         let mut p = sys.build(4);
-        run_timing(&system, trace.clone(), p.as_mut()).speedup_over(&baseline)
+        run_timing(&system, &trace, p.as_mut()).speedup_over(&baseline)
     };
     let domino = speedup(System::Domino);
     let stms = speedup(System::Stms);
@@ -187,7 +187,7 @@ fn opportunity_measures_cross_validate() {
         catalog::web_search(),
     ] {
         let trace: Vec<_> = spec.generator(SCALE.seed).take(SCALE.events).collect();
-        let seq = baseline_miss_sequence(&system, trace);
+        let seq = baseline_miss_sequence(&system, &trace);
         let grammar = Sequitur::from_sequence(seq.iter().copied().take(60_000));
         let g = analysis::grammar_coverage(&grammar);
         let o = oracle_replay(&seq, &OracleConfig::default()).coverage();

@@ -1,0 +1,77 @@
+//! Integration tests for the parallel sweep executor (`sim::exec`).
+//!
+//! The executor promises byte-identical figure output at any job count;
+//! the determinism test here is the regression gate for that promise.
+//! The smoke test pushes the full figure roster through the executor at
+//! a reduced scale, which catches `Send`-bound regressions in any
+//! prefetcher (every figure cell moves a built prefetcher to a worker
+//! thread) as well as panics in individual runners.
+
+use std::sync::Mutex;
+
+use domino_repro::sim::exec;
+use domino_repro::sim::figures::{
+    self, bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11,
+    fig12, fig13, fig14, fig15, fig16, Scale,
+};
+
+/// The jobs override is process-global; tests that set it must not
+/// interleave.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn fig01_is_byte_identical_at_any_job_count() {
+    let _guard = JOBS_LOCK.lock().expect("unpoisoned");
+    let scale = Scale {
+        events: 20_000,
+        seed: 11,
+    };
+    exec::set_jobs_override(Some(1));
+    let serial = fig01(&scale);
+    exec::set_jobs_override(Some(8));
+    let parallel = fig01(&scale);
+    exec::set_jobs_override(None);
+    // Bitwise-equal values (no tolerance: determinism means identity)...
+    for (a, b) in serial.values.iter().zip(&parallel.values) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "value drifted between job counts");
+        }
+    }
+    // ...and byte-identical rendered tables.
+    assert_eq!(format!("{serial}"), format!("{parallel}"));
+}
+
+#[test]
+fn full_roster_runs_through_the_executor() {
+    let _guard = JOBS_LOCK.lock().expect("unpoisoned");
+    exec::set_jobs_override(Some(4));
+    let scale = Scale::small();
+    let mut tables = vec![
+        fig01(&scale),
+        fig02(&scale),
+        fig03(&scale),
+        fig04(&scale),
+        fig06(&scale),
+        fig09(&scale),
+        fig10(&scale),
+        fig12(&scale),
+        fig14(&scale),
+        fig15(&scale),
+        fig16(&scale),
+        bandwidth_utilization(&scale),
+        figures::opportunity_methods(&scale),
+        figures::mlp_sensitivity(&scale),
+    ];
+    tables.extend(fig05(&scale));
+    tables.extend(fig11(&scale));
+    tables.extend(fig13(&scale));
+    tables.extend(figures::extended_roster(&scale));
+    exec::set_jobs_override(None);
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{}: no rows", t.title);
+        assert!(!t.columns.is_empty(), "{}: no columns", t.title);
+        for row in &t.values {
+            assert_eq!(row.len(), t.columns.len(), "{}: ragged row", t.title);
+        }
+    }
+}

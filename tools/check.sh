@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Offline lint gate: formatting + clippy with warnings denied + tests.
+# Everything here runs without network access (the workspace has no
+# external dependencies), so it is usable as a pre-push hook or CI step
+# in air-gapped environments.
+#
+#   tools/check.sh          # fmt + clippy + debug tests
+#   tools/check.sh --fast   # fmt + clippy only
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${1:-}" != "--fast" ]; then
+    echo "==> cargo test"
+    cargo test --workspace -q
+fi
+
+echo "check.sh: all clean"
