@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-423a77bcfe80e857.d: crates/sim/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-423a77bcfe80e857: crates/sim/src/bin/calibrate.rs
+
+crates/sim/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-d7eed39b6373bca6.d: crates/sim/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-d7eed39b6373bca6.rmeta: crates/sim/src/bin/calibrate.rs Cargo.toml
+
+crates/sim/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

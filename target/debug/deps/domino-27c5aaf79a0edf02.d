@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/domino-27c5aaf79a0edf02.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/debug/deps/libdomino-27c5aaf79a0edf02.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/debug/deps/libdomino-27c5aaf79a0edf02.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/domino.rs:
+crates/core/src/eit.rs:
+crates/core/src/naive.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/domino-4b12c66a43b54541.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/debug/deps/libdomino-4b12c66a43b54541.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/debug/deps/libdomino-4b12c66a43b54541.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/domino.rs:
+crates/core/src/eit.rs:
+crates/core/src/naive.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/domino-833383b44cf259a6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino-833383b44cf259a6.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/domino.rs:
+crates/core/src/eit.rs:
+crates/core/src/naive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

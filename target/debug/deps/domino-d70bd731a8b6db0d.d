@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domino-d70bd731a8b6db0d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/debug/deps/domino-d70bd731a8b6db0d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/domino.rs:
+crates/core/src/eit.rs:
+crates/core/src/naive.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/domino_bench-0df296b0c849b71e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdomino_bench-0df296b0c849b71e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdomino_bench-0df296b0c849b71e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/domino_bench-ca39b838a464c7aa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/domino_bench-ca39b838a464c7aa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domino_bench-e5cea6546ec53dc5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino_bench-e5cea6546ec53dc5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

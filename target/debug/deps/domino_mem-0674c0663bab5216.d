@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/domino_mem-0674c0663bab5216.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+/root/repo/target/debug/deps/domino_mem-0674c0663bab5216: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/history.rs:
+crates/mem/src/interface.rs:
+crates/mem/src/metadata.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/prefetch_buffer.rs:
+crates/mem/src/streams.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/domino_mem-36784b89f05b75b5.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+/root/repo/target/debug/deps/libdomino_mem-36784b89f05b75b5.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+/root/repo/target/debug/deps/libdomino_mem-36784b89f05b75b5.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/history.rs:
+crates/mem/src/interface.rs:
+crates/mem/src/metadata.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/prefetch_buffer.rs:
+crates/mem/src/streams.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/domino_prefetchers-775507d0c6b331f9.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs
+
+/root/repo/target/debug/deps/libdomino_prefetchers-775507d0c6b331f9.rlib: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs
+
+/root/repo/target/debug/deps/libdomino_prefetchers-775507d0c6b331f9.rmeta: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/adaptive.rs:
+crates/prefetchers/src/composite.rs:
+crates/prefetchers/src/config.rs:
+crates/prefetchers/src/digram.rs:
+crates/prefetchers/src/ghb.rs:
+crates/prefetchers/src/isb.rs:
+crates/prefetchers/src/markov.rs:
+crates/prefetchers/src/nextline.rs:
+crates/prefetchers/src/ngram.rs:
+crates/prefetchers/src/sms.rs:
+crates/prefetchers/src/stms.rs:
+crates/prefetchers/src/stride.rs:
+crates/prefetchers/src/vldp.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/domino_prefetchers-dc33afe543f56a4f.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino_prefetchers-dc33afe543f56a4f.rmeta: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs Cargo.toml
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/adaptive.rs:
+crates/prefetchers/src/composite.rs:
+crates/prefetchers/src/config.rs:
+crates/prefetchers/src/digram.rs:
+crates/prefetchers/src/ghb.rs:
+crates/prefetchers/src/isb.rs:
+crates/prefetchers/src/markov.rs:
+crates/prefetchers/src/nextline.rs:
+crates/prefetchers/src/ngram.rs:
+crates/prefetchers/src/sms.rs:
+crates/prefetchers/src/stms.rs:
+crates/prefetchers/src/stride.rs:
+crates/prefetchers/src/vldp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/domino_repro-142439d5ebafe8bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/domino_repro-142439d5ebafe8bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/domino_repro-9bdb007c18c3ec5b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdomino_repro-9bdb007c18c3ec5b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdomino_repro-9bdb007c18c3ec5b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/domino_repro-a7d0b007a35df13e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino_repro-a7d0b007a35df13e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

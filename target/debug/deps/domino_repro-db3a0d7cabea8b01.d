@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/domino_repro-db3a0d7cabea8b01.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdomino_repro-db3a0d7cabea8b01.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdomino_repro-db3a0d7cabea8b01.rmeta: src/lib.rs
+
+src/lib.rs:

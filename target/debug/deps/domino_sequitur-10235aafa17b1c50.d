@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/domino_sequitur-10235aafa17b1c50.d: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino_sequitur-10235aafa17b1c50.rmeta: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs Cargo.toml
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/analysis.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/histogram.rs:
+crates/sequitur/src/node.rs:
+crates/sequitur/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

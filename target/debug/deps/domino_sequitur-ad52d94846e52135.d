@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/domino_sequitur-ad52d94846e52135.d: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+/root/repo/target/debug/deps/libdomino_sequitur-ad52d94846e52135.rlib: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+/root/repo/target/debug/deps/libdomino_sequitur-ad52d94846e52135.rmeta: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/analysis.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/histogram.rs:
+crates/sequitur/src/node.rs:
+crates/sequitur/src/oracle.rs:

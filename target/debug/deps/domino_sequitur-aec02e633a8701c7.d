@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/domino_sequitur-aec02e633a8701c7.d: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+/root/repo/target/debug/deps/domino_sequitur-aec02e633a8701c7: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/analysis.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/histogram.rs:
+crates/sequitur/src/node.rs:
+crates/sequitur/src/oracle.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/domino_sim-060c832d7fc8ec2a.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino_sim-060c832d7fc8ec2a.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/figures.rs:
+crates/sim/src/multicore.rs:
+crates/sim/src/report.rs:
+crates/sim/src/roster.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/svg.rs:
+crates/sim/src/timing.rs:
+crates/sim/src/trace_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

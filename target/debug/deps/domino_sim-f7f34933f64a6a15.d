@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/domino_sim-f7f34933f64a6a15.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs
+
+/root/repo/target/debug/deps/libdomino_sim-f7f34933f64a6a15.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs
+
+/root/repo/target/debug/deps/libdomino_sim-f7f34933f64a6a15.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/figures.rs:
+crates/sim/src/multicore.rs:
+crates/sim/src/report.rs:
+crates/sim/src/roster.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/svg.rs:
+crates/sim/src/timing.rs:
+crates/sim/src/trace_cache.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/domino_trace-7c12ca18a4872d71.d: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdomino_trace-7c12ca18a4872d71.rmeta: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/event.rs:
+crates/trace/src/hash.rs:
+crates/trace/src/io.rs:
+crates/trace/src/reuse.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload/mod.rs:
+crates/trace/src/workload/catalog.rs:
+crates/trace/src/workload/document.rs:
+crates/trace/src/workload/noise.rs:
+crates/trace/src/workload/spatial.rs:
+crates/trace/src/workload/spec.rs:
+crates/trace/src/workload/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eit_properties-5a19d370f1fd421c.d: crates/core/tests/eit_properties.rs
+
+/root/repo/target/debug/deps/eit_properties-5a19d370f1fd421c: crates/core/tests/eit_properties.rs
+
+crates/core/tests/eit_properties.rs:

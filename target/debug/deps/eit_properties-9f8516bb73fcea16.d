@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eit_properties-9f8516bb73fcea16.d: crates/core/tests/eit_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeit_properties-9f8516bb73fcea16.rmeta: crates/core/tests/eit_properties.rs Cargo.toml
+
+crates/core/tests/eit_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

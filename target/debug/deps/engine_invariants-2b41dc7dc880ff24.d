@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_invariants-2b41dc7dc880ff24.d: tests/engine_invariants.rs
+
+/root/repo/target/debug/deps/engine_invariants-2b41dc7dc880ff24: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/explore-00feeebc9c7273fa.d: crates/sim/src/bin/explore.rs
+
+/root/repo/target/debug/deps/explore-00feeebc9c7273fa: crates/sim/src/bin/explore.rs
+
+crates/sim/src/bin/explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explore-db50037eda2b83bf.d: crates/sim/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplore-db50037eda2b83bf.rmeta: crates/sim/src/bin/explore.rs Cargo.toml
+
+crates/sim/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

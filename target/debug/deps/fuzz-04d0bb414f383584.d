@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-04d0bb414f383584.d: crates/core/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-04d0bb414f383584: crates/core/tests/fuzz.rs
+
+crates/core/tests/fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-2194db5b91e3def8.d: crates/prefetchers/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-2194db5b91e3def8.rmeta: crates/prefetchers/tests/fuzz.rs Cargo.toml
+
+crates/prefetchers/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-7caf1fe81b8b4fa4.d: crates/prefetchers/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-7caf1fe81b8b4fa4: crates/prefetchers/tests/fuzz.rs
+
+crates/prefetchers/tests/fuzz.rs:

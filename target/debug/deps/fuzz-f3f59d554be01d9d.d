@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-f3f59d554be01d9d.d: crates/core/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-f3f59d554be01d9d.rmeta: crates/core/tests/fuzz.rs Cargo.toml
+
+crates/core/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-78799071a5314802.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-78799071a5314802: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b45bea34dcbd77e8.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b45bea34dcbd77e8: tests/paper_claims.rs
+
+tests/paper_claims.rs:

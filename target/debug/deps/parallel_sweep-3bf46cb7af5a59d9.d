@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sweep-3bf46cb7af5a59d9.d: tests/parallel_sweep.rs
+
+/root/repo/target/debug/deps/parallel_sweep-3bf46cb7af5a59d9: tests/parallel_sweep.rs
+
+tests/parallel_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sweep-48ffe592767d604a.d: tests/parallel_sweep.rs
+
+/root/repo/target/debug/deps/parallel_sweep-48ffe592767d604a: tests/parallel_sweep.rs
+
+tests/parallel_sweep.rs:

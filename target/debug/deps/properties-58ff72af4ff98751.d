@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-58ff72af4ff98751.d: crates/trace/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-58ff72af4ff98751.rmeta: crates/trace/tests/properties.rs Cargo.toml
+
+crates/trace/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-633d6fa2f79bd425.d: crates/mem/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-633d6fa2f79bd425.rmeta: crates/mem/tests/properties.rs Cargo.toml
+
+crates/mem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

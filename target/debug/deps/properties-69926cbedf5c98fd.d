@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-69926cbedf5c98fd.d: crates/trace/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-69926cbedf5c98fd: crates/trace/tests/properties.rs
+
+crates/trace/tests/properties.rs:

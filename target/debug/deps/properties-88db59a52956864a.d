@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-88db59a52956864a.d: crates/mem/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-88db59a52956864a: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c47e8d9a3831f584.d: crates/sequitur/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c47e8d9a3831f584: crates/sequitur/tests/properties.rs
+
+crates/sequitur/tests/properties.rs:

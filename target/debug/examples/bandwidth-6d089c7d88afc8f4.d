@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bandwidth-6d089c7d88afc8f4.d: examples/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbandwidth-6d089c7d88afc8f4.rmeta: examples/bandwidth.rs Cargo.toml
+
+examples/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

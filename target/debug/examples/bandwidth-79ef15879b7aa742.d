@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bandwidth-79ef15879b7aa742.d: examples/bandwidth.rs
+
+/root/repo/target/debug/examples/bandwidth-79ef15879b7aa742: examples/bandwidth.rs
+
+examples/bandwidth.rs:

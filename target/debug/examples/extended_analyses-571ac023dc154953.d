@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extended_analyses-571ac023dc154953.d: examples/extended_analyses.rs
+
+/root/repo/target/debug/examples/extended_analyses-571ac023dc154953: examples/extended_analyses.rs
+
+examples/extended_analyses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extended_analyses-5c253ad0a08f284e.d: examples/extended_analyses.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextended_analyses-5c253ad0a08f284e.rmeta: examples/extended_analyses.rs Cargo.toml
+
+examples/extended_analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

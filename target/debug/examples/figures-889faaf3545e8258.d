@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figures-889faaf3545e8258.d: examples/figures.rs
+
+/root/repo/target/debug/examples/figures-889faaf3545e8258: examples/figures.rs
+
+examples/figures.rs:

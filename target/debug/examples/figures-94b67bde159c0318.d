@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figures-94b67bde159c0318.d: examples/figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigures-94b67bde159c0318.rmeta: examples/figures.rs Cargo.toml
+
+examples/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lookup_depth_study-5afe6c20c0fe666b.d: examples/lookup_depth_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblookup_depth_study-5afe6c20c0fe666b.rmeta: examples/lookup_depth_study.rs Cargo.toml
+
+examples/lookup_depth_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lookup_depth_study-a002d5e936ca560b.d: examples/lookup_depth_study.rs
+
+/root/repo/target/debug/examples/lookup_depth_study-a002d5e936ca560b: examples/lookup_depth_study.rs
+
+examples/lookup_depth_study.rs:

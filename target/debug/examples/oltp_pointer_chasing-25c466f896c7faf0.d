@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oltp_pointer_chasing-25c466f896c7faf0.d: examples/oltp_pointer_chasing.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboltp_pointer_chasing-25c466f896c7faf0.rmeta: examples/oltp_pointer_chasing.rs Cargo.toml
+
+examples/oltp_pointer_chasing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

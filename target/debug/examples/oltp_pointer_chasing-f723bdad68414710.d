@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oltp_pointer_chasing-f723bdad68414710.d: examples/oltp_pointer_chasing.rs
+
+/root/repo/target/debug/examples/oltp_pointer_chasing-f723bdad68414710: examples/oltp_pointer_chasing.rs
+
+examples/oltp_pointer_chasing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5851c5bc3d9be840.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5851c5bc3d9be840: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spatio_temporal-4c2c181bf92bfd60.d: examples/spatio_temporal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspatio_temporal-4c2c181bf92bfd60.rmeta: examples/spatio_temporal.rs Cargo.toml
+
+examples/spatio_temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spatio_temporal-d7434d87fad362dc.d: examples/spatio_temporal.rs
+
+/root/repo/target/debug/examples/spatio_temporal-d7434d87fad362dc: examples/spatio_temporal.rs
+
+examples/spatio_temporal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-66ee77a49cf0832e.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-66ee77a49cf0832e.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

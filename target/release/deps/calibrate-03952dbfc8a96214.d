@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-03952dbfc8a96214.d: crates/sim/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-03952dbfc8a96214.rmeta: crates/sim/src/bin/calibrate.rs Cargo.toml
+
+crates/sim/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

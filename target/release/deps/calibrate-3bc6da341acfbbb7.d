@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-3bc6da341acfbbb7.d: crates/sim/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-3bc6da341acfbbb7: crates/sim/src/bin/calibrate.rs
+
+crates/sim/src/bin/calibrate.rs:

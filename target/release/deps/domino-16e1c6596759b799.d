@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/domino-16e1c6596759b799.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/release/deps/libdomino-16e1c6596759b799.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+/root/repo/target/release/deps/libdomino-16e1c6596759b799.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/domino.rs crates/core/src/eit.rs crates/core/src/naive.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/domino.rs:
+crates/core/src/eit.rs:
+crates/core/src/naive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domino_bench-56ec52be4195da20.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/domino_bench-56ec52be4195da20: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/domino_bench-6f100fe199650733.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdomino_bench-6f100fe199650733.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdomino_bench-6f100fe199650733.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/domino_bench-a180fea5a8ba9c05.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdomino_bench-a180fea5a8ba9c05.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/domino_mem-88f7745d85375b20.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs Cargo.toml
+
+/root/repo/target/release/deps/libdomino_mem-88f7745d85375b20.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/history.rs:
+crates/mem/src/interface.rs:
+crates/mem/src/metadata.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/prefetch_buffer.rs:
+crates/mem/src/streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/domino_mem-caa648547ca137c1.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+/root/repo/target/release/deps/domino_mem-caa648547ca137c1: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/history.rs crates/mem/src/interface.rs crates/mem/src/metadata.rs crates/mem/src/mshr.rs crates/mem/src/prefetch_buffer.rs crates/mem/src/streams.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/history.rs:
+crates/mem/src/interface.rs:
+crates/mem/src/metadata.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/prefetch_buffer.rs:
+crates/mem/src/streams.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/domino_prefetchers-19497c1f863fa85a.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs Cargo.toml
+
+/root/repo/target/release/deps/libdomino_prefetchers-19497c1f863fa85a.rmeta: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs Cargo.toml
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/adaptive.rs:
+crates/prefetchers/src/composite.rs:
+crates/prefetchers/src/config.rs:
+crates/prefetchers/src/digram.rs:
+crates/prefetchers/src/ghb.rs:
+crates/prefetchers/src/isb.rs:
+crates/prefetchers/src/markov.rs:
+crates/prefetchers/src/nextline.rs:
+crates/prefetchers/src/ngram.rs:
+crates/prefetchers/src/sms.rs:
+crates/prefetchers/src/stms.rs:
+crates/prefetchers/src/stride.rs:
+crates/prefetchers/src/vldp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/domino_prefetchers-74c573b4e27e3264.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs
+
+/root/repo/target/release/deps/domino_prefetchers-74c573b4e27e3264: crates/prefetchers/src/lib.rs crates/prefetchers/src/adaptive.rs crates/prefetchers/src/composite.rs crates/prefetchers/src/config.rs crates/prefetchers/src/digram.rs crates/prefetchers/src/ghb.rs crates/prefetchers/src/isb.rs crates/prefetchers/src/markov.rs crates/prefetchers/src/nextline.rs crates/prefetchers/src/ngram.rs crates/prefetchers/src/sms.rs crates/prefetchers/src/stms.rs crates/prefetchers/src/stride.rs crates/prefetchers/src/vldp.rs
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/adaptive.rs:
+crates/prefetchers/src/composite.rs:
+crates/prefetchers/src/config.rs:
+crates/prefetchers/src/digram.rs:
+crates/prefetchers/src/ghb.rs:
+crates/prefetchers/src/isb.rs:
+crates/prefetchers/src/markov.rs:
+crates/prefetchers/src/nextline.rs:
+crates/prefetchers/src/ngram.rs:
+crates/prefetchers/src/sms.rs:
+crates/prefetchers/src/stms.rs:
+crates/prefetchers/src/stride.rs:
+crates/prefetchers/src/vldp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/domino_repro-355d1de4f18d0e13.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdomino_repro-355d1de4f18d0e13.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/domino_repro-5d471cbf197b39cc.d: src/lib.rs
+
+/root/repo/target/release/deps/libdomino_repro-5d471cbf197b39cc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdomino_repro-5d471cbf197b39cc.rmeta: src/lib.rs
+
+src/lib.rs:

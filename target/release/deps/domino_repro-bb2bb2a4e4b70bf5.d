@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/domino_repro-bb2bb2a4e4b70bf5.d: src/lib.rs
+
+/root/repo/target/release/deps/domino_repro-bb2bb2a4e4b70bf5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/domino_repro-e27fb629e98d0652.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdomino_repro-e27fb629e98d0652.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/domino_sequitur-7caffa7b9595a123.d: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+/root/repo/target/release/deps/libdomino_sequitur-7caffa7b9595a123.rlib: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+/root/repo/target/release/deps/libdomino_sequitur-7caffa7b9595a123.rmeta: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/analysis.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/histogram.rs:
+crates/sequitur/src/node.rs:
+crates/sequitur/src/oracle.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/domino_sequitur-f565995bfdd3474e.d: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+/root/repo/target/release/deps/domino_sequitur-f565995bfdd3474e: crates/sequitur/src/lib.rs crates/sequitur/src/analysis.rs crates/sequitur/src/grammar.rs crates/sequitur/src/histogram.rs crates/sequitur/src/node.rs crates/sequitur/src/oracle.rs
+
+crates/sequitur/src/lib.rs:
+crates/sequitur/src/analysis.rs:
+crates/sequitur/src/grammar.rs:
+crates/sequitur/src/histogram.rs:
+crates/sequitur/src/node.rs:
+crates/sequitur/src/oracle.rs:

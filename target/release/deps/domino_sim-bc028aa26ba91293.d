@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/domino_sim-bc028aa26ba91293.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs
+
+/root/repo/target/release/deps/libdomino_sim-bc028aa26ba91293.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs
+
+/root/repo/target/release/deps/libdomino_sim-bc028aa26ba91293.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/exec.rs crates/sim/src/figures.rs crates/sim/src/multicore.rs crates/sim/src/report.rs crates/sim/src/roster.rs crates/sim/src/stats.rs crates/sim/src/svg.rs crates/sim/src/timing.rs crates/sim/src/trace_cache.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/figures.rs:
+crates/sim/src/multicore.rs:
+crates/sim/src/report.rs:
+crates/sim/src/roster.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/svg.rs:
+crates/sim/src/timing.rs:
+crates/sim/src/trace_cache.rs:

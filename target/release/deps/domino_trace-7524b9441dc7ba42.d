@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/domino_trace-7524b9441dc7ba42.d: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs
+
+/root/repo/target/release/deps/libdomino_trace-7524b9441dc7ba42.rlib: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs
+
+/root/repo/target/release/deps/libdomino_trace-7524b9441dc7ba42.rmeta: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/event.rs:
+crates/trace/src/hash.rs:
+crates/trace/src/io.rs:
+crates/trace/src/reuse.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload/mod.rs:
+crates/trace/src/workload/catalog.rs:
+crates/trace/src/workload/document.rs:
+crates/trace/src/workload/noise.rs:
+crates/trace/src/workload/spatial.rs:
+crates/trace/src/workload/spec.rs:
+crates/trace/src/workload/temporal.rs:

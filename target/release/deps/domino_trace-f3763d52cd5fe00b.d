@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/domino_trace-f3763d52cd5fe00b.d: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs
+
+/root/repo/target/release/deps/domino_trace-f3763d52cd5fe00b: crates/trace/src/lib.rs crates/trace/src/addr.rs crates/trace/src/event.rs crates/trace/src/hash.rs crates/trace/src/io.rs crates/trace/src/reuse.rs crates/trace/src/rng.rs crates/trace/src/stats.rs crates/trace/src/workload/mod.rs crates/trace/src/workload/catalog.rs crates/trace/src/workload/document.rs crates/trace/src/workload/noise.rs crates/trace/src/workload/spatial.rs crates/trace/src/workload/spec.rs crates/trace/src/workload/temporal.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/event.rs:
+crates/trace/src/hash.rs:
+crates/trace/src/io.rs:
+crates/trace/src/reuse.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/workload/mod.rs:
+crates/trace/src/workload/catalog.rs:
+crates/trace/src/workload/document.rs:
+crates/trace/src/workload/noise.rs:
+crates/trace/src/workload/spatial.rs:
+crates/trace/src/workload/spec.rs:
+crates/trace/src/workload/temporal.rs:

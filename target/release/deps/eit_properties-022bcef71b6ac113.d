@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eit_properties-022bcef71b6ac113.d: crates/core/tests/eit_properties.rs
+
+/root/repo/target/release/deps/eit_properties-022bcef71b6ac113: crates/core/tests/eit_properties.rs
+
+crates/core/tests/eit_properties.rs:

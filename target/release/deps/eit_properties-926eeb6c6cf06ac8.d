@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eit_properties-926eeb6c6cf06ac8.d: crates/core/tests/eit_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libeit_properties-926eeb6c6cf06ac8.rmeta: crates/core/tests/eit_properties.rs Cargo.toml
+
+crates/core/tests/eit_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_invariants-6986b513f9c63cf2.d: tests/engine_invariants.rs
+
+/root/repo/target/release/deps/engine_invariants-6986b513f9c63cf2: tests/engine_invariants.rs
+
+tests/engine_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_invariants-e2e49fb6bea93d9a.d: tests/engine_invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_invariants-e2e49fb6bea93d9a.rmeta: tests/engine_invariants.rs Cargo.toml
+
+tests/engine_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

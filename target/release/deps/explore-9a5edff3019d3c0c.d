@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/explore-9a5edff3019d3c0c.d: crates/sim/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/release/deps/libexplore-9a5edff3019d3c0c.rmeta: crates/sim/src/bin/explore.rs Cargo.toml
+
+crates/sim/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/explore-b7bb8c34a69a10a5.d: crates/sim/src/bin/explore.rs Cargo.toml
+
+/root/repo/target/release/deps/libexplore-b7bb8c34a69a10a5.rmeta: crates/sim/src/bin/explore.rs Cargo.toml
+
+crates/sim/src/bin/explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-cc3b5b3342518040.d: crates/sim/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-cc3b5b3342518040: crates/sim/src/bin/explore.rs
+
+crates/sim/src/bin/explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-84fbe0014b42345c.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-84fbe0014b42345c.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

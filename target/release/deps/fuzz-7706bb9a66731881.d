@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fuzz-7706bb9a66731881.d: crates/prefetchers/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/release/deps/libfuzz-7706bb9a66731881.rmeta: crates/prefetchers/tests/fuzz.rs Cargo.toml
+
+crates/prefetchers/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz-9250ffdafc9f83d6.d: crates/core/tests/fuzz.rs
+
+/root/repo/target/release/deps/fuzz-9250ffdafc9f83d6: crates/core/tests/fuzz.rs
+
+crates/core/tests/fuzz.rs:

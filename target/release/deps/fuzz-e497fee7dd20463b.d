@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz-e497fee7dd20463b.d: crates/prefetchers/tests/fuzz.rs
+
+/root/repo/target/release/deps/fuzz-e497fee7dd20463b: crates/prefetchers/tests/fuzz.rs
+
+crates/prefetchers/tests/fuzz.rs:

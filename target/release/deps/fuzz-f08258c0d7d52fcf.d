@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fuzz-f08258c0d7d52fcf.d: crates/core/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/release/deps/libfuzz-f08258c0d7d52fcf.rmeta: crates/core/tests/fuzz.rs Cargo.toml
+
+crates/core/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-0412c0e8e95a00e0.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-0412c0e8e95a00e0: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro-49345e3b18ddc587.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro-49345e3b18ddc587.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-f48c79ad902a87cd.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-f48c79ad902a87cd: tests/paper_claims.rs
+
+tests/paper_claims.rs:

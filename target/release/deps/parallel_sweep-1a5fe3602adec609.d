@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_sweep-1a5fe3602adec609.d: tests/parallel_sweep.rs
+
+/root/repo/target/release/deps/parallel_sweep-1a5fe3602adec609: tests/parallel_sweep.rs
+
+tests/parallel_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_sweep-ac8a809f6140bd49.d: tests/parallel_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_sweep-ac8a809f6140bd49.rmeta: tests/parallel_sweep.rs Cargo.toml
+
+tests/parallel_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

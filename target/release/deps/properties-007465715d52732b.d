@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-007465715d52732b.d: crates/mem/tests/properties.rs
+
+/root/repo/target/release/deps/properties-007465715d52732b: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

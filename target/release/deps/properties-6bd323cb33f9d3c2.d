@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-6bd323cb33f9d3c2.d: crates/trace/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-6bd323cb33f9d3c2.rmeta: crates/trace/tests/properties.rs Cargo.toml
+
+crates/trace/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-6dbe0cbd4dab4aa1.d: crates/sequitur/tests/properties.rs
+
+/root/repo/target/release/deps/properties-6dbe0cbd4dab4aa1: crates/sequitur/tests/properties.rs
+
+crates/sequitur/tests/properties.rs:

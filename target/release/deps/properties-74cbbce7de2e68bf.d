@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-74cbbce7de2e68bf.d: crates/trace/tests/properties.rs
+
+/root/repo/target/release/deps/properties-74cbbce7de2e68bf: crates/trace/tests/properties.rs
+
+crates/trace/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-b80a9a869c477fe9.d: crates/mem/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-b80a9a869c477fe9.rmeta: crates/mem/tests/properties.rs Cargo.toml
+
+crates/mem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

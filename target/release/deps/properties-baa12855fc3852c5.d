@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-baa12855fc3852c5.d: crates/sequitur/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-baa12855fc3852c5.rmeta: crates/sequitur/tests/properties.rs Cargo.toml
+
+crates/sequitur/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bandwidth-18868664614e8dae.d: examples/bandwidth.rs
+
+/root/repo/target/release/examples/bandwidth-18868664614e8dae: examples/bandwidth.rs
+
+examples/bandwidth.rs:

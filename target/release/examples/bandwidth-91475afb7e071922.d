@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/bandwidth-91475afb7e071922.d: examples/bandwidth.rs Cargo.toml
+
+/root/repo/target/release/examples/libbandwidth-91475afb7e071922.rmeta: examples/bandwidth.rs Cargo.toml
+
+examples/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/extended_analyses-1aee1db41ae6f7f0.d: examples/extended_analyses.rs Cargo.toml
+
+/root/repo/target/release/examples/libextended_analyses-1aee1db41ae6f7f0.rmeta: examples/extended_analyses.rs Cargo.toml
+
+examples/extended_analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/extended_analyses-3e210059422449a7.d: examples/extended_analyses.rs
+
+/root/repo/target/release/examples/extended_analyses-3e210059422449a7: examples/extended_analyses.rs
+
+examples/extended_analyses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/figures-35a12db30310689d.d: examples/figures.rs Cargo.toml
+
+/root/repo/target/release/examples/libfigures-35a12db30310689d.rmeta: examples/figures.rs Cargo.toml
+
+examples/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/figures-7ff2eec83427b6ef.d: examples/figures.rs
+
+/root/repo/target/release/examples/figures-7ff2eec83427b6ef: examples/figures.rs
+
+examples/figures.rs:

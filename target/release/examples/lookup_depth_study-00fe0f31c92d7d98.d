@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/lookup_depth_study-00fe0f31c92d7d98.d: examples/lookup_depth_study.rs Cargo.toml
+
+/root/repo/target/release/examples/liblookup_depth_study-00fe0f31c92d7d98.rmeta: examples/lookup_depth_study.rs Cargo.toml
+
+examples/lookup_depth_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

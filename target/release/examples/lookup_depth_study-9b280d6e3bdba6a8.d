@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lookup_depth_study-9b280d6e3bdba6a8.d: examples/lookup_depth_study.rs
+
+/root/repo/target/release/examples/lookup_depth_study-9b280d6e3bdba6a8: examples/lookup_depth_study.rs
+
+examples/lookup_depth_study.rs:

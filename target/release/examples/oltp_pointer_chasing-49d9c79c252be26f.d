@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/oltp_pointer_chasing-49d9c79c252be26f.d: examples/oltp_pointer_chasing.rs Cargo.toml
+
+/root/repo/target/release/examples/liboltp_pointer_chasing-49d9c79c252be26f.rmeta: examples/oltp_pointer_chasing.rs Cargo.toml
+
+examples/oltp_pointer_chasing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

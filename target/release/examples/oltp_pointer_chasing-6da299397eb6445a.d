@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/oltp_pointer_chasing-6da299397eb6445a.d: examples/oltp_pointer_chasing.rs
+
+/root/repo/target/release/examples/oltp_pointer_chasing-6da299397eb6445a: examples/oltp_pointer_chasing.rs
+
+examples/oltp_pointer_chasing.rs:

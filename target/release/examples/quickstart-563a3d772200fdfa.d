@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-563a3d772200fdfa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-563a3d772200fdfa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/spatio_temporal-10308871ff452126.d: examples/spatio_temporal.rs Cargo.toml
+
+/root/repo/target/release/examples/libspatio_temporal-10308871ff452126.rmeta: examples/spatio_temporal.rs Cargo.toml
+
+examples/spatio_temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

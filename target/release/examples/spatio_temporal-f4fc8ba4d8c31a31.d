@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spatio_temporal-f4fc8ba4d8c31a31.d: examples/spatio_temporal.rs
+
+/root/repo/target/release/examples/spatio_temporal-f4fc8ba4d8c31a31: examples/spatio_temporal.rs
+
+examples/spatio_temporal.rs:
