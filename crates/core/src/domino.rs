@@ -252,6 +252,12 @@ impl Prefetcher for Domino {
             self.record(prev, line, pos, sink);
         }
     }
+
+    fn emit_counters(&self, sink: &mut dyn domino_telemetry::CounterSink) {
+        sink.counter("eit.lookups", self.lookups);
+        sink.counter("eit.matches", self.lookup_matches);
+        sink.counter("eit.confirmations", self.confirmations);
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Set-associative cache model with pluggable replacement.
 
+use domino_telemetry::CounterSink;
 use domino_trace::addr::{LineAddr, LINE_BYTES};
 
 /// Replacement policy for [`SetAssocCache`].
@@ -191,6 +192,12 @@ impl SetAssocCache {
     /// The cache's geometry.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Reports hit/miss counters under `prefix` (e.g. `l1.hits`).
+    pub fn emit_counters(&self, prefix: &str, sink: &mut dyn CounterSink) {
+        sink.counter(&format!("{prefix}.hits"), self.hits);
+        sink.counter(&format!("{prefix}.misses"), self.misses);
     }
 }
 

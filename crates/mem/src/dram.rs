@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use domino_telemetry::CounterSink;
 use domino_trace::addr::LINE_BYTES;
 
 /// What a memory transfer was for.
@@ -158,6 +159,18 @@ impl Dram {
     /// Timing parameters.
     pub fn config(&self) -> &DramConfig {
         &self.config
+    }
+
+    /// Reports request and per-category byte counters (`dram.requests`,
+    /// `dram.bytes.demand`, …).
+    pub fn emit_counters(&self, sink: &mut dyn CounterSink) {
+        sink.counter("dram.requests", self.requests);
+        sink.counter("dram.bytes.demand", self.traffic.demand);
+        sink.counter("dram.bytes.prefetch", self.traffic.prefetch);
+        sink.counter("dram.bytes.meta_read", self.traffic.metadata_read);
+        sink.counter("dram.bytes.meta_write", self.traffic.metadata_write);
+        // Whole nanoseconds are plenty for a trend line.
+        sink.counter("dram.queue_delay_ns", self.queue_delay_total as u64);
     }
 }
 

@@ -13,6 +13,7 @@
 //! next miss), and stream continuations that replay from an on-chip buffer
 //! need zero.
 
+use domino_telemetry::CounterSink;
 use domino_trace::addr::{LineAddr, Pc};
 
 /// Why the prefetcher was invoked.
@@ -105,6 +106,12 @@ pub trait Prefetcher: Send {
 
     /// Reacts to one triggering event.
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink);
+
+    /// Reports implementation-specific counters into a telemetry
+    /// snapshot (EIT lookups, index hit rates, …). Counter names are
+    /// dot-namespaced and must be emitted in a stable order; the default
+    /// reports nothing, so plain prefetchers need no telemetry code.
+    fn emit_counters(&self, _sink: &mut dyn CounterSink) {}
 }
 
 /// Simple sink that records everything (tests, analyses, adapters).

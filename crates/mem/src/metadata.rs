@@ -91,6 +91,13 @@ impl MetadataChannel {
     pub fn writes(&self) -> u64 {
         self.writes
     }
+
+    /// Reports read/write block counters under `prefix`
+    /// (e.g. `meta.reads`).
+    pub fn emit_counters(&self, prefix: &str, sink: &mut dyn domino_telemetry::CounterSink) {
+        sink.counter(&format!("{prefix}.reads"), self.reads);
+        sink.counter(&format!("{prefix}.writes"), self.writes);
+    }
 }
 
 #[cfg(test)]

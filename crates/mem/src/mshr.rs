@@ -6,6 +6,7 @@
 //! timing model uses an [`MshrFile`] to cap how many overlapping misses a
 //! ROB window can issue.
 
+use domino_telemetry::CounterSink;
 use domino_trace::addr::LineAddr;
 
 /// One in-flight miss.
@@ -116,6 +117,13 @@ impl MshrFile {
     /// Register count.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Reports MSHR counters under `prefix` (e.g. `l1_mshr.allocations`).
+    pub fn emit_counters(&self, prefix: &str, sink: &mut dyn CounterSink) {
+        sink.counter(&format!("{prefix}.allocations"), self.allocations);
+        sink.counter(&format!("{prefix}.merges"), self.merges);
+        sink.counter(&format!("{prefix}.stalls"), self.stalls);
     }
 }
 

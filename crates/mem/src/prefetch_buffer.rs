@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use domino_telemetry::CounterSink;
 use domino_trace::addr::LineAddr;
 
 /// One buffered prefetch.
@@ -147,6 +148,15 @@ impl PrefetchBuffer {
     /// Capacity in blocks.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Reports lifetime buffer counters (`buffer.inserted`, …).
+    pub fn emit_counters(&self, sink: &mut dyn CounterSink) {
+        sink.counter("buffer.inserted", self.stats.inserted);
+        sink.counter("buffer.hits", self.stats.hits);
+        sink.counter("buffer.evicted_unused", self.stats.evicted_unused);
+        sink.counter("buffer.discarded_unused", self.stats.discarded_unused);
+        sink.counter("buffer.duplicate_inserts", self.stats.duplicate_inserts);
     }
 }
 

@@ -101,6 +101,11 @@ impl Prefetcher for Stms {
         "STMS"
     }
 
+    fn emit_counters(&self, sink: &mut dyn domino_telemetry::CounterSink) {
+        sink.counter("index.lookups", self.lookups);
+        sink.counter("index.matches", self.lookup_matches);
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         let line = event.line;
         let mut trips = 0u8;

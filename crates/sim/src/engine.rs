@@ -18,6 +18,7 @@ use domino_mem::cache::SetAssocCache;
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_mem::prefetch_buffer::PrefetchBuffer;
 use domino_sequitur::Histogram;
+use domino_telemetry::{CounterSink, Telemetry, DISTANCE_BOUNDS};
 use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
 
@@ -152,6 +153,44 @@ pub fn run_coverage_warmed(
     prefetcher: &mut dyn Prefetcher,
     warmup: usize,
 ) -> CoverageReport {
+    run_coverage_observed(system, trace, prefetcher, warmup, &mut Telemetry::off())
+}
+
+/// Emits one cumulative telemetry snapshot row of a coverage run. The
+/// column order here is the schema of coverage epoch rows; it must stay
+/// identical across every epoch of a run.
+fn emit_coverage_row(
+    row: &mut dyn CounterSink,
+    report: &CoverageReport,
+    l1: &SetAssocCache,
+    buffer: &PrefetchBuffer,
+    prefetcher: &dyn Prefetcher,
+) {
+    row.counter("accesses", report.accesses);
+    l1.emit_counters("l1", row);
+    row.counter("baseline_misses", report.baseline_misses);
+    row.counter("covered", report.covered);
+    row.counter("issued", report.prefetches_issued);
+    row.counter("meta_read_blocks", report.meta_read_blocks);
+    row.counter("meta_write_blocks", report.meta_write_blocks);
+    buffer.emit_counters(row);
+    prefetcher.emit_counters(row);
+}
+
+/// [`run_coverage_warmed`] with a telemetry handle: every access ticks
+/// the epoch clock, every epoch boundary snapshots the cumulative
+/// counters (engine metrics, L1, buffer, and the prefetcher's own
+/// counters), and covered misses record their prefetch-to-use distance
+/// in demand accesses. With a disabled handle this is exactly
+/// [`run_coverage_warmed`] — one dead branch per access.
+pub fn run_coverage_observed(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    tel: &mut Telemetry,
+) -> CoverageReport {
+    let dist_hist = tel.register_histogram("prefetch_to_use_distance", DISTANCE_BOUNDS);
     let mut l1 = SetAssocCache::new(system.l1d);
     let mut buffer = PrefetchBuffer::new(system.prefetch_buffer_blocks);
     let mut sink = CollectSink::new();
@@ -191,7 +230,14 @@ pub fn run_coverage_warmed(
             }
             continue;
         }
-        let covered = buffer.take(line).is_some();
+        // The coverage engine never uses arrival times, so `ready_at`
+        // carries the inserting access's index instead — the difference
+        // on a hit is the prefetch-to-use distance in demand accesses.
+        let taken = buffer.take(line);
+        if let Some(entry) = taken {
+            tel.record(dist_hist, (i as f64 - entry.ready_at).max(0.0) as u64);
+        }
+        let covered = taken.is_some();
         if measuring {
             report.baseline_misses += 1;
             if ev.kind.is_read() {
@@ -232,14 +278,18 @@ pub fn run_coverage_warmed(
                 }
             }
             if !l1.contains(req.line) {
-                buffer.insert(req.line, 0.0, req.stream);
+                buffer.insert(req.line, i as f64, req.stream);
             }
         }
         if measuring {
             report.meta_read_blocks += sink.meta_read_blocks;
             report.meta_write_blocks += sink.meta_write_blocks;
         }
+        if tel.tick() {
+            tel.snapshot(|row| emit_coverage_row(row, &report, &l1, &buffer, &*prefetcher));
+        }
     }
+    tel.flush(|row| emit_coverage_row(row, &report, &l1, &buffer, &*prefetcher));
     if run > 0 {
         report.stream_lengths.record(run);
     }

@@ -16,11 +16,12 @@ use domino_sequitur::oracle::{oracle_replay, OracleConfig};
 use domino_trace::workload::{catalog, WorkloadSpec};
 
 use crate::config::SystemConfig;
-use crate::engine::{run_coverage_warmed, CoverageReport};
+use crate::engine::{run_coverage_observed, run_coverage_warmed, CoverageReport};
 use crate::exec;
+use crate::observe;
 use crate::report::FigureTable;
 use crate::roster::System;
-use crate::timing::{run_timing_warmed, TimingReport};
+use crate::timing::{run_timing_observed, run_timing_warmed, TimingReport};
 use crate::trace_cache::{shared_miss_sequence, shared_trace};
 
 /// A figure cell: one independent run, boxed for the sweep executor.
@@ -82,6 +83,71 @@ fn timing_of(
     let trace = shared_trace(spec, scale.events, scale.seed);
     let mut p = sys.build(degree);
     run_timing_warmed(system, &trace, p.as_mut(), scale.warmup())
+}
+
+/// Labels a finished telemetry report with its cell identity and the
+/// prefetcher's end-of-run counters, and deposits it in the collector.
+fn deposit_report(
+    tel: domino_telemetry::Telemetry,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    sys: System,
+    kind: &str,
+    prefetcher: &dyn domino_mem::interface::Prefetcher,
+) {
+    // The engines flush the partial tail themselves, so the finish
+    // closure never runs.
+    let mut report = tel.finish(|_| {});
+    report.workload = spec.name.clone();
+    report.component = sys.label();
+    report.kind = kind.to_string();
+    report.events = scale.events as u64;
+    report.seed = scale.seed;
+    report.warmup = scale.warmup() as u64;
+    prefetcher.emit_counters(&mut |name: &str, value: u64| {
+        report.counters.push((name.to_string(), value));
+    });
+    observe::record(report);
+}
+
+/// [`coverage_of`] that also collects a telemetry report when an epoch
+/// length is configured (see [`crate::observe`]).
+fn coverage_of_observed(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    sys: System,
+    degree: usize,
+) -> CoverageReport {
+    let Some(_) = observe::epoch() else {
+        return coverage_of(system, spec, scale, sys, degree);
+    };
+    let trace = shared_trace(spec, scale.events, scale.seed);
+    let mut p = sys.build(degree);
+    let mut tel = observe::telemetry();
+    let r = run_coverage_observed(system, &trace, p.as_mut(), scale.warmup(), &mut tel);
+    deposit_report(tel, spec, scale, sys, "coverage", p.as_ref());
+    r
+}
+
+/// [`timing_of`] that also collects a telemetry report when an epoch
+/// length is configured.
+fn timing_of_observed(
+    system: &SystemConfig,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    sys: System,
+    degree: usize,
+) -> TimingReport {
+    let Some(_) = observe::epoch() else {
+        return timing_of(system, spec, scale, sys, degree);
+    };
+    let trace = shared_trace(spec, scale.events, scale.seed);
+    let mut p = sys.build(degree);
+    let mut tel = observe::telemetry();
+    let r = run_timing_observed(system, &trace, p.as_mut(), scale.warmup(), &mut tel);
+    deposit_report(tel, spec, scale, sys, "timing", p.as_ref());
+    r
 }
 
 fn oracle_of(
@@ -386,7 +452,16 @@ pub fn fig10(scale: &Scale) -> FigureTable {
 
 /// Shared body of Figures 11 and 13: coverage and overpredictions for the
 /// full roster at a given degree, plus the Sequitur-oracle opportunity.
-fn roster_comparison(scale: &Scale, degree: usize, figure: &str) -> Vec<FigureTable> {
+/// With `collect` set, each roster cell also deposits a telemetry report
+/// when an epoch length is configured (Figure 13 is the collection
+/// vehicle: it covers every roster prefetcher at the paper's headline
+/// degree without extra runs).
+fn roster_comparison(
+    scale: &Scale,
+    degree: usize,
+    figure: &str,
+    collect: bool,
+) -> Vec<FigureTable> {
     let system = SystemConfig::paper();
     let scale = *scale;
     let mut cols: Vec<String> = System::paper_roster().iter().map(|s| s.label()).collect();
@@ -411,7 +486,11 @@ fn roster_comparison(scale: &Scale, degree: usize, figure: &str) -> Vec<FigureTa
         for sys in roster {
             let spec = spec.clone();
             jobs.push(Box::new(move || {
-                let r = coverage_of(&system, &spec, &scale, sys, degree);
+                let r = if collect {
+                    coverage_of_observed(&system, &spec, &scale, sys, degree)
+                } else {
+                    coverage_of(&system, &spec, &scale, sys, degree)
+                };
                 (r.coverage(), r.overprediction_rate())
             }));
         }
@@ -450,7 +529,7 @@ fn roster_comparison(scale: &Scale, degree: usize, figure: &str) -> Vec<FigureTa
 
 /// Figure 11 — the roster at prefetch degree 1.
 pub fn fig11(scale: &Scale) -> Vec<FigureTable> {
-    roster_comparison(scale, 1, "Figure 11")
+    roster_comparison(scale, 1, "Figure 11", false)
 }
 
 /// Figure 12 — cumulative histogram of oracle stream lengths.
@@ -494,9 +573,11 @@ pub fn fig12(scale: &Scale) -> FigureTable {
     t
 }
 
-/// Figure 13 — the roster at prefetch degree 4.
+/// Figure 13 — the roster at prefetch degree 4. When an epoch length is
+/// configured (see [`crate::observe`]), its cells collect the coverage
+/// telemetry series for every roster prefetcher.
 pub fn fig13(scale: &Scale) -> Vec<FigureTable> {
-    roster_comparison(scale, 4, "Figure 13")
+    roster_comparison(scale, 4, "Figure 13", true)
 }
 
 /// Figure 14 — speedup over the no-prefetcher baseline under the interval
@@ -518,12 +599,14 @@ pub fn fig14(scale: &Scale) -> FigureTable {
         {
             let spec = spec.clone();
             jobs.push(Box::new(move || {
-                timing_of(&system, &spec, &scale, System::Baseline, 1)
+                timing_of_observed(&system, &spec, &scale, System::Baseline, 1)
             }));
         }
         for sys in roster {
             let spec = spec.clone();
-            jobs.push(Box::new(move || timing_of(&system, &spec, &scale, sys, 4)));
+            jobs.push(Box::new(move || {
+                timing_of_observed(&system, &spec, &scale, sys, 4)
+            }));
         }
     }
     let results = exec::sweep(jobs);

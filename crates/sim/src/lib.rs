@@ -14,6 +14,8 @@
 //! * [`roster`] — the evaluated systems of §IV-D as a buildable enum;
 //! * [`figures`] — one runner per paper table/figure, returning printable
 //!   [`report::FigureTable`]s;
+//! * [`observe`] — per-epoch telemetry collection and JSON export for
+//!   figure sweeps (see the `report` binary for rendering);
 //! * [`report`] — plain-text table rendering (and CSV export);
 //! * [`svg`] — dependency-free bar-chart rendering of any figure table.
 //!
@@ -30,6 +32,7 @@ pub mod engine;
 pub mod exec;
 pub mod figures;
 pub mod multicore;
+pub mod observe;
 pub mod report;
 pub mod roster;
 pub mod stats;
@@ -38,11 +41,11 @@ pub mod timing;
 pub mod trace_cache;
 
 pub use config::SystemConfig;
-pub use engine::{baseline_miss_sequence, run_coverage, CoverageReport};
+pub use engine::{baseline_miss_sequence, run_coverage, run_coverage_observed, CoverageReport};
 pub use figures::Scale;
 pub use multicore::{run_homogeneous, run_multicore, MulticoreReport};
 pub use report::FigureTable;
 pub use roster::System;
 pub use stats::Sample;
-pub use timing::{run_timing, TimingReport};
+pub use timing::{run_timing, run_timing_observed, TimingReport};
 pub use trace_cache::{shared_miss_sequence, shared_trace};

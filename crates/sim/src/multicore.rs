@@ -24,6 +24,7 @@
 use domino_mem::cache::SetAssocCache;
 use domino_mem::dram::Dram;
 use domino_mem::interface::Prefetcher;
+use domino_telemetry::Telemetry;
 use domino_trace::event::AccessEvent;
 use domino_trace::workload::WorkloadSpec;
 
@@ -93,18 +94,41 @@ impl MulticoreReport {
 pub fn run_multicore(
     system: &SystemConfig,
     traces: Vec<Vec<AccessEvent>>,
+    prefetchers: Vec<Box<dyn Prefetcher>>,
+) -> MulticoreReport {
+    let mut tels: Vec<Telemetry> = prefetchers.iter().map(|_| Telemetry::off()).collect();
+    run_multicore_observed(system, traces, prefetchers, &mut tels)
+}
+
+/// [`run_multicore`] with one telemetry handle per core (`tels[i]`
+/// observes core `i`): each core gets its own epoch clock, histograms,
+/// and snapshot series over the shared LLC and channel.
+///
+/// # Panics
+///
+/// Panics if the numbers of traces, prefetchers, and handles differ.
+pub fn run_multicore_observed(
+    system: &SystemConfig,
+    traces: Vec<Vec<AccessEvent>>,
     mut prefetchers: Vec<Box<dyn Prefetcher>>,
+    tels: &mut [Telemetry],
 ) -> MulticoreReport {
     assert_eq!(
         traces.len(),
         prefetchers.len(),
         "one prefetcher per core required"
     );
+    assert_eq!(
+        traces.len(),
+        tels.len(),
+        "one telemetry handle per core required"
+    );
     let mut l2 = SetAssocCache::new(system.l2);
     let mut dram = Dram::new(system.memory);
     let mut engines: Vec<CoreEngine<'_>> = prefetchers
         .iter_mut()
-        .map(|p| CoreEngine::new(system, p.as_mut()))
+        .zip(tels.iter_mut())
+        .map(|(p, tel)| CoreEngine::new(system, p.as_mut(), tel))
         .collect();
     let mut cursors = vec![0usize; traces.len()];
     loop {
@@ -124,7 +148,13 @@ pub fn run_multicore(
         engines[i].step(&ev, &mut l2, &mut dram);
     }
     let chip = dram.traffic();
-    let per_core: Vec<TimingReport> = engines.into_iter().map(|e| e.finish(chip)).collect();
+    let per_core: Vec<TimingReport> = engines
+        .into_iter()
+        .map(|mut e| {
+            e.flush_telemetry(&dram);
+            e.finish(chip)
+        })
+        .collect();
     let total_ns = per_core.iter().map(|r| r.total_ns).fold(0.0f64, f64::max);
     MulticoreReport {
         per_core,

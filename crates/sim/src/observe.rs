@@ -1,0 +1,210 @@
+//! Telemetry collection for figure sweeps.
+//!
+//! Figure runners execute their cells on the parallel executor in
+//! [`crate::exec`]; a cell that runs with telemetry enabled labels its
+//! [`RunReport`] and deposits it here. After the sweep, the harness
+//! [`drain`]s the reports — sorted by (workload, component, kind), so the
+//! output is byte-identical at any job count — and [`write_reports`]
+//! exports one JSON file per cell plus an aggregate `TELEMETRY_sweep.json`.
+//!
+//! Telemetry is opt-in twice over: a run collects nothing unless an epoch
+//! length is set ([`set_epoch_override`] from `--epoch`, or the
+//! `DOMINO_EPOCH` environment variable), and only the runners that opt
+//! into collection (Figure 13's coverage roster, Figure 14's timing
+//! roster) deposit reports. Everything else pays one dead branch per
+//! access.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use domino_telemetry::{RunReport, Telemetry};
+
+/// Schema tag of the aggregate sweep file.
+pub const SWEEP_SCHEMA: &str = "domino-telemetry-sweep/1";
+
+/// `--epoch` override; 0 = no override (fall back to the environment),
+/// `u64::MAX` = explicitly off.
+static EPOCH_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// Reports deposited by sweep cells, in completion order.
+static COLLECTED: Mutex<Vec<RunReport>> = Mutex::new(Vec::new());
+
+/// Sets (or clears) the epoch-length override. `Some(0)` is normalised
+/// to "explicitly off". Takes precedence over `DOMINO_EPOCH`.
+pub fn set_epoch_override(epoch: Option<u64>) {
+    let coded = match epoch {
+        None => 0,
+        Some(0) => u64::MAX,
+        Some(n) => n,
+    };
+    EPOCH_OVERRIDE.store(coded, Ordering::SeqCst);
+}
+
+/// The effective epoch length: the override if set, else `DOMINO_EPOCH`,
+/// else `None` (telemetry off).
+pub fn epoch() -> Option<u64> {
+    match EPOCH_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::env::var("DOMINO_EPOCH")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0),
+        u64::MAX => None,
+        n => Some(n),
+    }
+}
+
+/// A telemetry handle honouring the effective epoch length.
+pub fn telemetry() -> Telemetry {
+    match epoch() {
+        Some(n) => Telemetry::with_epoch(n),
+        None => Telemetry::off(),
+    }
+}
+
+/// Deposits one labelled run report (called from sweep worker threads).
+pub fn record(report: RunReport) {
+    COLLECTED.lock().expect("collector poisoned").push(report);
+}
+
+/// Takes all deposited reports, sorted by (workload, component, kind) —
+/// a deterministic order independent of sweep scheduling.
+pub fn drain() -> Vec<RunReport> {
+    let mut out = std::mem::take(&mut *COLLECTED.lock().expect("collector poisoned"));
+    out.sort_by(|a, b| {
+        (&a.workload, &a.component, &a.kind).cmp(&(&b.workload, &b.component, &b.kind))
+    });
+    out
+}
+
+/// File-system-safe slug of a label (`Web Search` → `web_search`).
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The per-cell file name for a report.
+pub fn cell_filename(report: &RunReport) -> String {
+    format!(
+        "telemetry_{}_{}_{}.json",
+        slug(&report.workload),
+        slug(&report.component),
+        slug(&report.kind)
+    )
+}
+
+/// Renders the aggregate sweep document embedding every report.
+pub fn aggregate_json(reports: &[RunReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SWEEP_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"runs\": {},\n", reports.len()));
+    out.push_str("  \"reports\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let body = r.to_json();
+        out.push_str(body.trim_end());
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes one JSON file per report plus the aggregate
+/// `TELEMETRY_sweep.json` into `dir`; returns the written paths
+/// (aggregate last).
+pub fn write_reports(dir: &Path, reports: &[RunReport]) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(reports.len() + 1);
+    for r in reports {
+        let path = dir.join(cell_filename(r));
+        std::fs::write(&path, r.to_json())?;
+        paths.push(path);
+    }
+    let agg = dir.join("TELEMETRY_sweep.json");
+    std::fs::write(&agg, aggregate_json(reports))?;
+    paths.push(agg);
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_telemetry::SCHEMA;
+
+    fn labelled(workload: &str, component: &str) -> RunReport {
+        RunReport {
+            schema: SCHEMA.to_string(),
+            workload: workload.into(),
+            component: component.into(),
+            kind: "coverage".into(),
+            events: 10,
+            seed: 1,
+            warmup: 2,
+            epoch_accesses: 5,
+            fields: vec!["accesses".into()],
+            epochs: vec![vec![5], vec![10]],
+            histograms: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn override_beats_environment_and_clears() {
+        set_epoch_override(Some(123));
+        assert_eq!(epoch(), Some(123));
+        assert_eq!(telemetry().epoch_len(), 123);
+        set_epoch_override(Some(0));
+        assert_eq!(epoch(), None, "Some(0) means explicitly off");
+        set_epoch_override(None);
+    }
+
+    #[test]
+    fn drain_sorts_reports() {
+        // Drain any leftovers from other tests first (the collector is
+        // process-global).
+        let _ = drain();
+        record(labelled("zeta", "STMS"));
+        record(labelled("alpha", "Domino"));
+        record(labelled("alpha", "Baseline"));
+        let got = drain();
+        let keys: Vec<_> = got
+            .iter()
+            .map(|r| (r.workload.as_str(), r.component.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![("alpha", "Baseline"), ("alpha", "Domino"), ("zeta", "STMS")]
+        );
+        assert!(drain().is_empty(), "drain empties the collector");
+    }
+
+    #[test]
+    fn filenames_are_slugged() {
+        let r = labelled("Web Search", "Domino+NL");
+        assert_eq!(
+            cell_filename(&r),
+            "telemetry_web_search_domino_nl_coverage.json"
+        );
+    }
+
+    #[test]
+    fn aggregate_embeds_parseable_reports() {
+        let reports = vec![labelled("a", "X"), labelled("b", "Y")];
+        let agg = aggregate_json(&reports);
+        let v = domino_telemetry::json::parse(&agg).unwrap();
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SWEEP_SCHEMA));
+        assert_eq!(v.get("runs").and_then(|n| n.as_u64()), Some(2));
+        assert_eq!(
+            v.get("reports").and_then(|r| r.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
+    }
+}

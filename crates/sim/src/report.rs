@@ -89,17 +89,23 @@ impl FigureTable {
     }
 
     /// Value lookup by labels (used in tests and EXPERIMENTS checks).
+    /// Returns `None` on an empty table or unknown labels. With duplicate
+    /// row labels the *last* matching row wins: summary rows
+    /// ([`FigureTable::push_mean_row`] et al.) are appended after data
+    /// rows, so a sweep that reuses a label still resolves to the row a
+    /// reader sees at the bottom of the table.
     pub fn value(&self, row: &str, column: &str) -> Option<f64> {
-        let r = self.rows.iter().position(|x| x == row)?;
-        let c = self.columns.iter().position(|x| x == column)?;
+        let r = self.rows.iter().rposition(|x| x == row)?;
+        let c = self.columns.iter().rposition(|x| x == column)?;
         Some(self.values[r][c])
     }
 
     /// Renders the table as CSV (for plotting pipelines). The first
-    /// column is the row label; `NaN` renders as an empty cell.
+    /// column is the row label; `NaN` renders as an empty cell. An empty
+    /// table renders as its header line alone.
     pub fn to_csv(&self) -> String {
         fn escape(s: &str) -> String {
-            if s.contains([',', '"', '\n']) {
+            if s.contains([',', '"', '\n', '\r']) {
                 format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.to_string()
@@ -236,5 +242,41 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = sample();
         t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let mut t = FigureTable::new("empty", "r", vec!["A".into()]);
+        assert_eq!(t.value("x", "A"), None);
+        t.push_mean_row("Average");
+        t.push_gmean_row("GMean");
+        assert!(t.rows.is_empty(), "summary rows of nothing are skipped");
+        assert_eq!(t.to_csv(), "r,A\n");
+        assert!(format!("{t}").contains("empty"));
+    }
+
+    #[test]
+    fn duplicate_row_labels_resolve_to_the_last() {
+        let mut t = FigureTable::new("d", "r", vec!["A".into()]);
+        t.push_row("w", vec![0.1]);
+        t.push_row("w", vec![0.9]);
+        assert_eq!(t.value("w", "A"), Some(0.9));
+    }
+
+    #[test]
+    fn csv_escapes_carriage_returns() {
+        let mut t = FigureTable::new("t", "r", vec!["a\rb".into()]);
+        t.push_row("x", vec![1.0]);
+        assert!(t.to_csv().starts_with("r,\"a\rb\""));
+    }
+
+    #[test]
+    fn mean_of_uniform_rows_is_exact() {
+        let mut t = FigureTable::new("m", "r", vec!["A".into(), "B".into()]);
+        t.push_row("x", vec![2.0, 8.0]);
+        t.push_row("y", vec![2.0, 8.0]);
+        t.push_mean_row("Average");
+        assert_eq!(t.value("Average", "A"), Some(2.0));
+        assert_eq!(t.value("Average", "B"), Some(8.0));
     }
 }

@@ -43,6 +43,7 @@ use domino_mem::dram::{Dram, TrafficCategory, TrafficStats};
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_mem::mshr::MshrFile;
 use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_telemetry::{CounterSink, HistId, Telemetry, LATENCY_BOUNDS, MSHR_BOUNDS};
 use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
 
@@ -124,11 +125,47 @@ pub(crate) struct CoreEngine<'a> {
     /// Snapshot taken at the measurement boundary (warmed methodology):
     /// (now, instructions, dep_stall, indep_stall, timely, late, full).
     measure_from: Option<(f64, u64, f64, f64, u64, u64, u64)>,
+    tel: &'a mut Telemetry,
+    meta_lat_hist: HistId,
+    mshr_hist: HistId,
+}
+
+/// Emits one cumulative telemetry snapshot row of a timing run (the
+/// schema of timing epoch rows; stable across epochs of a run).
+#[allow(clippy::too_many_arguments)]
+fn emit_timing_row(
+    row: &mut dyn CounterSink,
+    report: &TimingReport,
+    now: f64,
+    l1: &SetAssocCache,
+    buffer: &PrefetchBuffer,
+    mshrs: &MshrFile,
+    dram: &Dram,
+    prefetcher: &dyn Prefetcher,
+) {
+    row.counter("instructions", report.instructions);
+    row.counter("now_ns", now as u64);
+    row.counter("timely_hits", report.timely_hits);
+    row.counter("late_hits", report.late_hits);
+    row.counter("full_misses", report.full_misses);
+    row.counter("dependent_stall_ns", report.dependent_stall_ns as u64);
+    row.counter("independent_stall_ns", report.independent_stall_ns as u64);
+    l1.emit_counters("l1", row);
+    buffer.emit_counters(row);
+    mshrs.emit_counters("mshr", row);
+    dram.emit_counters(row);
+    prefetcher.emit_counters(row);
 }
 
 impl<'a> CoreEngine<'a> {
-    pub(crate) fn new(system: &SystemConfig, prefetcher: &'a mut dyn Prefetcher) -> Self {
+    pub(crate) fn new(
+        system: &SystemConfig,
+        prefetcher: &'a mut dyn Prefetcher,
+        tel: &'a mut Telemetry,
+    ) -> Self {
         let cycle = system.cycle_ns();
+        let meta_lat_hist = tel.register_histogram("metadata_trip_ns", LATENCY_BOUNDS);
+        let mshr_hist = tel.register_histogram("mshr_occupancy", MSHR_BOUNDS);
         CoreEngine {
             now: 0.0,
             report: TimingReport {
@@ -154,6 +191,9 @@ impl<'a> CoreEngine<'a> {
             trip_ns: system.memory.latency_ns,
             rob: u64::from(system.rob_entries),
             measure_from: None,
+            tel,
+            meta_lat_hist,
+            mshr_hist,
         }
     }
 
@@ -249,6 +289,8 @@ impl<'a> CoreEngine<'a> {
                 }
             }
         };
+        self.tel
+            .record(self.mshr_hist, self.mshrs.in_flight() as u64);
         if ev.dependent {
             // The next instruction consumes this load's value: serialize.
             let stall = (data_ready - self.now).max(0.0);
@@ -274,7 +316,10 @@ impl<'a> CoreEngine<'a> {
         }
         // Metadata traffic contends for the channel right away.
         for _ in 0..self.sink.meta_read_blocks {
-            dram.request(self.now, LINE_BYTES, TrafficCategory::MetadataRead);
+            let done = dram.request(self.now, LINE_BYTES, TrafficCategory::MetadataRead);
+            // Queueing makes the round trip exceed the raw 45 ns.
+            self.tel
+                .record(self.meta_lat_hist, (done - self.now).max(0.0) as u64);
         }
         for _ in 0..self.sink.meta_write_blocks {
             dram.request(self.now, LINE_BYTES, TrafficCategory::MetadataWrite);
@@ -296,6 +341,38 @@ impl<'a> CoreEngine<'a> {
             };
             self.buffer.insert(req.line, arrival, req.stream);
         }
+        if self.tel.tick() {
+            self.tel.snapshot(|row| {
+                emit_timing_row(
+                    row,
+                    &self.report,
+                    self.now,
+                    &self.l1,
+                    &self.buffer,
+                    &self.mshrs,
+                    dram,
+                    &*self.prefetcher,
+                )
+            });
+        }
+    }
+
+    /// Flushes the final partial telemetry epoch. Call once after the
+    /// last [`CoreEngine::step`], while the shared channel is still in
+    /// scope (it appears in the snapshot row).
+    pub(crate) fn flush_telemetry(&mut self, dram: &Dram) {
+        self.tel.flush(|row| {
+            emit_timing_row(
+                row,
+                &self.report,
+                self.now,
+                &self.l1,
+                &self.buffer,
+                &self.mshrs,
+                dram,
+                &*self.prefetcher,
+            )
+        });
     }
 
     /// Drains retirement constraints and returns the finished report.
@@ -344,6 +421,19 @@ pub fn run_timing_warmed(
     prefetcher: &mut dyn Prefetcher,
     warmup: usize,
 ) -> TimingReport {
+    run_timing_observed(system, trace, prefetcher, warmup, &mut Telemetry::off())
+}
+
+/// [`run_timing_warmed`] with a telemetry handle: per-epoch snapshots of
+/// the core, caches, MSHRs, and shared channel, plus metadata round-trip
+/// latency and MSHR-occupancy histograms.
+pub fn run_timing_observed(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    tel: &mut Telemetry,
+) -> TimingReport {
     let mut l2 = SetAssocCache::new(system.l2);
     let mut dram = Dram::new(system.memory);
     // Cross-core LLC pollution state (other cores' fills). Two fills per
@@ -352,7 +442,7 @@ pub fn run_timing_warmed(
     // instruction/OS footprints add more).
     let mut pollute_state: u64 = 0x1234_5678_9abc_def1;
     let pollute_per_event = 2 * (system.cores - 1) as usize;
-    let mut engine = CoreEngine::new(system, prefetcher);
+    let mut engine = CoreEngine::new(system, prefetcher, tel);
     for (i, ev) in trace.iter().enumerate() {
         if i == warmup && warmup > 0 {
             engine.mark_measurement_start();
@@ -367,6 +457,7 @@ pub fn run_timing_warmed(
         }
         engine.step(ev, &mut l2, &mut dram);
     }
+    engine.flush_telemetry(&dram);
     let traffic = dram.traffic();
     engine.finish(traffic)
 }

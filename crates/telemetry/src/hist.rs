@@ -1,0 +1,180 @@
+//! Fixed-bucket histograms for hot-path distributions.
+//!
+//! Buckets are defined once by a slice of inclusive upper bounds plus an
+//! implicit overflow bucket, so recording is a linear scan over a small
+//! array — no allocation, no hashing. Bounds in this crate
+//! ([`crate::DISTANCE_BOUNDS`], [`crate::LATENCY_BOUNDS`],
+//! [`crate::MSHR_BOUNDS`]) have at most a dozen buckets; a scan beats
+//! binary search at that size.
+
+/// A histogram over fixed inclusive upper bounds, with one overflow
+/// bucket past the last bound.
+///
+/// ```
+/// use domino_telemetry::FixedHistogram;
+///
+/// let mut h = FixedHistogram::new(&[10, 100]);
+/// h.record(5);
+/// h.record(100);
+/// h.record(5000);
+/// assert_eq!(h.counts(), &[1, 1, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    /// Sum of recorded values (for the mean without re-binning error).
+    sum: u64,
+}
+
+impl FixedHistogram {
+    /// Creates an empty histogram over `bounds` (inclusive upper bounds,
+    /// strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        FixedHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from stored parts (JSON import).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `counts` has exactly one more entry than `bounds`.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>, sum: u64) -> Self {
+        assert_eq!(counts.len(), bounds.len() + 1, "one overflow bucket");
+        FixedHistogram {
+            bounds,
+            counts,
+            sum,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// The inclusive upper bounds (the overflow bucket has none).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of the recorded values (not bucket midpoints), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Human label of bucket `i`: `≤b`, or `>b_last` for the overflow
+    /// bucket.
+    pub fn label(&self, i: usize) -> String {
+        if i < self.bounds.len() {
+            format!("<={}", self.bounds[i])
+        } else {
+            format!(">{}", self.bounds[self.bounds.len() - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        let mut h = FixedHistogram::new(&[1, 2, 4]);
+        // Exactly on each bound lands in that bound's bucket...
+        h.record(1);
+        h.record(2);
+        h.record(4);
+        // ...one past a bound lands in the next bucket.
+        h.record(3);
+        h.record(5);
+        assert_eq!(h.counts(), &[1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn zero_goes_to_the_first_bucket() {
+        let mut h = FixedHistogram::new(&[0, 10]);
+        h.record(0);
+        assert_eq!(h.counts(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_everything_above() {
+        let mut h = FixedHistogram::new(&[10]);
+        h.record(11);
+        h.record(u64::MAX);
+        assert_eq!(h.counts(), &[0, 2]);
+    }
+
+    #[test]
+    fn mean_uses_true_values() {
+        let mut h = FixedHistogram::new(&[100]);
+        h.record(10);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.sum(), 40);
+    }
+
+    #[test]
+    fn labels_render() {
+        let h = FixedHistogram::new(&[8, 16]);
+        assert_eq!(h.label(0), "<=8");
+        assert_eq!(h.label(2), ">16");
+    }
+
+    #[test]
+    fn roundtrip_from_parts() {
+        let mut h = FixedHistogram::new(&[2, 4]);
+        h.record(1);
+        h.record(9);
+        let rebuilt = FixedHistogram::from_parts(h.bounds().to_vec(), h.counts().to_vec(), h.sum());
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        FixedHistogram::new(&[4, 2]);
+    }
+}

@@ -8,6 +8,7 @@
 //! cargo run --release --example figures -- 100000           # events/workload
 //! cargo run --release --example figures -- 100000 out_dir   # + SVG & CSV files
 //! cargo run --release --example figures -- --jobs 8         # worker threads
+//! cargo run --release --example figures -- --epoch 50000    # per-epoch telemetry
 //! ```
 //!
 //! Figure cells fan out across the parallel sweep executor; the worker
@@ -19,12 +20,19 @@
 //! one is given, else the working directory): per-figure wall-clock and
 //! replay throughput, plus the job count and host core count, so sweeps
 //! at different `--jobs` values can be compared mechanically.
+//!
+//! With `--epoch N` (or the `DOMINO_EPOCH` environment variable) the
+//! roster figures additionally record per-epoch telemetry — one
+//! schema-versioned `telemetry_*.json` per (workload, prefetcher, kind)
+//! cell plus a `TELEMETRY_sweep.json` aggregate next to
+//! `BENCH_sweep.json` — rendered by `cargo run -p domino-sim --bin
+//! report`. Telemetry files are byte-identical at any `--jobs` value.
 
 use domino_repro::sim::figures::{
     bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11, fig12,
     fig13, fig14, fig15, fig16, table1, table2, Scale,
 };
-use domino_repro::sim::{exec, FigureTable};
+use domino_repro::sim::{exec, observe, FigureTable};
 
 /// Workloads per figure (denominator of the throughput metric).
 const WORKLOADS: usize = 9;
@@ -46,6 +54,12 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .expect("--jobs needs a positive integer");
             exec::set_jobs_override(Some(n));
+        } else if arg == "--epoch" {
+            let n: u64 = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--epoch needs a positive integer");
+            observe::set_epoch_override(Some(n));
         } else if events.is_none() && arg.parse::<usize>().is_ok() {
             events = arg.parse().ok();
         } else {
@@ -122,12 +136,24 @@ fn main() {
     let total = t0.elapsed().as_secs_f64();
     eprintln!("all figures in {total:.1}s");
 
-    let bench_path = out_dir
+    let out_base = out_dir
         .as_deref()
         .unwrap_or_else(|| std::path::Path::new("."))
-        .join("BENCH_sweep.json");
+        .to_path_buf();
+    let bench_path = out_base.join("BENCH_sweep.json");
     std::fs::write(&bench_path, bench_json(&timings, total, events, jobs)).expect("write bench");
     eprintln!("wrote {}", bench_path.display());
+
+    let reports = observe::drain();
+    if !reports.is_empty() {
+        let paths = observe::write_reports(&out_base, &reports).expect("write telemetry");
+        eprintln!(
+            "wrote {} telemetry files ({} runs) to {}",
+            paths.len(),
+            reports.len(),
+            out_base.display()
+        );
+    }
 }
 
 /// Renders the sweep timings as JSON by hand (the tree is tiny and the

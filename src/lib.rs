@@ -17,7 +17,9 @@
 //!   the `Prefetcher` interface;
 //! * [`trace`] — the nine synthetic server workload models (Table II);
 //! * [`sequitur`] — grammar inference and the opportunity oracle;
-//! * [`sim`] — the evaluation engine, timing model, and figure runners.
+//! * [`sim`] — the evaluation engine, timing model, and figure runners;
+//! * [`telemetry`] — per-epoch counters, fixed-bucket histograms, and
+//!   schema-versioned run reports shared by every layer above.
 //!
 //! # Quickstart
 //!
@@ -41,4 +43,5 @@ pub use domino_mem as mem;
 pub use domino_prefetchers as prefetchers;
 pub use domino_sequitur as sequitur;
 pub use domino_sim as sim;
+pub use domino_telemetry as telemetry;
 pub use domino_trace as trace;

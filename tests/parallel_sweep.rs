@@ -9,11 +9,11 @@
 
 use std::sync::Mutex;
 
-use domino_repro::sim::exec;
 use domino_repro::sim::figures::{
     self, bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11,
     fig12, fig13, fig14, fig15, fig16, Scale,
 };
+use domino_repro::sim::{exec, observe};
 
 /// The jobs override is process-global; tests that set it must not
 /// interleave.
@@ -39,6 +39,39 @@ fn fig01_is_byte_identical_at_any_job_count() {
     }
     // ...and byte-identical rendered tables.
     assert_eq!(format!("{serial}"), format!("{parallel}"));
+}
+
+#[test]
+fn telemetry_json_is_byte_identical_at_any_job_count() {
+    let _guard = JOBS_LOCK.lock().expect("unpoisoned");
+    let scale = Scale {
+        events: 20_000,
+        seed: 11,
+    };
+    let sweep = |jobs| {
+        exec::set_jobs_override(Some(jobs));
+        observe::set_epoch_override(Some(5_000));
+        observe::drain(); // discard anything a previous test left behind
+        let tables = fig13(&scale);
+        let reports = observe::drain();
+        exec::set_jobs_override(None);
+        observe::set_epoch_override(None);
+        assert!(!reports.is_empty(), "observed fig13 produced no telemetry");
+        (tables, observe::aggregate_json(&reports))
+    };
+    let (serial_tables, serial_json) = sweep(1);
+    let (parallel_tables, parallel_json) = sweep(8);
+    assert_eq!(
+        serial_json, parallel_json,
+        "telemetry drifted between job counts"
+    );
+    for (a, b) in serial_tables.iter().zip(&parallel_tables) {
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "figure drifted with telemetry on"
+        );
+    }
 }
 
 #[test]

@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
-# Offline lint gate: formatting + clippy with warnings denied + tests.
-# Everything here runs without network access (the workspace has no
-# external dependencies), so it is usable as a pre-push hook or CI step
-# in air-gapped environments.
+# Offline lint gate: formatting + clippy with warnings denied + a
+# release build with warnings denied + tests + a telemetry schema smoke
+# run. Everything here runs without network access (the workspace has
+# no external dependencies), so it is usable as a pre-push hook or CI
+# step in air-gapped environments.
 #
-#   tools/check.sh          # fmt + clippy + debug tests
+#   tools/check.sh          # everything
 #   tools/check.sh --fast   # fmt + clippy only
 
 set -eu
@@ -18,8 +19,21 @@ echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
+    echo "==> cargo build --release (deny warnings)"
+    RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
+
     echo "==> cargo test"
     cargo test --workspace -q
+
+    echo "==> telemetry schema smoke run"
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    cargo run --release -q -p domino-sim --bin report -- --smoke "$smoke_dir"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/validate_telemetry.py "$smoke_dir"
+    else
+        echo "    (python3 not found; skipping JSON schema validation)"
+    fi
 fi
 
 echo "check.sh: all clean"
