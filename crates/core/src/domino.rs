@@ -64,6 +64,7 @@ pub struct Domino {
     lookups: u64,
     lookup_matches: u64,
     confirmations: u64,
+    eit_replacements: u64,
 }
 
 /// Candidate stream ids live in their own namespace so they never collide
@@ -90,6 +91,7 @@ impl Domino {
             lookups: 0,
             lookup_matches: 0,
             confirmations: 0,
+            eit_replacements: 0,
         }
     }
 
@@ -107,7 +109,10 @@ impl Domino {
     fn record(&mut self, prev: LineAddr, line: LineAddr, pos: u64, sink: &mut dyn PrefetchSink) {
         if self.sampler.sample() {
             sink.metadata_read(1);
-            self.eit.update(prev, line, pos);
+            if let Some(evicted) = self.eit.update(prev, line, pos) {
+                self.eit_replacements += 1;
+                sink.metadata_replace(evicted);
+            }
             sink.metadata_write(1);
         }
     }
@@ -257,6 +262,11 @@ impl Prefetcher for Domino {
         sink.counter("eit.lookups", self.lookups);
         sink.counter("eit.matches", self.lookup_matches);
         sink.counter("eit.confirmations", self.confirmations);
+        sink.counter("eit.replacements", self.eit_replacements);
+    }
+
+    fn knows_line(&self, line: LineAddr) -> bool {
+        self.eit.probe(line)
     }
 }
 

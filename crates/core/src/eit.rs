@@ -205,10 +205,26 @@ impl Eit {
         found
     }
 
+    /// Non-mutating membership probe: whether a super-entry for `tag`
+    /// exists. Unlike [`Eit::lookup`] this neither promotes LRU state nor
+    /// bumps counters, so observability code (the flight recorder's
+    /// metadata probe) can call it without perturbing results.
+    pub fn probe(&self, tag: LineAddr) -> bool {
+        match &self.backing {
+            Backing::Unbounded(map) => map.contains_key(&tag),
+            Backing::Finite(rows) => {
+                let idx = Self::row_index(tag, rows.len());
+                rows[idx].iter().any(|se| se.tag == tag)
+            }
+        }
+    }
+
     /// Records that `tag` was followed by `next`, whose History Table
     /// position is `pointer`. Allocates super-entries/entries LRU as the
-    /// paper describes (§III-B, "Recording").
-    pub fn update(&mut self, tag: LineAddr, next: LineAddr, pointer: u64) {
+    /// paper describes (§III-B, "Recording"). Returns the tag of a
+    /// super-entry evicted by capacity pressure, if any (never on the
+    /// unbounded backing) — the flight recorder logs it as metadata loss.
+    pub fn update(&mut self, tag: LineAddr, next: LineAddr, pointer: u64) -> Option<LineAddr> {
         self.updates += 1;
         let entry_cap = self.cfg.entries_per_super;
         match &mut self.backing {
@@ -216,22 +232,25 @@ impl Eit {
                 map.entry(tag)
                     .or_insert_with(|| SuperEntry::new(tag))
                     .update(next, pointer, entry_cap);
+                None
             }
             Backing::Finite(rows) => {
                 let idx = Self::row_index(tag, rows.len());
                 let super_cap = self.cfg.super_entries_per_row;
                 let row = &mut rows[idx];
+                let mut evicted = None;
                 let mut se = match row.iter().position(|se| se.tag == tag) {
                     Some(pos) => row.remove(pos),
                     None => {
                         if row.len() == super_cap {
-                            row.remove(0);
+                            evicted = Some(row.remove(0).tag);
                         }
                         SuperEntry::new(tag)
                     }
                 };
                 se.update(next, pointer, entry_cap);
                 row.push(se);
+                evicted
             }
         }
     }
@@ -317,13 +336,41 @@ mod tests {
             super_entries_per_row: 2,
             entries_per_super: 3,
         });
-        eit.update(line(1), line(10), 0);
-        eit.update(line(2), line(20), 1);
+        assert_eq!(eit.update(line(1), line(10), 0), None);
+        assert_eq!(eit.update(line(2), line(20), 1), None);
         eit.lookup(line(1)); // promote tag 1
-        eit.update(line(3), line(30), 2); // evicts tag 2
+                             // Evicts tag 2, and reports it.
+        assert_eq!(eit.update(line(3), line(30), 2), Some(line(2)));
         assert!(eit.lookup(line(2)).is_none());
         assert!(eit.lookup(line(1)).is_some());
         assert!(eit.lookup(line(3)).is_some());
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut eit = Eit::new(EitConfig {
+            rows: 1,
+            super_entries_per_row: 2,
+            entries_per_super: 3,
+        });
+        eit.update(line(1), line(10), 0);
+        eit.update(line(2), line(20), 1);
+        let before = eit.counters();
+        assert!(eit.probe(line(1)));
+        assert!(!eit.probe(line(9)));
+        assert_eq!(eit.counters(), before, "probe bumps no counters");
+        // probe(1) did NOT promote tag 1: the next capacity eviction
+        // still takes tag 1 (the LRU victim).
+        assert_eq!(eit.update(line(3), line(30), 2), Some(line(1)));
+    }
+
+    #[test]
+    fn unbounded_update_never_reports_eviction() {
+        let mut eit = Eit::new(EitConfig::unbounded());
+        for i in 0..1000u64 {
+            assert_eq!(eit.update(line(i), line(i + 1), i), None);
+        }
+        assert!(eit.probe(line(500)));
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub trait PrefetchSink {
     fn metadata_write(&mut self, blocks: u32);
     /// Ask the engine to drop buffered prefetches of a replaced stream.
     fn discard_stream(&mut self, stream: u32);
+    /// Report that the metadata entry indexed by `line` was replaced
+    /// (EIT/index capacity eviction — metadata reach was lost). Default:
+    /// ignored, so sinks that don't trace need no code.
+    fn metadata_replace(&mut self, _line: LineAddr) {}
 }
 
 /// A data prefetcher driven by triggering events.
@@ -112,6 +116,17 @@ pub trait Prefetcher: Send {
     /// dot-namespaced and must be emitted in a stable order; the default
     /// reports nothing, so plain prefetchers need no telemetry code.
     fn emit_counters(&self, _sink: &mut dyn CounterSink) {}
+
+    /// Whether this prefetcher's *metadata* currently records `line` as a
+    /// reachable prediction target. The flight recorder uses this to
+    /// split uncovered misses into **mispredicted** (metadata knew the
+    /// line, the prefetcher chose differently) and **no-metadata** (the
+    /// line was never learned). Must not mutate observable state or
+    /// counters. Default: `false`, i.e. every unexplained miss is
+    /// attributed to missing metadata.
+    fn knows_line(&self, _line: LineAddr) -> bool {
+        false
+    }
 }
 
 /// Simple sink that records everything (tests, analyses, adapters).
@@ -125,6 +140,9 @@ pub struct CollectSink {
     pub meta_write_blocks: u64,
     /// Streams discarded.
     pub discarded_streams: Vec<u32>,
+    /// Metadata entries replaced (lines whose learned successor was
+    /// evicted from a finite index/EIT this event).
+    pub replaced: Vec<LineAddr>,
 }
 
 impl CollectSink {
@@ -137,6 +155,7 @@ impl CollectSink {
     pub fn clear(&mut self) {
         self.requests.clear();
         self.discarded_streams.clear();
+        self.replaced.clear();
         self.meta_read_blocks = 0;
         self.meta_write_blocks = 0;
     }
@@ -157,6 +176,10 @@ impl PrefetchSink for CollectSink {
 
     fn discard_stream(&mut self, stream: u32) {
         self.discarded_streams.push(stream);
+    }
+
+    fn metadata_replace(&mut self, line: LineAddr) {
+        self.replaced.push(line);
     }
 }
 
@@ -183,12 +206,15 @@ mod tests {
         sink.metadata_read(2);
         sink.metadata_write(1);
         sink.discard_stream(7);
+        sink.metadata_replace(LineAddr::new(9));
         assert_eq!(sink.requests.len(), 1);
         assert_eq!(sink.meta_read_blocks, 2);
         assert_eq!(sink.meta_write_blocks, 1);
         assert_eq!(sink.discarded_streams, vec![7]);
+        assert_eq!(sink.replaced, vec![LineAddr::new(9)]);
         sink.clear();
         assert!(sink.requests.is_empty());
+        assert!(sink.replaced.is_empty());
         assert_eq!(sink.meta_read_blocks, 0);
     }
 

@@ -47,6 +47,19 @@ impl PrefetchBufferStats {
     }
 }
 
+/// What [`PrefetchBuffer::insert`] did with the request, so callers
+/// (e.g. the flight recorder) can attribute the block's fate without
+/// re-deriving buffer policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InsertOutcome {
+    /// The line was buffered.
+    Inserted,
+    /// The line was already buffered; the insert was dropped.
+    Duplicate,
+    /// The line was buffered after evicting this LRU victim unused.
+    Evicted(BufferedPrefetch),
+}
+
 /// LRU prefetch buffer with a fixed capacity in cache blocks.
 ///
 /// ```
@@ -88,22 +101,30 @@ impl PrefetchBuffer {
 
     /// Inserts a prefetched line arriving at `ready_at`. Duplicate lines
     /// are dropped (counted), full buffers evict the LRU entry (counted as
-    /// an unused eviction — it was never hit).
-    pub fn insert(&mut self, line: LineAddr, ready_at: f64, stream: Option<u32>) {
+    /// an unused eviction — it was never hit). The returned
+    /// [`InsertOutcome`] reports which of the three happened.
+    pub fn insert(&mut self, line: LineAddr, ready_at: f64, stream: Option<u32>) -> InsertOutcome {
         self.stats.inserted += 1;
         if self.entries.iter().any(|e| e.line == line) {
             self.stats.duplicate_inserts += 1;
-            return;
+            return InsertOutcome::Duplicate;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+        let victim = if self.entries.len() == self.capacity {
+            let v = self.entries.pop_front();
             self.stats.evicted_unused += 1;
-        }
+            v
+        } else {
+            None
+        };
         self.entries.push_back(BufferedPrefetch {
             line,
             ready_at,
             stream,
         });
+        match victim {
+            Some(v) => InsertOutcome::Evicted(v),
+            None => InsertOutcome::Inserted,
+        }
     }
 
     /// Demand lookup: on hit, removes and returns the entry (the block
@@ -123,8 +144,24 @@ impl PrefetchBuffer {
     /// "which means discarding the contents of the prefetch buffer ...
     /// related to the replaced stream", paper §III-B).
     pub fn discard_stream(&mut self, stream: u32) -> usize {
+        self.discard_stream_with(stream, |_| {})
+    }
+
+    /// [`PrefetchBuffer::discard_stream`], invoking `observe` on each
+    /// discarded entry (flight-recorder emission) before it is dropped.
+    pub fn discard_stream_with(
+        &mut self,
+        stream: u32,
+        mut observe: impl FnMut(&BufferedPrefetch),
+    ) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|e| e.stream != Some(stream));
+        self.entries.retain(|e| {
+            let keep = e.stream != Some(stream);
+            if !keep {
+                observe(e);
+            }
+            keep
+        });
         let discarded = before - self.entries.len();
         self.stats.discarded_unused += discarded as u64;
         discarded
@@ -220,6 +257,34 @@ mod tests {
         b.insert(line(4), 0.0, None);
         // line1 was used; lines 2 evicted unused.
         assert_eq!(b.stats().overpredictions(), 1);
+    }
+
+    #[test]
+    fn insert_reports_its_outcome() {
+        let mut b = PrefetchBuffer::new(2);
+        assert_eq!(b.insert(line(1), 0.0, Some(7)), InsertOutcome::Inserted);
+        assert_eq!(b.insert(line(1), 1.0, None), InsertOutcome::Duplicate);
+        assert_eq!(b.insert(line(2), 0.0, None), InsertOutcome::Inserted);
+        match b.insert(line(3), 0.0, None) {
+            InsertOutcome::Evicted(victim) => {
+                assert_eq!(victim.line, line(1));
+                assert_eq!(victim.stream, Some(7));
+            }
+            other => panic!("expected an eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discard_stream_with_observes_each_victim() {
+        let mut b = PrefetchBuffer::new(8);
+        b.insert(line(1), 0.0, Some(0));
+        b.insert(line(2), 0.0, Some(1));
+        b.insert(line(3), 0.0, Some(0));
+        let mut seen = Vec::new();
+        let n = b.discard_stream_with(0, |e| seen.push(e.line));
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![line(1), line(3)]);
+        assert_eq!(b.stats().discarded_unused, 2);
     }
 
     #[test]

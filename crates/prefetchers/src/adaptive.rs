@@ -95,6 +95,10 @@ impl PrefetchSink for ThrottlingSink<'_> {
     fn discard_stream(&mut self, stream: u32) {
         self.inner.discard_stream(stream);
     }
+
+    fn metadata_replace(&mut self, line: LineAddr) {
+        self.inner.metadata_replace(line);
+    }
 }
 
 /// Accuracy-throttled wrapper around any prefetcher.
@@ -202,6 +206,10 @@ impl<P: Prefetcher> Prefetcher for AdaptiveDegree<P> {
         if self.issued_in_epoch >= self.cfg.epoch {
             self.end_epoch();
         }
+    }
+
+    fn knows_line(&self, line: LineAddr) -> bool {
+        self.inner.knows_line(line)
     }
 }
 

@@ -88,6 +88,10 @@ impl PrefetchSink for TaggingSink<'_> {
         };
         self.inner.discard_stream(id);
     }
+
+    fn metadata_replace(&mut self, line: LineAddr) {
+        self.inner.metadata_replace(line);
+    }
 }
 
 /// Stacked spatial + temporal prefetcher.
@@ -168,6 +172,10 @@ impl<S: Prefetcher, T: Prefetcher> Prefetcher for SpatioTemporal<S, T> {
                 }
             }
         }
+    }
+
+    fn knows_line(&self, line: LineAddr) -> bool {
+        self.spatial.knows_line(line) || self.temporal.knows_line(line)
     }
 }
 

@@ -10,7 +10,7 @@
 //! cancel: Digram's coverage lands slightly *below* STMS's, which is why
 //! the idea was shelved until Domino combined both lookups.
 
-use domino_trace::FxHashMap;
+use domino_trace::{FxHashMap, FxHashSet};
 
 use domino_mem::history::{HistoryTable, ROW_ENTRIES};
 use domino_mem::interface::{PrefetchSink, Prefetcher, TriggerEvent, TriggerKind};
@@ -30,6 +30,9 @@ pub struct Digram {
     ht: HistoryTable,
     /// Index Table: (previous, current) → HT position of `current`.
     index: FxHashMap<PairKey, u64>,
+    /// Target lines present in the index (observability: answers
+    /// `knows_line` without scanning the pair keys).
+    known: FxHashSet<LineAddr>,
     streams: StreamTable<PairKey>,
     sampler: UpdateSampler,
     /// The previous triggering event, if any.
@@ -45,6 +48,7 @@ impl Digram {
         Digram {
             ht: HistoryTable::new(cfg.ht_entries),
             index: FxHashMap::default(),
+            known: FxHashSet::default(),
             streams: StreamTable::new(cfg.max_streams),
             sampler: UpdateSampler::new(cfg.sampling_probability, cfg.seed ^ 0xD16),
             cfg,
@@ -73,6 +77,7 @@ impl Digram {
         let Some(prev) = prev else { return };
         if self.sampler.sample() {
             self.index.insert((prev, line), pos);
+            self.known.insert(line);
             sink.metadata_write(1);
         }
     }
@@ -96,6 +101,10 @@ impl Prefetcher for Digram {
     fn emit_counters(&self, sink: &mut dyn domino_telemetry::CounterSink) {
         sink.counter("index.lookups", self.lookups);
         sink.counter("index.matches", self.lookup_matches);
+    }
+
+    fn knows_line(&self, line: LineAddr) -> bool {
+        self.known.contains(&line)
     }
 
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {

@@ -106,6 +106,10 @@ impl Prefetcher for Stms {
         sink.counter("index.matches", self.lookup_matches);
     }
 
+    fn knows_line(&self, line: LineAddr) -> bool {
+        self.index.contains_key(&line)
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         let line = event.line;
         let mut trips = 0u8;

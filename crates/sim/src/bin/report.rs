@@ -161,8 +161,20 @@ fn load_reports(path: &Path) -> Result<Vec<RunReport>, String> {
 const ACC_NUM: &str = "buffer.hits";
 const ACC_DEN: &str = "buffer.inserted";
 
-/// Prints one report as a per-epoch delta table plus anomaly flags.
-fn render(r: &RunReport, csv: bool, factor: f64) {
+/// A derived per-epoch rate as a finite table cell: epochs with a zero
+/// denominator (an epoch that issued no prefetches, or a baseline with
+/// no misses) render as 0 rather than NaN/inf, keeping the CSV export
+/// machine-parseable.
+fn finite_rate(rates: Option<&Vec<Option<f64>>>, index: usize) -> f64 {
+    rates
+        .and_then(|v| v.get(index).copied().flatten())
+        .filter(|v| v.is_finite())
+        .unwrap_or(0.0)
+}
+
+/// Builds the per-epoch delta table (with derived accuracy/coverage
+/// columns) for one report.
+fn delta_table(r: &RunReport) -> FigureTable {
     let mut columns = r.fields.clone();
     let acc = r.field(ACC_NUM).is_some() && r.field(ACC_DEN).is_some();
     let cov = r.field("covered").is_some() && r.field("baseline_misses").is_some();
@@ -185,23 +197,19 @@ fn render(r: &RunReport, csv: bool, factor: f64) {
     for d in r.deltas() {
         let mut row: Vec<f64> = d.values.iter().map(|&v| v as f64).collect();
         if acc {
-            row.push(
-                acc_rates
-                    .as_ref()
-                    .and_then(|v| v[d.index])
-                    .unwrap_or(f64::NAN),
-            );
+            row.push(finite_rate(acc_rates.as_ref(), d.index));
         }
         if cov {
-            row.push(
-                cov_rates
-                    .as_ref()
-                    .and_then(|v| v[d.index])
-                    .unwrap_or(f64::NAN),
-            );
+            row.push(finite_rate(cov_rates.as_ref(), d.index));
         }
         t.push_row(format!("{}", d.index), row);
     }
+    t
+}
+
+/// Prints one report as a per-epoch delta table plus anomaly flags.
+fn render(r: &RunReport, csv: bool, factor: f64) {
+    let t = delta_table(r);
     if csv {
         print!("{}", t.to_csv());
     } else {
@@ -222,7 +230,7 @@ fn render(r: &RunReport, csv: bool, factor: f64) {
             );
         }
     }
-    if acc {
+    if r.field(ACC_NUM).is_some() && r.field(ACC_DEN).is_some() {
         let flagged = r.anomalous_epochs(ACC_NUM, ACC_DEN, factor);
         if !flagged.is_empty() {
             println!(
@@ -232,5 +240,62 @@ fn render(r: &RunReport, csv: bool, factor: f64) {
     }
     if !csv {
         println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A report whose second epoch issued no prefetches and whose
+    /// baseline saw no misses — both derived-rate denominators are zero.
+    fn zero_denominator_report() -> RunReport {
+        RunReport {
+            schema: domino_telemetry::SCHEMA.to_string(),
+            workload: "synthetic".into(),
+            component: "Domino".into(),
+            kind: "coverage".into(),
+            events: 20,
+            seed: 1,
+            warmup: 0,
+            epoch_accesses: 10,
+            fields: vec![
+                "buffer.hits".into(),
+                "buffer.inserted".into(),
+                "covered".into(),
+                "baseline_misses".into(),
+            ],
+            // Cumulative rows: epoch 1 adds nothing, so its deltas are
+            // all zero.
+            epochs: vec![vec![3, 4, 3, 8], vec![3, 4, 3, 8]],
+            histograms: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn zero_issued_epochs_render_finite_csv() {
+        let t = delta_table(&zero_denominator_report());
+        let csv = t.to_csv();
+        assert!(
+            !csv.contains("NaN") && !csv.contains("inf"),
+            "derived columns must stay finite:\n{csv}"
+        );
+        // Epoch 0 still gets the real rates...
+        assert_eq!(t.value("0", "accuracy"), Some(0.75));
+        assert_eq!(t.value("0", "coverage"), Some(0.375));
+        // ...and the zero-denominator epoch reads 0, not NaN.
+        assert_eq!(t.value("1", "accuracy"), Some(0.0));
+        assert_eq!(t.value("1", "coverage"), Some(0.0));
+    }
+
+    #[test]
+    fn finite_rate_guards_every_degenerate_shape() {
+        assert_eq!(finite_rate(None, 0), 0.0);
+        let rates = vec![Some(0.5), None, Some(f64::INFINITY)];
+        assert_eq!(finite_rate(Some(&rates), 0), 0.5);
+        assert_eq!(finite_rate(Some(&rates), 1), 0.0, "zero denominator");
+        assert_eq!(finite_rate(Some(&rates), 2), 0.0, "non-finite rate");
+        assert_eq!(finite_rate(Some(&rates), 9), 0.0, "out of range");
     }
 }

@@ -16,7 +16,7 @@
 
 use domino_mem::cache::SetAssocCache;
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
-use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_mem::prefetch_buffer::{InsertOutcome, PrefetchBuffer};
 use domino_sequitur::Histogram;
 use domino_telemetry::{CounterSink, Telemetry, DISTANCE_BOUNDS};
 use domino_trace::addr::LINE_BYTES;
@@ -235,7 +235,19 @@ pub fn run_coverage_observed(
         // on a hit is the prefetch-to-use distance in demand accesses.
         let taken = buffer.take(line);
         if let Some(entry) = taken {
-            tel.record(dist_hist, (i as f64 - entry.ready_at).max(0.0) as u64);
+            let distance = (i as f64 - entry.ready_at).max(0.0) as u64;
+            tel.record(dist_hist, distance);
+            if let Some(rec) = tel.tracer() {
+                rec.demand_hit(i as u64, line.raw(), entry.stream, distance);
+            }
+        } else if tel.has_tracer() {
+            // Probe the metadata before this event trains on the miss, so
+            // the mispredicted / no-metadata split reflects what the
+            // prefetcher knew when it failed to cover the line.
+            let knows = prefetcher.knows_line(line);
+            if let Some(rec) = tel.tracer() {
+                rec.demand_miss(i as u64, line.raw(), knows);
+            }
         }
         let covered = taken.is_some();
         if measuring {
@@ -262,8 +274,28 @@ pub fn run_coverage_observed(
         l1.insert(line);
         sink.clear();
         prefetcher.on_trigger(&trigger, &mut sink);
-        for &stream in &sink.discarded_streams {
-            buffer.discard_stream(stream);
+        match tel.tracer() {
+            Some(rec) => {
+                if sink.meta_read_blocks > 0 {
+                    // The coverage engine is un-timed: the lookup begins
+                    // and ends at the same access index.
+                    rec.meta_start(i as u64, sink.meta_read_blocks);
+                    rec.meta_end(i as u64, 0);
+                }
+                for &tag in &sink.replaced {
+                    rec.eit_replace(i as u64, tag.raw());
+                }
+                for &stream in &sink.discarded_streams {
+                    buffer.discard_stream_with(stream, |e| {
+                        rec.evict_unused(i as u64, e.line.raw(), e.stream);
+                    });
+                }
+            }
+            None => {
+                for &stream in &sink.discarded_streams {
+                    buffer.discard_stream(stream);
+                }
+            }
         }
         let mut first_of_event = true;
         for req in &sink.requests {
@@ -277,8 +309,28 @@ pub fn run_coverage_observed(
                     first_of_event = false;
                 }
             }
+            if let Some(rec) = tel.tracer() {
+                rec.issue(i as u64, req.line.raw(), req.stream, req.delay_trips);
+            }
             if !l1.contains(req.line) {
-                buffer.insert(req.line, i as f64, req.stream);
+                let outcome = buffer.insert(req.line, i as f64, req.stream);
+                if let Some(rec) = tel.tracer() {
+                    match outcome {
+                        InsertOutcome::Inserted => {
+                            rec.fill(i as u64, req.line.raw(), req.stream, i as u64);
+                        }
+                        InsertOutcome::Duplicate => {
+                            rec.drop_unbuffered(i as u64, req.line.raw(), req.stream, 1);
+                        }
+                        InsertOutcome::Evicted(victim) => {
+                            rec.evict_unused(i as u64, victim.line.raw(), victim.stream);
+                            rec.fill(i as u64, req.line.raw(), req.stream, i as u64);
+                        }
+                    }
+                }
+            } else if let Some(rec) = tel.tracer() {
+                // Already in the L1: the engine drops the request.
+                rec.drop_unbuffered(i as u64, req.line.raw(), req.stream, 2);
             }
         }
         if measuring {

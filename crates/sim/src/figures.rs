@@ -87,14 +87,31 @@ fn timing_of(
 
 /// Labels a finished telemetry report with its cell identity and the
 /// prefetcher's end-of-run counters, and deposits it in the collector.
+/// A flight-recorder trace, if one was enabled, is detached first and
+/// deposited separately — the epoch report is only emitted when epoch
+/// telemetry itself is on, so trace-only runs produce no empty JSON.
 fn deposit_report(
-    tel: domino_telemetry::Telemetry,
+    mut tel: domino_telemetry::Telemetry,
     spec: &WorkloadSpec,
     scale: &Scale,
     sys: System,
     kind: &str,
     prefetcher: &dyn domino_mem::interface::Prefetcher,
 ) {
+    if let Some(recorder) = tel.take_tracer() {
+        let meta = domino_telemetry::TraceMeta {
+            workload: spec.name.clone(),
+            component: sys.label(),
+            kind: kind.to_string(),
+            events: scale.events as u64,
+            seed: scale.seed,
+            warmup: scale.warmup() as u64,
+        };
+        observe::record_trace(meta, recorder);
+    }
+    if !tel.is_on() {
+        return;
+    }
     // The engines flush the partial tail themselves, so the finish
     // closure never runs.
     let mut report = tel.finish(|_| {});
@@ -110,8 +127,9 @@ fn deposit_report(
     observe::record(report);
 }
 
-/// [`coverage_of`] that also collects a telemetry report when an epoch
-/// length is configured (see [`crate::observe`]).
+/// [`coverage_of`] that also collects a telemetry report and/or a
+/// flight-recorder trace when observation is configured (see
+/// [`crate::observe`]).
 fn coverage_of_observed(
     system: &SystemConfig,
     spec: &WorkloadSpec,
@@ -119,9 +137,9 @@ fn coverage_of_observed(
     sys: System,
     degree: usize,
 ) -> CoverageReport {
-    let Some(_) = observe::epoch() else {
+    if !observe::observing() {
         return coverage_of(system, spec, scale, sys, degree);
-    };
+    }
     let trace = shared_trace(spec, scale.events, scale.seed);
     let mut p = sys.build(degree);
     let mut tel = observe::telemetry();
@@ -130,8 +148,8 @@ fn coverage_of_observed(
     r
 }
 
-/// [`timing_of`] that also collects a telemetry report when an epoch
-/// length is configured.
+/// [`timing_of`] that also collects a telemetry report and/or a
+/// flight-recorder trace when observation is configured.
 fn timing_of_observed(
     system: &SystemConfig,
     spec: &WorkloadSpec,
@@ -139,9 +157,9 @@ fn timing_of_observed(
     sys: System,
     degree: usize,
 ) -> TimingReport {
-    let Some(_) = observe::epoch() else {
+    if !observe::observing() {
         return timing_of(system, spec, scale, sys, degree);
-    };
+    }
     let trace = shared_trace(spec, scale.events, scale.seed);
     let mut p = sys.build(degree);
     let mut tel = observe::telemetry();

@@ -19,7 +19,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use domino_telemetry::{RunReport, Telemetry};
+use domino_telemetry::trace::TraceMeta;
+use domino_telemetry::{FlightRecorder, RunReport, Telemetry};
 
 /// Schema tag of the aggregate sweep file.
 pub const SWEEP_SCHEMA: &str = "domino-telemetry-sweep/1";
@@ -28,8 +29,24 @@ pub const SWEEP_SCHEMA: &str = "domino-telemetry-sweep/1";
 /// `u64::MAX` = explicitly off.
 static EPOCH_OVERRIDE: AtomicU64 = AtomicU64::new(0);
 
+/// `--trace` override; same encoding as `EPOCH_OVERRIDE` (0 = fall back
+/// to `DOMINO_TRACE`, `u64::MAX` = explicitly off, else ring capacity).
+static TRACE_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
 /// Reports deposited by sweep cells, in completion order.
 static COLLECTED: Mutex<Vec<RunReport>> = Mutex::new(Vec::new());
+
+/// Flight-recorder traces deposited by sweep cells, in completion order.
+static TRACES: Mutex<Vec<TraceCell>> = Mutex::new(Vec::new());
+
+/// One cell's recorded trace: the recorder plus its run labels.
+#[derive(Debug, Clone)]
+pub struct TraceCell {
+    /// Run identity (workload / component / kind / scale).
+    pub meta: TraceMeta,
+    /// The finished recorder.
+    pub recorder: FlightRecorder,
+}
 
 /// Sets (or clears) the epoch-length override. `Some(0)` is normalised
 /// to "explicitly off". Takes precedence over `DOMINO_EPOCH`.
@@ -55,17 +72,60 @@ pub fn epoch() -> Option<u64> {
     }
 }
 
-/// A telemetry handle honouring the effective epoch length.
+/// Sets (or clears) the flight-recorder capacity override. `Some(0)` is
+/// normalised to "explicitly off". Takes precedence over `DOMINO_TRACE`.
+pub fn set_trace_override(capacity: Option<u64>) {
+    let coded = match capacity {
+        None => 0,
+        Some(0) => u64::MAX,
+        Some(n) => n,
+    };
+    TRACE_OVERRIDE.store(coded, Ordering::SeqCst);
+}
+
+/// The effective flight-recorder ring capacity: the override if set,
+/// else `DOMINO_TRACE`, else `None` (tracing off).
+pub fn trace_capacity() -> Option<u64> {
+    match TRACE_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::env::var("DOMINO_TRACE")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0),
+        u64::MAX => None,
+        n => Some(n),
+    }
+}
+
+/// Whether any observation (epoch telemetry or tracing) is enabled —
+/// the gate figure runners use to pick the observed code path.
+pub fn observing() -> bool {
+    epoch().is_some() || trace_capacity().is_some()
+}
+
+/// A telemetry handle honouring the effective epoch length and trace
+/// capacity.
 pub fn telemetry() -> Telemetry {
-    match epoch() {
+    let mut tel = match epoch() {
         Some(n) => Telemetry::with_epoch(n),
         None => Telemetry::off(),
+    };
+    if let Some(cap) = trace_capacity() {
+        tel.enable_trace(cap as usize);
     }
+    tel
 }
 
 /// Deposits one labelled run report (called from sweep worker threads).
 pub fn record(report: RunReport) {
     COLLECTED.lock().expect("collector poisoned").push(report);
+}
+
+/// Deposits one cell's finished flight recorder.
+pub fn record_trace(meta: TraceMeta, recorder: FlightRecorder) {
+    TRACES
+        .lock()
+        .expect("trace collector poisoned")
+        .push(TraceCell { meta, recorder });
 }
 
 /// Takes all deposited reports, sorted by (workload, component, kind) —
@@ -74,6 +134,21 @@ pub fn drain() -> Vec<RunReport> {
     let mut out = std::mem::take(&mut *COLLECTED.lock().expect("collector poisoned"));
     out.sort_by(|a, b| {
         (&a.workload, &a.component, &a.kind).cmp(&(&b.workload, &b.component, &b.kind))
+    });
+    out
+}
+
+/// Takes all deposited traces, sorted like [`drain`] — the per-cell
+/// recorders are deterministic, so trace bytes are identical at any job
+/// count.
+pub fn drain_traces() -> Vec<TraceCell> {
+    let mut out = std::mem::take(&mut *TRACES.lock().expect("trace collector poisoned"));
+    out.sort_by(|a, b| {
+        (&a.meta.workload, &a.meta.component, &a.meta.kind).cmp(&(
+            &b.meta.workload,
+            &b.meta.component,
+            &b.meta.kind,
+        ))
     });
     out
 }
@@ -131,6 +206,31 @@ pub fn write_reports(dir: &Path, reports: &[RunReport]) -> io::Result<Vec<PathBu
     let agg = dir.join("TELEMETRY_sweep.json");
     std::fs::write(&agg, aggregate_json(reports))?;
     paths.push(agg);
+    Ok(paths)
+}
+
+/// The per-cell file name for a recorded trace. The kind suffix keeps
+/// the coverage (fig13) and timing (fig14) cells of the same
+/// workload × prefetcher pair from colliding.
+pub fn trace_filename(meta: &TraceMeta) -> String {
+    format!(
+        "trace_{}_{}_{}.bin",
+        slug(&meta.workload),
+        slug(&meta.component),
+        slug(&meta.kind)
+    )
+}
+
+/// Writes one binary trace file per cell into `dir`; returns the
+/// written paths.
+pub fn write_traces(dir: &Path, traces: &[TraceCell]) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(traces.len());
+    for t in traces {
+        let path = dir.join(trace_filename(&t.meta));
+        std::fs::write(&path, t.recorder.to_bytes(&t.meta))?;
+        paths.push(path);
+    }
     Ok(paths)
 }
 
@@ -193,6 +293,40 @@ mod tests {
             cell_filename(&r),
             "telemetry_web_search_domino_nl_coverage.json"
         );
+    }
+
+    #[test]
+    fn trace_override_and_collection_roundtrip() {
+        set_trace_override(Some(64));
+        assert_eq!(trace_capacity(), Some(64));
+        assert!(observing());
+        let mut tel = telemetry();
+        assert!(tel.has_tracer());
+        tel.tracer().expect("tracer on").demand_miss(0, 1, false);
+        let meta = |w: &str, c: &str| TraceMeta {
+            workload: w.into(),
+            component: c.into(),
+            kind: "coverage".into(),
+            events: 10,
+            seed: 1,
+            warmup: 0,
+        };
+        let _ = drain_traces();
+        record_trace(meta("zeta", "STMS"), FlightRecorder::new(4));
+        record_trace(meta("alpha", "Domino"), tel.take_tracer().expect("tracer"));
+        let got = drain_traces();
+        let keys: Vec<_> = got
+            .iter()
+            .map(|t| (t.meta.workload.as_str(), t.meta.component.as_str()))
+            .collect();
+        assert_eq!(keys, vec![("alpha", "Domino"), ("zeta", "STMS")]);
+        assert_eq!(got[0].recorder.attribution().demand_misses, 1);
+        assert_eq!(trace_filename(&got[1].meta), "trace_zeta_stms_coverage.bin");
+        assert!(drain_traces().is_empty());
+        set_trace_override(Some(0));
+        assert_eq!(trace_capacity(), None, "Some(0) means explicitly off");
+        assert!(!telemetry().has_tracer());
+        set_trace_override(None);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use domino_mem::cache::SetAssocCache;
 use domino_mem::dram::{Dram, TrafficCategory, TrafficStats};
 use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_mem::mshr::MshrFile;
-use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_mem::prefetch_buffer::{InsertOutcome, PrefetchBuffer};
 use domino_telemetry::{CounterSink, HistId, Telemetry, LATENCY_BOUNDS, MSHR_BOUNDS};
 use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
@@ -246,6 +246,15 @@ impl<'a> CoreEngine<'a> {
                 }
                 if entry.ready_at <= self.now {
                     report.timely_hits += 1;
+                    if let Some(rec) = self.tel.tracer() {
+                        // aux: how long the block sat ready before use.
+                        rec.demand_hit(
+                            self.now as u64,
+                            line.raw(),
+                            entry.stream,
+                            (self.now - entry.ready_at).max(0.0) as u64,
+                        );
+                    }
                     (self.now + self.l1_lat, true)
                 } else {
                     report.late_hits += 1;
@@ -257,11 +266,27 @@ impl<'a> CoreEngine<'a> {
                     } else {
                         self.now + self.trip_ns + self.l2_lat
                     };
-                    (entry.ready_at.min(fresh), true)
+                    let ready = entry.ready_at.min(fresh);
+                    if let Some(rec) = self.tel.tracer() {
+                        // aux: the residual wait the demand access eats.
+                        rec.late_arrival(
+                            self.now as u64,
+                            line.raw(),
+                            entry.stream,
+                            (ready - self.now).max(0.0) as u64,
+                        );
+                    }
+                    (ready, true)
                 }
             }
             None => {
                 report.full_misses += 1;
+                if self.tel.has_tracer() {
+                    let knows = self.prefetcher.knows_line(line);
+                    if let Some(rec) = self.tel.tracer() {
+                        rec.demand_miss(self.now as u64, line.raw(), knows);
+                    }
+                }
                 if l2.access(line) {
                     (self.now + self.l2_lat, false)
                 } else {
@@ -311,21 +336,49 @@ impl<'a> CoreEngine<'a> {
             TriggerEvent::miss(ev.pc, line)
         };
         self.prefetcher.on_trigger(&trigger, &mut self.sink);
-        for &stream in &self.sink.discarded_streams {
-            self.buffer.discard_stream(stream);
+        let now_ts = self.now as u64;
+        match self.tel.tracer() {
+            Some(rec) => {
+                for &tag in &self.sink.replaced {
+                    rec.eit_replace(now_ts, tag.raw());
+                }
+                for &stream in &self.sink.discarded_streams {
+                    self.buffer.discard_stream_with(stream, |e| {
+                        rec.evict_unused(now_ts, e.line.raw(), e.stream);
+                    });
+                }
+            }
+            None => {
+                for &stream in &self.sink.discarded_streams {
+                    self.buffer.discard_stream(stream);
+                }
+            }
         }
         // Metadata traffic contends for the channel right away.
         for _ in 0..self.sink.meta_read_blocks {
+            if let Some(rec) = self.tel.tracer() {
+                rec.meta_start(now_ts, 1);
+            }
             let done = dram.request(self.now, LINE_BYTES, TrafficCategory::MetadataRead);
             // Queueing makes the round trip exceed the raw 45 ns.
-            self.tel
-                .record(self.meta_lat_hist, (done - self.now).max(0.0) as u64);
+            let trip = (done - self.now).max(0.0) as u64;
+            self.tel.record(self.meta_lat_hist, trip);
+            if let Some(rec) = self.tel.tracer() {
+                rec.meta_end(done as u64, trip);
+            }
         }
         for _ in 0..self.sink.meta_write_blocks {
             dram.request(self.now, LINE_BYTES, TrafficCategory::MetadataWrite);
         }
         for req in &self.sink.requests {
+            if let Some(rec) = self.tel.tracer() {
+                rec.issue(now_ts, req.line.raw(), req.stream, req.delay_trips);
+            }
             if self.l1.contains(req.line) {
+                if let Some(rec) = self.tel.tracer() {
+                    // Already in the L1: the engine drops the request.
+                    rec.drop_unbuffered(now_ts, req.line.raw(), req.stream, 2);
+                }
                 continue;
             }
             // Serial metadata trips delay the issue; an LLC-resident block
@@ -339,7 +392,21 @@ impl<'a> CoreEngine<'a> {
             } else {
                 dram.request(issue_at, LINE_BYTES, TrafficCategory::Prefetch)
             };
-            self.buffer.insert(req.line, arrival, req.stream);
+            let outcome = self.buffer.insert(req.line, arrival, req.stream);
+            if let Some(rec) = self.tel.tracer() {
+                match outcome {
+                    InsertOutcome::Inserted => {
+                        rec.fill(now_ts, req.line.raw(), req.stream, arrival as u64);
+                    }
+                    InsertOutcome::Duplicate => {
+                        rec.drop_unbuffered(now_ts, req.line.raw(), req.stream, 1);
+                    }
+                    InsertOutcome::Evicted(victim) => {
+                        rec.evict_unused(now_ts, victim.line.raw(), victim.stream);
+                        rec.fill(now_ts, req.line.raw(), req.stream, arrival as u64);
+                    }
+                }
+            }
         }
         if self.tel.tick() {
             self.tel.snapshot(|row| {

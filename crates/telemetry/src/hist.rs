@@ -173,8 +173,36 @@ mod tests {
     }
 
     #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = FixedHistogram::new(&[10]);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "saturating, not wrapping");
+        assert_eq!(h.total(), 2);
+        // The mean degrades gracefully under saturation: finite, capped.
+        assert!(h.mean().is_finite());
+        assert_eq!(h.mean(), u64::MAX as f64 / 2.0);
+    }
+
+    #[test]
+    fn max_bound_makes_overflow_bucket_unreachable() {
+        // A last bound of u64::MAX is legal; the overflow bucket then
+        // catches nothing, even for a max-u64 record.
+        let mut h = FixedHistogram::new(&[10, u64::MAX]);
+        h.record(u64::MAX);
+        assert_eq!(h.counts(), &[0, 1, 0]);
+        assert_eq!(h.label(2), format!(">{}", u64::MAX));
+    }
+
+    #[test]
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         FixedHistogram::new(&[4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_bounds_panic() {
+        FixedHistogram::new(&[]);
     }
 }

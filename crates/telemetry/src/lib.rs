@@ -41,9 +41,11 @@
 pub mod hist;
 pub mod json;
 pub mod report;
+pub mod trace;
 
 pub use hist::FixedHistogram;
 pub use report::{EpochDelta, RunReport, SCHEMA};
+pub use trace::{Attribution, FlightRecorder, TraceFile, TraceMeta, DEFAULT_TRACE_CAPACITY};
 
 /// Receiver for named counters.
 ///
@@ -90,6 +92,9 @@ pub struct Telemetry {
     epochs: Vec<Vec<u64>>,
     /// Registered histograms.
     hists: Vec<(String, FixedHistogram)>,
+    /// Optional flight recorder ([`trace`] module); boxed so the common
+    /// tracer-off handle stays small.
+    tracer: Option<Box<FlightRecorder>>,
 }
 
 /// Opaque histogram id returned by [`Telemetry::register_histogram`].
@@ -106,6 +111,7 @@ impl Telemetry {
             fields: Vec::new(),
             epochs: Vec::new(),
             hists: Vec::new(),
+            tracer: None,
         }
     }
 
@@ -124,15 +130,60 @@ impl Telemetry {
     }
 
     /// Resolves a handle from the `DOMINO_EPOCH` environment variable:
-    /// unset or `0` → off, a positive integer → that epoch length.
+    /// unset or `0` → off, a positive integer → that epoch length. When
+    /// `DOMINO_TRACE` is set to a positive event count, the handle also
+    /// carries a [`FlightRecorder`] of that ring capacity (tracing works
+    /// with epochs off: the handle stays `is_on() == false` but records
+    /// events).
     pub fn from_env() -> Self {
-        match std::env::var("DOMINO_EPOCH")
+        let mut tel = match std::env::var("DOMINO_EPOCH")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
         {
             Some(n) if n > 0 => Telemetry::with_epoch(n),
             _ => Telemetry::off(),
+        };
+        if let Some(cap) = std::env::var("DOMINO_TRACE")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+        {
+            tel.enable_trace(cap as usize);
         }
+        tel
+    }
+
+    /// Attaches a [`FlightRecorder`] keeping the most recent `capacity`
+    /// events. Independent of the epoch machinery: a trace-only handle
+    /// reports `is_on() == false` and emits no epoch rows.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(FlightRecorder::new(capacity)));
+    }
+
+    /// The flight recorder, if tracing is enabled. Engines emit through
+    /// this so the tracer-off path is one branch:
+    ///
+    /// ```
+    /// # let mut tel = domino_telemetry::Telemetry::off();
+    /// if let Some(rec) = tel.tracer() {
+    ///     rec.issue(0, 42, None, 1);
+    /// }
+    /// ```
+    #[inline]
+    pub fn tracer(&mut self) -> Option<&mut FlightRecorder> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Whether a flight recorder is attached.
+    #[inline]
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Detaches and returns the flight recorder (call before
+    /// [`Telemetry::finish`], which drops it).
+    pub fn take_tracer(&mut self) -> Option<FlightRecorder> {
+        self.tracer.take().map(|b| *b)
     }
 
     /// Whether this handle records anything.
@@ -333,5 +384,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_epoch_panics() {
         Telemetry::with_epoch(0);
+    }
+
+    #[test]
+    fn tracer_is_independent_of_epochs() {
+        let mut tel = Telemetry::off();
+        assert!(tel.tracer().is_none());
+        assert!(!tel.has_tracer());
+        tel.enable_trace(16);
+        assert!(!tel.is_on(), "trace-only handles emit no epoch rows");
+        tel.tracer().expect("tracer on").demand_miss(0, 7, false);
+        let rec = tel.take_tracer().expect("detachable");
+        assert_eq!(rec.attribution().demand_misses, 1);
+        assert!(!tel.has_tracer(), "take_tracer leaves the handle bare");
     }
 }

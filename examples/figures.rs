@@ -9,6 +9,7 @@
 //! cargo run --release --example figures -- 100000 out_dir   # + SVG & CSV files
 //! cargo run --release --example figures -- --jobs 8         # worker threads
 //! cargo run --release --example figures -- --epoch 50000    # per-epoch telemetry
+//! cargo run --release --example figures -- --trace 65536    # flight recorder
 //! ```
 //!
 //! Figure cells fan out across the parallel sweep executor; the worker
@@ -27,6 +28,12 @@
 //! cell plus a `TELEMETRY_sweep.json` aggregate next to
 //! `BENCH_sweep.json` — rendered by `cargo run -p domino-sim --bin
 //! report`. Telemetry files are byte-identical at any `--jobs` value.
+//!
+//! With `--trace N` (or the `DOMINO_TRACE` environment variable) the
+//! same roster cells record a prefetch flight-recorder trace with an
+//! N-event ring — one binary `trace_*.bin` per cell, rendered by
+//! `cargo run -p domino-sim --bin explain`. Trace files are also
+//! byte-identical at any `--jobs` value.
 
 use domino_repro::sim::figures::{
     bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11, fig12,
@@ -60,6 +67,12 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .expect("--epoch needs a positive integer");
             observe::set_epoch_override(Some(n));
+        } else if arg == "--trace" {
+            let n: u64 = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--trace needs a positive integer");
+            observe::set_trace_override(Some(n));
         } else if events.is_none() && arg.parse::<usize>().is_ok() {
             events = arg.parse().ok();
         } else {
@@ -151,6 +164,16 @@ fn main() {
             "wrote {} telemetry files ({} runs) to {}",
             paths.len(),
             reports.len(),
+            out_base.display()
+        );
+    }
+
+    let traces = observe::drain_traces();
+    if !traces.is_empty() {
+        let paths = observe::write_traces(&out_base, &traces).expect("write traces");
+        eprintln!(
+            "wrote {} flight-recorder traces to {}",
+            paths.len(),
             out_base.display()
         );
     }

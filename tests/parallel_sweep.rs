@@ -75,6 +75,52 @@ fn telemetry_json_is_byte_identical_at_any_job_count() {
 }
 
 #[test]
+fn trace_files_are_byte_identical_at_any_job_count() {
+    let _guard = JOBS_LOCK.lock().expect("unpoisoned");
+    let scale = Scale {
+        events: 20_000,
+        seed: 11,
+    };
+    let sweep = |jobs| {
+        exec::set_jobs_override(Some(jobs));
+        observe::set_trace_override(Some(4096));
+        let _ = observe::drain_traces(); // discard leftovers
+        let tables = fig13(&scale);
+        let traces = observe::drain_traces();
+        exec::set_jobs_override(None);
+        observe::set_trace_override(None);
+        assert!(!traces.is_empty(), "traced fig13 produced no traces");
+        let bytes: Vec<(String, Vec<u8>)> = traces
+            .iter()
+            .map(|t| {
+                (
+                    observe::trace_filename(&t.meta),
+                    t.recorder.to_bytes(&t.meta),
+                )
+            })
+            .collect();
+        (tables, bytes)
+    };
+    let (serial_tables, serial_bytes) = sweep(1);
+    let (parallel_tables, parallel_bytes) = sweep(8);
+    assert_eq!(serial_bytes.len(), parallel_bytes.len());
+    for ((name_a, bytes_a), (name_b, bytes_b)) in serial_bytes.iter().zip(&parallel_bytes) {
+        assert_eq!(name_a, name_b, "trace set drifted between job counts");
+        assert!(
+            bytes_a == bytes_b,
+            "{name_a}: trace bytes drifted between job counts"
+        );
+    }
+    for (a, b) in serial_tables.iter().zip(&parallel_tables) {
+        assert_eq!(
+            format!("{a}"),
+            format!("{b}"),
+            "figure drifted with tracing on"
+        );
+    }
+}
+
+#[test]
 fn full_roster_runs_through_the_executor() {
     let _guard = JOBS_LOCK.lock().expect("unpoisoned");
     exec::set_jobs_override(Some(4));

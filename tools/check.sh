@@ -34,6 +34,17 @@ if [ "${1:-}" != "--fast" ]; then
     else
         echo "    (python3 not found; skipping JSON schema validation)"
     fi
+
+    echo "==> flight-recorder trace smoke run"
+    trace_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir" "$trace_dir"' EXIT
+    cargo run --release -q -p domino-sim --bin explain -- --smoke "$trace_dir"
+    cargo run --release -q -p domino-sim --bin explain -- "$trace_dir" --csv >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 tools/validate_trace.py "$trace_dir"
+    else
+        echo "    (python3 not found; skipping binary trace validation)"
+    fi
 fi
 
 echo "check.sh: all clean"
