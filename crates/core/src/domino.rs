@@ -34,13 +34,20 @@ use crate::eit::{Eit, EitEntry};
 /// Stream origin: the `(trigger, confirmed-next)` pair that spawned it.
 type PairKey = (LineAddr, LineAddr);
 
+/// Upper bound on entries copied into a [`Candidate`]. Inline storage
+/// keeps the per-event path allocation-free; the paper's configuration
+/// uses three entries per super-entry.
+const MAX_CANDIDATE_ENTRIES: usize = 8;
+
 /// A lookup awaiting confirmation by the next triggering event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Candidate {
     /// The miss that performed the EIT lookup.
     trigger: LineAddr,
-    /// Super-entry contents at lookup time.
-    entries: Vec<EitEntry>,
+    /// Super-entry contents at lookup time (occupied prefix `..len`).
+    entries: [EitEntry; MAX_CANDIDATE_ENTRIES],
+    /// Number of valid entries.
+    len: u8,
     /// The speculative first prefetch (most recent entry's address).
     issued: Option<LineAddr>,
     /// Stream id tagging the speculative prefetch.
@@ -79,6 +86,10 @@ impl Domino {
     /// Panics if `cfg` is invalid (see [`DominoConfig::validate`]).
     pub fn new(cfg: DominoConfig) -> Self {
         cfg.validate();
+        assert!(
+            cfg.eit.entries_per_super <= MAX_CANDIDATE_ENTRIES,
+            "entries_per_super exceeds inline candidate storage"
+        );
         Domino {
             ht: HistoryTable::new(cfg.ht_entries),
             eit: Eit::new(cfg.eit),
@@ -167,7 +178,13 @@ impl Domino {
             return;
         };
         self.lookup_matches += 1;
-        let entries = se.entries().to_vec();
+        let src = se.entries();
+        let mut entries = [EitEntry {
+            addr: LineAddr::default(),
+            pointer: 0,
+        }; MAX_CANDIDATE_ENTRIES];
+        entries[..src.len()].copy_from_slice(src);
+        let len = src.len() as u8;
         let id = self.next_candidate_id;
         self.next_candidate_id = CANDIDATE_ID_BASE | (self.next_candidate_id + 1) & 0x3FFF_FFFF;
         let issued = se.most_recent().map(|e| e.addr).filter(|&a| a != line);
@@ -183,6 +200,7 @@ impl Domino {
         self.candidate = Some(Candidate {
             trigger: line,
             entries,
+            len,
             issued,
             id,
         });
@@ -204,18 +222,22 @@ impl Prefetcher for Domino {
         "Domino"
     }
 
+    fn reserve(&mut self, expected_events: usize) {
+        self.ht.reserve(expected_events);
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         let line = event.line;
         let was_hit = event.kind == TriggerKind::PrefetchHit;
         // Phase 1: does this event confirm the pending candidate?
         let candidate = self.candidate.take();
         let confirmed = candidate.as_ref().and_then(|c| {
-            c.entries
+            c.entries[..c.len as usize]
                 .iter()
                 .rev()
                 .find(|e| e.addr == line)
                 .copied()
-                .map(|e| (e, c.clone()))
+                .map(|e| (e, *c))
         });
         if let Some((entry, cand)) = confirmed {
             let pos = self.log(line, false, sink);
@@ -227,7 +249,7 @@ impl Prefetcher for Domino {
         }
         // A dropped candidate's speculative prefetch will rot in the
         // buffer; it is accounted as an overprediction there.
-        drop(candidate);
+        let _ = candidate;
         // Phase 2: does this event continue an active stream?
         if self.streams.consume(line).is_some() {
             let pos = self.log(line, false, sink);

@@ -33,6 +33,10 @@ pub struct EitEntry {
 }
 
 /// A tag plus its recent continuations, most recent last.
+///
+/// Only the unbounded (idealized) backing stores owned `SuperEntry`
+/// values; the finite backing keeps the same data in a flat slab and
+/// hands out [`SuperEntryRef`] views instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuperEntry {
     /// The indexed miss address.
@@ -42,10 +46,10 @@ pub struct SuperEntry {
 }
 
 impl SuperEntry {
-    fn new(tag: LineAddr) -> Self {
+    fn new(tag: LineAddr, capacity: usize) -> Self {
         SuperEntry {
             tag,
-            entries: Vec::new(),
+            entries: Vec::with_capacity(capacity),
         }
     }
 
@@ -78,6 +82,36 @@ impl SuperEntry {
             self.entries.remove(0);
         }
         self.entries.push(EitEntry { addr, pointer });
+    }
+}
+
+/// A borrowed view of one super-entry, as returned by [`Eit::lookup`].
+///
+/// Exposes the same reading surface as [`SuperEntry`] (`most_recent`,
+/// `find`, `entries`) over either backing without copying the entries
+/// out of the table.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperEntryRef<'a> {
+    /// The indexed miss address.
+    pub tag: LineAddr,
+    entries: &'a [EitEntry],
+}
+
+impl<'a> SuperEntryRef<'a> {
+    /// The most recent continuation — Domino's immediate prediction.
+    pub fn most_recent(&self) -> Option<&'a EitEntry> {
+        self.entries.last()
+    }
+
+    /// Finds the entry whose address matches the next triggering event
+    /// (the two-address lookup).
+    pub fn find(&self, addr: LineAddr) -> Option<&'a EitEntry> {
+        self.entries.iter().rev().find(|e| e.addr == addr)
+    }
+
+    /// All entries, oldest first (analysis/tests).
+    pub fn entries(&self) -> &'a [EitEntry] {
+        self.entries
     }
 }
 
@@ -125,11 +159,183 @@ impl EitConfig {
 
 #[derive(Debug)]
 enum Backing {
-    /// Finite row array; a row is an LRU list of super-entries
-    /// (front = oldest).
-    Finite(Vec<Vec<SuperEntry>>),
+    /// Finite row array backed by a flat slab (see [`FiniteRows`]).
+    Finite(FiniteRows),
     /// Idealized: one super-entry per tag, no row conflicts.
     Unbounded(FxHashMap<LineAddr, SuperEntry>),
+}
+
+/// Sentinel for a row that has never been written.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// The finite backing: rows index into a lazily-grown slab of
+/// super-entry blocks instead of nesting `Vec<Vec<SuperEntry>>`.
+///
+/// Each touched row owns one *block* of `super_cap` super-entry slots
+/// at a fixed stride; a slot is a tag, an entry count, and `entry_cap`
+/// inline [`EitEntry`] slots in the parallel `entries` slab. Within a
+/// block the occupied prefix is kept physically in LRU order (slot 0 =
+/// oldest), so both levels of LRU are slice rotations over contiguous
+/// memory — one cache-line-friendly run per lookup, the same locality
+/// argument the paper makes for packing super-entries in DRAM rows.
+///
+/// Blocks are carved on first touch only (`row_block` starts as
+/// [`NO_BLOCK`]), so a 2 M-row table costs 8 MB up front instead of
+/// ~100 MB of empty `Vec` headers, and once the working set of rows is
+/// warm the table performs no further heap allocation.
+#[derive(Debug)]
+struct FiniteRows {
+    /// Row → block id, or [`NO_BLOCK`] while the row is untouched.
+    row_block: Vec<u32>,
+    /// Per-block count of occupied super-entry slots.
+    occ: Vec<u8>,
+    /// Super-entry tags; block `b` owns `[b*super_cap, (b+1)*super_cap)`,
+    /// occupied prefix oldest-first.
+    tags: Vec<LineAddr>,
+    /// Entry counts, parallel to `tags`.
+    lens: Vec<u8>,
+    /// Inline entry storage; slot `s` of block `b` owns
+    /// `[(b*super_cap + s) * entry_cap, ..)`, occupied prefix
+    /// oldest-first.
+    entries: Vec<EitEntry>,
+    super_cap: usize,
+    entry_cap: usize,
+}
+
+impl FiniteRows {
+    fn new(rows: usize, super_cap: usize, entry_cap: usize) -> Self {
+        assert!(super_cap <= u8::MAX as usize, "row capacity too large");
+        assert!(entry_cap <= u8::MAX as usize, "entry capacity too large");
+        FiniteRows {
+            row_block: vec![NO_BLOCK; rows],
+            occ: Vec::new(),
+            tags: Vec::new(),
+            lens: Vec::new(),
+            entries: Vec::new(),
+            super_cap,
+            entry_cap,
+        }
+    }
+
+    /// The block for `row`, carving a fresh one on first touch.
+    fn block_for(&mut self, row: usize) -> usize {
+        let cur = self.row_block[row];
+        if cur != NO_BLOCK {
+            return cur as usize;
+        }
+        let b = self.occ.len();
+        self.occ.push(0);
+        let filler = LineAddr::default();
+        self.tags.resize(self.tags.len() + self.super_cap, filler);
+        self.lens.resize(self.lens.len() + self.super_cap, 0);
+        let empty = EitEntry {
+            addr: filler,
+            pointer: 0,
+        };
+        self.entries
+            .resize(self.entries.len() + self.super_cap * self.entry_cap, empty);
+        self.row_block[row] = b as u32;
+        b
+    }
+
+    /// Promotes slot `pos` of block `b` to the MRU end of its occupied
+    /// prefix (length `occ`) by rotating all three parallel slabs.
+    fn promote(&mut self, b: usize, pos: usize, occ: usize) {
+        let base = b * self.super_cap;
+        self.tags[base + pos..base + occ].rotate_left(1);
+        self.lens[base + pos..base + occ].rotate_left(1);
+        let e = self.entry_cap;
+        let ebase = base * e;
+        self.entries[ebase + pos * e..ebase + occ * e].rotate_left(e);
+    }
+
+    fn lookup(&mut self, tag: LineAddr) -> Option<SuperEntryRef<'_>> {
+        let row = row_index(tag, self.row_block.len());
+        let block = self.row_block[row];
+        if block == NO_BLOCK {
+            return None;
+        }
+        let b = block as usize;
+        let base = b * self.super_cap;
+        let occ = self.occ[b] as usize;
+        let pos = self.tags[base..base + occ].iter().position(|&t| t == tag)?;
+        self.promote(b, pos, occ);
+        let slot = occ - 1;
+        let len = self.lens[base + slot] as usize;
+        let eb = (base + slot) * self.entry_cap;
+        Some(SuperEntryRef {
+            tag,
+            entries: &self.entries[eb..eb + len],
+        })
+    }
+
+    fn probe(&self, tag: LineAddr) -> bool {
+        let row = row_index(tag, self.row_block.len());
+        let block = self.row_block[row];
+        if block == NO_BLOCK {
+            return false;
+        }
+        let base = block as usize * self.super_cap;
+        let occ = self.occ[block as usize] as usize;
+        self.tags[base..base + occ].contains(&tag)
+    }
+
+    /// Records `tag → (next, pointer)`; both LRU levels behave exactly
+    /// like the nested-`Vec` layout. Returns an evicted tag, if any.
+    fn update(&mut self, tag: LineAddr, next: LineAddr, pointer: u64) -> Option<LineAddr> {
+        let row = row_index(tag, self.row_block.len());
+        let b = self.block_for(row);
+        let s = self.super_cap;
+        let base = b * s;
+        let occ = self.occ[b] as usize;
+        let mut evicted = None;
+        let slot = match self.tags[base..base + occ].iter().position(|&t| t == tag) {
+            Some(pos) => {
+                self.promote(b, pos, occ);
+                occ - 1
+            }
+            None => {
+                if occ == s {
+                    evicted = Some(self.tags[base]);
+                    self.promote(b, 0, s);
+                    let slot = s - 1;
+                    self.tags[base + slot] = tag;
+                    self.lens[base + slot] = 0;
+                    slot
+                } else {
+                    self.occ[b] += 1;
+                    self.tags[base + occ] = tag;
+                    self.lens[base + occ] = 0;
+                    occ
+                }
+            }
+        };
+        let e = self.entry_cap;
+        let len = self.lens[base + slot] as usize;
+        let eb = (base + slot) * e;
+        let block = &mut self.entries[eb..eb + e];
+        let fresh = EitEntry {
+            addr: next,
+            pointer,
+        };
+        if let Some(p) = block[..len].iter().position(|en| en.addr == next) {
+            block[p..len].rotate_left(1);
+            block[len - 1] = fresh;
+        } else if len == e {
+            block.rotate_left(1);
+            block[e - 1] = fresh;
+        } else {
+            block[len] = fresh;
+            self.lens[base + slot] = len as u8 + 1;
+        }
+        evicted
+    }
+}
+
+/// Multiplicative hash mapping a tag to a row.
+fn row_index(tag: LineAddr, rows: usize) -> usize {
+    let h = tag.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h % rows as u64) as usize
 }
 
 /// The Enhanced Index Table.
@@ -164,7 +370,11 @@ impl Eit {
         let backing = if cfg.rows == 0 {
             Backing::Unbounded(FxHashMap::default())
         } else {
-            Backing::Finite(vec![Vec::new(); cfg.rows])
+            Backing::Finite(FiniteRows::new(
+                cfg.rows,
+                cfg.super_entries_per_row,
+                cfg.entries_per_super,
+            ))
         };
         Eit {
             cfg,
@@ -175,29 +385,16 @@ impl Eit {
         }
     }
 
-    /// Multiplicative hash mapping a tag to a row.
-    fn row_index(tag: LineAddr, rows: usize) -> usize {
-        let h = tag.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        (h % rows as u64) as usize
-    }
-
     /// Looks up the super-entry for `tag` (one off-chip row read in the
     /// real design) and promotes it to MRU within its row.
-    pub fn lookup(&mut self, tag: LineAddr) -> Option<&SuperEntry> {
+    pub fn lookup(&mut self, tag: LineAddr) -> Option<SuperEntryRef<'_>> {
         self.lookups += 1;
-        let found: Option<&SuperEntry> = match &mut self.backing {
-            Backing::Unbounded(map) => map.get(&tag),
-            Backing::Finite(rows) => {
-                let idx = Self::row_index(tag, rows.len());
-                let row = &mut rows[idx];
-                if let Some(pos) = row.iter().position(|se| se.tag == tag) {
-                    let se = row.remove(pos);
-                    row.push(se);
-                    row.last()
-                } else {
-                    None
-                }
-            }
+        let found: Option<SuperEntryRef<'_>> = match &mut self.backing {
+            Backing::Unbounded(map) => map.get(&tag).map(|se| SuperEntryRef {
+                tag: se.tag,
+                entries: se.entries(),
+            }),
+            Backing::Finite(rows) => rows.lookup(tag),
         };
         if found.is_some() {
             self.hits += 1;
@@ -212,10 +409,7 @@ impl Eit {
     pub fn probe(&self, tag: LineAddr) -> bool {
         match &self.backing {
             Backing::Unbounded(map) => map.contains_key(&tag),
-            Backing::Finite(rows) => {
-                let idx = Self::row_index(tag, rows.len());
-                rows[idx].iter().any(|se| se.tag == tag)
-            }
+            Backing::Finite(rows) => rows.probe(tag),
         }
     }
 
@@ -230,28 +424,11 @@ impl Eit {
         match &mut self.backing {
             Backing::Unbounded(map) => {
                 map.entry(tag)
-                    .or_insert_with(|| SuperEntry::new(tag))
+                    .or_insert_with(|| SuperEntry::new(tag, entry_cap))
                     .update(next, pointer, entry_cap);
                 None
             }
-            Backing::Finite(rows) => {
-                let idx = Self::row_index(tag, rows.len());
-                let super_cap = self.cfg.super_entries_per_row;
-                let row = &mut rows[idx];
-                let mut evicted = None;
-                let mut se = match row.iter().position(|se| se.tag == tag) {
-                    Some(pos) => row.remove(pos),
-                    None => {
-                        if row.len() == super_cap {
-                            evicted = Some(row.remove(0).tag);
-                        }
-                        SuperEntry::new(tag)
-                    }
-                };
-                se.update(next, pointer, entry_cap);
-                row.push(se);
-                evicted
-            }
+            Backing::Finite(rows) => rows.update(tag, next, pointer),
         }
     }
 

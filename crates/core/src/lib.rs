@@ -57,5 +57,5 @@ pub mod naive;
 
 pub use config::DominoConfig;
 pub use domino::Domino;
-pub use eit::{Eit, EitConfig, EitEntry, SuperEntry};
+pub use eit::{Eit, EitConfig, EitEntry, SuperEntry, SuperEntryRef};
 pub use naive::NaiveDomino;

@@ -97,6 +97,10 @@ impl Prefetcher for NaiveDomino {
         "Domino-Naive"
     }
 
+    fn reserve(&mut self, expected_events: usize) {
+        self.ht.reserve(expected_events);
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         let line = event.line;
         let prev = self.prev.replace(line);

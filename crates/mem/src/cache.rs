@@ -66,6 +66,14 @@ impl CacheConfig {
 /// Tracks presence only (no dirty/clean state): the reproduction's
 /// experiments are read-miss driven, as in the paper.
 ///
+/// Storage is one contiguous slab of `sets * ways` line slots at fixed
+/// stride `ways`, plus a per-set occupancy count. Each set's occupied
+/// prefix is kept physically in replacement order — slot 0 is the victim
+/// end, the last occupied slot the most-recent end — so an access walks
+/// one short contiguous run and never chases a per-set `Vec` pointer.
+/// All storage is allocated once at construction; the steady-state
+/// access/insert/invalidate path performs no heap allocation.
+///
 /// ```
 /// use domino_mem::cache::{CacheConfig, SetAssocCache};
 /// use domino_trace::addr::LineAddr;
@@ -80,9 +88,10 @@ impl CacheConfig {
 pub struct SetAssocCache {
     config: CacheConfig,
     set_mask: u64,
-    /// Per-set way list. For LRU/FIFO, index 0 is the victim end and the
-    /// back is the most-recent end.
-    sets: Vec<Vec<LineAddr>>,
+    /// Flat `sets * ways` slab; set `s` occupies `[s*ways, (s+1)*ways)`.
+    lines: Vec<LineAddr>,
+    /// Occupied-slot count per set (the length of the ordered prefix).
+    occ: Vec<u32>,
     rand_state: u64,
     hits: u64,
     misses: u64,
@@ -95,7 +104,8 @@ impl SetAssocCache {
         SetAssocCache {
             config,
             set_mask: sets as u64 - 1,
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            lines: vec![LineAddr::default(); sets * config.ways],
+            occ: vec![0; sets],
             rand_state: 0x9e37_79b9_7f4a_7c15,
             hits: 0,
             misses: 0,
@@ -106,15 +116,27 @@ impl SetAssocCache {
         (line.raw() & self.set_mask) as usize
     }
 
+    /// The occupied prefix of set `idx`, oldest (victim) first.
+    fn set_slice(&self, idx: usize) -> &[LineAddr] {
+        let base = idx * self.config.ways;
+        &self.lines[base..base + self.occ[idx] as usize]
+    }
+
+    fn set_slice_mut(&mut self, idx: usize) -> &mut [LineAddr] {
+        let base = idx * self.config.ways;
+        &mut self.lines[base..base + self.occ[idx] as usize]
+    }
+
     /// Looks up a line, updating replacement state. Returns `true` on hit.
     pub fn access(&mut self, line: LineAddr) -> bool {
         let promote = self.config.replacement == Replacement::Lru;
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let set = self.set_slice_mut(idx);
         if let Some(pos) = set.iter().position(|&l| l == line) {
             if promote {
-                let l = set.remove(pos);
-                set.push(l);
+                // Equivalent of remove(pos) + push: slide the younger
+                // entries down and re-append at the most-recent end.
+                set[pos..].rotate_left(1);
             }
             self.hits += 1;
             true
@@ -126,8 +148,7 @@ impl SetAssocCache {
 
     /// Checks presence without touching replacement state or counters.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = &self.sets[self.set_index(line)];
-        set.contains(&line)
+        self.set_slice(self.set_index(line)).contains(&line)
     }
 
     /// Inserts a line, returning the evicted victim if the set was full.
@@ -142,41 +163,58 @@ impl SetAssocCache {
             self.rand_state ^= self.rand_state << 17;
         }
         let victim_pos = (self.rand_state % ways as u64) as usize;
-        let set = &mut self.sets[idx];
+        let set = self.set_slice_mut(idx);
         if let Some(pos) = set.iter().position(|&l| l == line) {
             if replacement == Replacement::Lru {
-                let l = set.remove(pos);
-                set.push(l);
+                set[pos..].rotate_left(1);
             }
             return None;
         }
-        let evicted = if set.len() == ways {
-            Some(match replacement {
-                Replacement::Lru | Replacement::Fifo => set.remove(0),
-                Replacement::Random => set.remove(victim_pos.min(set.len() - 1)),
-            })
+        if set.len() == ways {
+            let evict_pos = match replacement {
+                Replacement::Lru | Replacement::Fifo => 0,
+                Replacement::Random => victim_pos,
+            };
+            let evicted = set[evict_pos];
+            set[evict_pos..].rotate_left(1);
+            set[ways - 1] = line;
+            Some(evicted)
         } else {
+            let base = idx * ways;
+            let n = self.occ[idx] as usize;
+            self.lines[base + n] = line;
+            self.occ[idx] += 1;
             None
-        };
-        set.push(line);
-        evicted
+        }
     }
 
     /// Removes a line if present; returns whether it was there.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let set = self.set_slice_mut(idx);
         if let Some(pos) = set.iter().position(|&l| l == line) {
-            set.remove(pos);
+            set[pos..].rotate_left(1);
+            self.occ[idx] -= 1;
             true
         } else {
             false
         }
     }
 
+    /// Restores the freshly-constructed state (empty sets, zeroed
+    /// counters, reseeded replacement RNG) without touching the line
+    /// slab's allocation — a reset cache behaves byte-identically to a
+    /// newly built one, so sweep cells can reuse the storage.
+    pub fn reset(&mut self) {
+        self.occ.fill(0);
+        self.rand_state = 0x9e37_79b9_7f4a_7c15;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.occ.iter().map(|&n| n as usize).sum()
     }
 
     /// Whether the cache holds no lines.

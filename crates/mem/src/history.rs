@@ -70,6 +70,19 @@ impl HistoryTable {
         HistoryTable::new(16 * 1024 * 1024)
     }
 
+    /// Pre-sizes the storage for `expected_appends` further appends, so
+    /// the append path never reallocates mid-run. Bounded rings reserve
+    /// at most their remaining fill distance (a full ring overwrites in
+    /// place and needs nothing).
+    pub fn reserve(&mut self, expected_appends: usize) {
+        if self.capacity == 0 {
+            self.unbounded.reserve(expected_appends);
+        } else {
+            let room = self.capacity - self.ring.len();
+            self.ring.reserve(expected_appends.min(room));
+        }
+    }
+
     /// Appends an event; returns its global position.
     pub fn append(&mut self, line: LineAddr, stream_head: bool) -> u64 {
         let pos = self.appended;

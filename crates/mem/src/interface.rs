@@ -111,6 +111,13 @@ pub trait Prefetcher: Send {
     /// Reacts to one triggering event.
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink);
 
+    /// Hint that up to `expected_events` trace events are about to be
+    /// replayed, letting prefetchers with append-only metadata (e.g. the
+    /// idealized ISB sequences) pre-size their storage so the event loop
+    /// stays allocation-free. Capacity-only: implementations must not
+    /// change observable behaviour. Default: ignored.
+    fn reserve(&mut self, _expected_events: usize) {}
+
     /// Reports implementation-specific counters into a telemetry
     /// snapshot (EIT lookups, index hit rates, …). Counter names are
     /// dot-namespaced and must be emitted in a stable order; the default

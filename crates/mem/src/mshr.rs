@@ -19,6 +19,14 @@ struct Entry {
 
 /// A file of miss-status holding registers.
 ///
+/// Registers live in a fixed slab with a free-list, and completion
+/// times sit in a hand-rolled binary min-heap over slab slots — so
+/// [`MshrFile::earliest_completion`] is O(1) and
+/// [`MshrFile::retire_until`] pops only the registers that actually
+/// complete, instead of re-scanning the whole file on every full-MSHR
+/// stall in the timing model. All storage is allocated once at
+/// construction.
+///
 /// ```
 /// use domino_mem::mshr::MshrFile;
 /// use domino_trace::addr::LineAddr;
@@ -33,7 +41,13 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: Vec<Entry>,
+    /// Register slab, `capacity` slots; `live` marks occupancy.
+    slots: Vec<Entry>,
+    live: Vec<bool>,
+    /// Stack of unoccupied slot indices.
+    free: Vec<u32>,
+    /// Min-heap of `(done_at, slot)` over the live registers.
+    heap: Vec<(f64, u32)>,
     allocations: u64,
     merges: u64,
     stalls: u64,
@@ -49,11 +63,73 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file needs capacity");
         MshrFile {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            slots: vec![
+                Entry {
+                    line: LineAddr::default(),
+                    done_at: 0.0,
+                    merged: 0,
+                };
+                capacity
+            ],
+            live: vec![false; capacity],
+            free: (0..capacity as u32).rev().collect(),
+            heap: Vec::with_capacity(capacity),
             allocations: 0,
             merges: 0,
             stalls: 0,
         }
+    }
+
+    fn heap_push(&mut self, done_at: f64, slot: u32) {
+        self.heap.push((done_at, slot));
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].0 <= self.heap[i].0 {
+                break;
+            }
+            self.heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<(f64, u32)> {
+        let n = self.heap.len();
+        if n == 0 {
+            return None;
+        }
+        self.heap.swap(0, n - 1);
+        let top = self.heap.pop();
+        let mut i = 0;
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut min = i;
+            if l < n && self.heap[l].0 < self.heap[min].0 {
+                min = l;
+            }
+            if r < n && self.heap[r].0 < self.heap[min].0 {
+                min = r;
+            }
+            if min == i {
+                break;
+            }
+            self.heap.swap(i, min);
+            i = min;
+        }
+        top
+    }
+
+    /// Merges a secondary miss into a live register for `line`, if any.
+    fn merge(&mut self, line: LineAddr) -> Option<f64> {
+        for i in 0..self.capacity {
+            if self.live[i] && self.slots[i].line == line {
+                self.slots[i].merged += 1;
+                self.merges += 1;
+                return Some(self.slots[i].done_at);
+            }
+        }
+        None
     }
 
     /// Attempts to track a miss on `line` completing at `done_at`.
@@ -63,20 +139,20 @@ impl MshrFile {
     /// existing completion time. Returns `None` — and counts a structural
     /// stall — when all registers are busy.
     pub fn allocate(&mut self, line: LineAddr, done_at: f64) -> Option<f64> {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
-            e.merged += 1;
-            self.merges += 1;
-            return Some(e.done_at);
+        if let Some(t) = self.merge(line) {
+            return Some(t);
         }
-        if self.entries.len() == self.capacity {
+        let Some(slot) = self.free.pop() else {
             self.stalls += 1;
             return None;
-        }
-        self.entries.push(Entry {
+        };
+        self.slots[slot as usize] = Entry {
             line,
             done_at,
             merged: 0,
-        });
+        };
+        self.live[slot as usize] = true;
+        self.heap_push(done_at, slot);
         self.allocations += 1;
         Some(done_at)
     }
@@ -84,29 +160,43 @@ impl MshrFile {
     /// If `line` is already in flight, merges (secondary miss) and
     /// returns the existing completion time without a new transfer.
     pub fn completion_of(&mut self, line: LineAddr) -> Option<f64> {
-        let e = self.entries.iter_mut().find(|e| e.line == line)?;
-        e.merged += 1;
-        self.merges += 1;
-        Some(e.done_at)
+        self.merge(line)
+    }
+
+    /// Restores the freshly-constructed state (all registers free, zeroed
+    /// counters) without releasing the slab, free-list, or heap storage,
+    /// so sweep cells can reuse the file without reallocating.
+    pub fn reset(&mut self) {
+        self.live.fill(false);
+        self.free.clear();
+        self.free.extend((0..self.capacity as u32).rev());
+        self.heap.clear();
+        self.allocations = 0;
+        self.merges = 0;
+        self.stalls = 0;
     }
 
     /// Releases all registers whose miss completed at or before `now`.
     pub fn retire_until(&mut self, now: f64) {
-        self.entries.retain(|e| e.done_at > now);
+        while let Some(&(t, slot)) = self.heap.first() {
+            if t > now {
+                break;
+            }
+            self.heap_pop();
+            self.live[slot as usize] = false;
+            self.free.push(slot);
+        }
     }
 
     /// Earliest completion time among outstanding misses, if any — the
     /// time a stalled allocator must wait for.
     pub fn earliest_completion(&self) -> Option<f64> {
-        self.entries
-            .iter()
-            .map(|e| e.done_at)
-            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+        self.heap.first().map(|&(t, _)| t)
     }
 
     /// Outstanding miss count.
     pub fn in_flight(&self) -> usize {
-        self.entries.len()
+        self.capacity - self.free.len()
     }
 
     /// `(allocations, merges, structural_stalls)` counters.

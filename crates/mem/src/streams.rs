@@ -18,11 +18,130 @@
 //! heuristic's purpose ("reduce useless prefetches", §IV-D) without the
 //! original's unspecified hardware encoding.
 
-use std::collections::VecDeque;
-
 use crate::history::{HistoryTable, ROW_ENTRIES};
 use crate::interface::{PrefetchRequest, PrefetchSink};
 use domino_trace::addr::LineAddr;
+
+/// Capacity of a stream's `pending` ring. Refills happen only when the
+/// ring is empty and fetch at most the remainder of one History Table
+/// row, so [`ROW_ENTRIES`] bounds the occupancy.
+pub const PENDING_CAP: usize = ROW_ENTRIES;
+
+/// Capacity of a stream's `outstanding` ring. `top_up` keeps at most
+/// `degree` prefetches in flight; the paper evaluates degrees 1–4 and
+/// the test suite goes up to 12.
+pub const OUTSTANDING_CAP: usize = 16;
+
+/// A fixed-capacity inline ring buffer of line addresses.
+///
+/// Streams used to keep their `pending`/`outstanding` queues in
+/// per-stream `VecDeque`s, which meant a heap allocation (and a pointer
+/// chase) per stream allocation in the steady state. The ring stores its
+/// slots inline, so a [`StreamTable`]'s whole working set lives in the
+/// one slab allocated at construction and stream turnover touches no
+/// allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct LineRing<const N: usize> {
+    buf: [LineAddr; N],
+    head: usize,
+    len: usize,
+}
+
+impl<const N: usize> LineRing<N> {
+    /// An empty ring.
+    pub fn new() -> Self {
+        LineRing {
+            buf: [LineAddr::default(); N],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued lines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The oldest queued line.
+    pub fn front(&self) -> Option<&LineAddr> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    /// Removes and returns the oldest queued line.
+    pub fn pop_front(&mut self) -> Option<LineAddr> {
+        if self.len == 0 {
+            return None;
+        }
+        let line = self.buf[self.head];
+        self.head = (self.head + 1) % N;
+        self.len -= 1;
+        Some(line)
+    }
+
+    /// Appends a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full — stream capacities are sized from
+    /// [`PENDING_CAP`]/[`OUTSTANDING_CAP`] invariants, so overflow is a
+    /// logic error, not backpressure.
+    pub fn push_back(&mut self, line: LineAddr) {
+        assert!(self.len < N, "stream ring overflow");
+        self.buf[(self.head + self.len) % N] = line;
+        self.len += 1;
+    }
+
+    /// Drops the oldest `n` lines.
+    pub fn drop_front(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.head = (self.head + n) % N;
+        self.len -= n;
+    }
+
+    /// Whether `line` is queued.
+    pub fn contains(&self, line: &LineAddr) -> bool {
+        self.iter().any(|l| l == line)
+    }
+
+    /// Iterates front (oldest) to back.
+    pub fn iter(&self) -> impl Iterator<Item = &LineAddr> {
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % N])
+    }
+
+    /// Empties the ring (storage is retained inline).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+impl<const N: usize> Default for LineRing<N> {
+    fn default() -> Self {
+        LineRing::new()
+    }
+}
+
+impl<const N: usize> std::ops::Index<usize> for LineRing<N> {
+    type Output = LineAddr;
+
+    fn index(&self, i: usize) -> &LineAddr {
+        assert!(i < self.len, "ring index out of bounds");
+        &self.buf[(self.head + i) % N]
+    }
+}
+
+impl<const N: usize> Extend<LineAddr> for LineRing<N> {
+    fn extend<I: IntoIterator<Item = LineAddr>>(&mut self, lines: I) {
+        for l in lines {
+            self.push_back(l);
+        }
+    }
+}
 
 /// Victim selection when a new stream needs a slot.
 ///
@@ -46,9 +165,9 @@ pub struct Stream<K> {
     /// Next History Table position not yet fetched into `pending`.
     pub next_pos: u64,
     /// Predictions fetched from the HT, not yet issued.
-    pub pending: VecDeque<LineAddr>,
+    pub pending: LineRing<PENDING_CAP>,
     /// Issued prefetches awaiting their demand hit.
-    pub outstanding: VecDeque<LineAddr>,
+    pub outstanding: LineRing<OUTSTANDING_CAP>,
     /// Correct predictions served (hits + late continuations).
     pub consumed: u32,
     /// Remaining prefetches allowed, `None` = unlimited.
@@ -129,9 +248,10 @@ impl<K> StreamTable<K> {
                     .position(|s| s.pending.front() == Some(&line))
             })?;
         let mut s = self.slots.remove(idx);
-        if let Some(pos) = s.outstanding.iter().position(|&l| l == line) {
+        let hit = s.outstanding.iter().position(|&l| l == line);
+        if let Some(pos) = hit {
             // Entries skipped over were wasted prefetches; drop tracking.
-            s.outstanding.drain(..=pos);
+            s.outstanding.drop_front(pos + 1);
         } else {
             s.pending.pop_front();
         }
@@ -167,8 +287,8 @@ impl<K> StreamTable<K> {
         self.slots.push(Stream {
             id,
             next_pos,
-            pending: VecDeque::new(),
-            outstanding: VecDeque::new(),
+            pending: LineRing::new(),
+            outstanding: LineRing::new(),
             consumed: 0,
             budget,
             exhausted: false,
@@ -224,25 +344,27 @@ pub fn top_up<K>(
                 stream.exhausted = true;
                 return;
             }
-            // Fetch the remainder of the row containing next_pos.
+            // Fetch the remainder of the row containing next_pos,
+            // reading entries straight out of the HT ring (no scratch
+            // buffer on the per-event path).
             let row_end = (HistoryTable::row_of(stream.next_pos) + 1) * ROW_ENTRIES as u64;
-            let want = (row_end - stream.next_pos) as usize;
-            let start = match stream.next_pos.checked_sub(1) {
-                Some(p) => p,
-                None => {
-                    stream.exhausted = true;
-                    return;
-                }
-            };
-            let (succ, _) = ht.successors(start, want);
-            if succ.is_empty() {
+            let want = row_end - stream.next_pos;
+            if stream.next_pos == 0 {
                 stream.exhausted = true;
                 return;
             }
-            sink.metadata_read(1);
-            *trips = trips.saturating_add(1);
-            stream.next_pos += succ.len() as u64;
-            for e in succ {
+            let mut fetched = 0u64;
+            let mut latched = false;
+            while fetched < want {
+                let Some(e) = ht.get(stream.next_pos + fetched) else {
+                    break;
+                };
+                fetched += 1;
+                if latched {
+                    // Entries past a detected stream end are still part
+                    // of the row read; they are just not replayed.
+                    continue;
+                }
                 stream.pending.push_back(e.line);
                 if stop_at_heads {
                     if e.stream_head {
@@ -251,13 +373,20 @@ pub fn top_up<K>(
                             // The producing run ended here: issue up to and
                             // including this prediction, then stop.
                             stream.stop_after_pending = true;
-                            break;
+                            latched = true;
                         }
                     } else {
                         stream.head_run = 0;
                     }
                 }
             }
+            if fetched == 0 {
+                stream.exhausted = true;
+                return;
+            }
+            sink.metadata_read(1);
+            *trips = trips.saturating_add(1);
+            stream.next_pos += fetched;
         }
         let line = stream.pending.pop_front().expect("pending refilled above");
         if line == skip {

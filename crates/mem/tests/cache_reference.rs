@@ -1,0 +1,198 @@
+//! Layout-parity proof for the flat [`SetAssocCache`].
+//!
+//! The cache used to store each set as its own `Vec<LineAddr>` in
+//! replacement order (`remove(pos)` + `push` promotion). The flat layout
+//! replaced that with one contiguous slab and `rotate_left` on the
+//! occupied prefix — a pure storage change. This test keeps the old
+//! layout alive as a reference model and drives both implementations
+//! through exhaustive small-config pseudo-random op streams, asserting
+//! identical hit/miss results, eviction victims, invalidation outcomes,
+//! and counters at every step.
+
+use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
+use domino_trace::addr::{LineAddr, LINE_BYTES};
+
+/// The pre-flat cache: per-set `Vec`s in replacement order (index 0 the
+/// victim end), exactly as the original implementation kept them.
+struct ReferenceCache {
+    config: CacheConfig,
+    set_mask: u64,
+    sets: Vec<Vec<LineAddr>>,
+    rand_state: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReferenceCache {
+    fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        ReferenceCache {
+            config,
+            set_mask: sets as u64 - 1,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            rand_state: 0x9e37_79b9_7f4a_7c15,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    fn access(&mut self, line: LineAddr) -> bool {
+        let promote = self.config.replacement == Replacement::Lru;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if promote {
+                let l = set.remove(pos);
+                set.push(l);
+            }
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].contains(&line)
+    }
+
+    fn insert(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let replacement = self.config.replacement;
+        let ways = self.config.ways;
+        let idx = self.set_index(line);
+        // The RNG advances on every insert under Random — before the
+        // presence check — matching the production cache exactly.
+        if replacement == Replacement::Random {
+            self.rand_state ^= self.rand_state << 13;
+            self.rand_state ^= self.rand_state >> 7;
+            self.rand_state ^= self.rand_state << 17;
+        }
+        let victim_pos = (self.rand_state % ways as u64) as usize;
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if replacement == Replacement::Lru {
+                let l = set.remove(pos);
+                set.push(l);
+            }
+            return None;
+        }
+        if set.len() == ways {
+            let evict_pos = match replacement {
+                Replacement::Lru | Replacement::Fifo => 0,
+                Replacement::Random => victim_pos,
+            };
+            let evicted = set.remove(evict_pos);
+            set.push(line);
+            Some(evicted)
+        } else {
+            set.push(line);
+            None
+        }
+    }
+
+    fn invalidate(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// Deterministic op-stream driver comparing both models step by step.
+fn drive(config: CacheConfig, ops: usize, seed: u64) {
+    let mut flat = SetAssocCache::new(config);
+    let mut reference = ReferenceCache::new(config);
+    // Address pool ~2x capacity so sets overflow and evict regularly.
+    let pool = (config.sets() * config.ways * 2) as u64;
+    let mut rng = seed | 1;
+    for step in 0..ops {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let line = LineAddr::new((rng >> 8) % pool);
+        let ctx = format!(
+            "step {step}, line {} ({:?}, {} ways)",
+            line.raw(),
+            config.replacement,
+            config.ways
+        );
+        match rng % 10 {
+            0..=3 => {
+                assert_eq!(flat.access(line), reference.access(line), "access: {ctx}");
+            }
+            4..=7 => {
+                assert_eq!(flat.insert(line), reference.insert(line), "insert: {ctx}");
+            }
+            8 => {
+                assert_eq!(
+                    flat.invalidate(line),
+                    reference.invalidate(line),
+                    "invalidate: {ctx}"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    flat.contains(line),
+                    reference.contains(line),
+                    "contains: {ctx}"
+                );
+            }
+        }
+        assert_eq!(flat.len(), reference.len(), "occupancy: {ctx}");
+    }
+    assert_eq!(
+        flat.hit_miss(),
+        reference.hit_miss(),
+        "final counters ({:?}, {} ways)",
+        config.replacement,
+        config.ways
+    );
+}
+
+#[test]
+fn flat_cache_matches_per_set_vec_reference_exhaustively() {
+    for replacement in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+        for ways in [1usize, 2, 3, 4, 8] {
+            for sets in [1usize, 2, 4] {
+                let config = CacheConfig {
+                    size_bytes: (sets * ways) as u64 * LINE_BYTES,
+                    ways,
+                    replacement,
+                };
+                for seed in 1..=8u64 {
+                    drive(config, 4000, 0x5eed_0000 + seed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_cache_matches_reference_on_paper_geometry() {
+    drive(CacheConfig::l1d(), 20_000, 0xd0d0);
+    drive(
+        CacheConfig {
+            replacement: Replacement::Random,
+            ..CacheConfig::l1d()
+        },
+        20_000,
+        0xd0d1,
+    );
+}

@@ -188,6 +188,10 @@ impl<P: Prefetcher> Prefetcher for AdaptiveDegree<P> {
         &self.name
     }
 
+    fn reserve(&mut self, expected_events: usize) {
+        self.inner.reserve(expected_events);
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         if event.kind == TriggerKind::PrefetchHit && self.shadow_set.remove(&event.line) {
             self.useful_in_epoch += 1;

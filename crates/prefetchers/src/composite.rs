@@ -133,6 +133,11 @@ impl<S: Prefetcher, T: Prefetcher> Prefetcher for SpatioTemporal<S, T> {
         &self.name
     }
 
+    fn reserve(&mut self, expected_events: usize) {
+        self.spatial.reserve(expected_events);
+        self.temporal.reserve(expected_events);
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         match event.kind {
             TriggerKind::Miss => {

@@ -98,6 +98,10 @@ impl Prefetcher for Digram {
         "Digram"
     }
 
+    fn reserve(&mut self, expected_events: usize) {
+        self.ht.reserve(expected_events);
+    }
+
     fn emit_counters(&self, sink: &mut dyn domino_telemetry::CounterSink) {
         sink.counter("index.lookups", self.lookups);
         sink.counter("index.matches", self.lookup_matches);

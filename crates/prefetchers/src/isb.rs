@@ -23,13 +23,29 @@ use domino_trace::FxHashMap;
 use domino_mem::interface::{PrefetchRequest, PrefetchSink, Prefetcher, TriggerEvent};
 use domino_trace::addr::{LineAddr, Pc};
 
+/// Sentinel: no successor recorded yet.
+const NO_NODE: u32 = u32::MAX;
+
+/// One logged triggering event in the shared sequence arena: the line and
+/// the arena index of the *next* event of the same PC's stream. The
+/// per-PC sequences of the idealized design thus live as linked chains in
+/// one flat, append-only slab — no per-PC `Vec` to grow per event.
+#[derive(Debug, Clone, Copy)]
+struct SeqNode {
+    line: LineAddr,
+    next: u32,
+}
+
 /// Idealized PC-localized address-correlation prefetcher.
 #[derive(Debug)]
 pub struct Isb {
     degree: usize,
-    /// Per-PC miss sequences (infinite idealized storage).
-    seqs: FxHashMap<Pc, Vec<LineAddr>>,
-    /// `(PC, line)` → index of the last occurrence in that PC's sequence.
+    /// Append-only arena holding every PC's miss sequence as linked
+    /// chains (infinite idealized storage).
+    nodes: Vec<SeqNode>,
+    /// Per-PC chain tail: arena index of the PC's most recent event.
+    tails: FxHashMap<Pc, u32>,
+    /// `(PC, line)` → arena index of the pair's last occurrence.
     last: FxHashMap<(Pc, LineAddr), u32>,
 }
 
@@ -43,7 +59,8 @@ impl Isb {
         assert!(degree > 0, "degree must be positive");
         Isb {
             degree,
-            seqs: FxHashMap::default(),
+            nodes: Vec::new(),
+            tails: FxHashMap::default(),
             last: FxHashMap::default(),
         }
     }
@@ -54,25 +71,41 @@ impl Prefetcher for Isb {
         "ISB"
     }
 
+    fn reserve(&mut self, expected_events: usize) {
+        // One node per triggering event: pre-sizing the arena keeps the
+        // event loop free of `Vec` growth.
+        self.nodes.reserve(expected_events);
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
-        let seq = self.seqs.entry(event.pc).or_default();
-        // Predict: successors of the last occurrence of this address in
-        // this PC's stream. Idealized on-chip metadata: no trip delay.
+        // Predict: walk the successors of the last occurrence of this
+        // address in this PC's stream. Idealized on-chip metadata: no
+        // trip delay.
         if let Some(&idx) = self.last.get(&(event.pc, event.line)) {
-            let idx = idx as usize;
-            for d in 1..=self.degree {
-                match seq.get(idx + d) {
-                    Some(&line) if line != event.line => {
-                        sink.prefetch(PrefetchRequest::immediate(line));
-                    }
-                    Some(_) => {}
-                    None => break,
+            let mut cur = idx as usize;
+            for _ in 0..self.degree {
+                let next = self.nodes[cur].next;
+                if next == NO_NODE {
+                    break;
                 }
+                let line = self.nodes[next as usize].line;
+                if line != event.line {
+                    sink.prefetch(PrefetchRequest::immediate(line));
+                }
+                cur = next as usize;
             }
         }
-        // Train.
-        self.last.insert((event.pc, event.line), seq.len() as u32);
-        seq.push(event.line);
+        // Train: append the event and link it behind the PC's tail.
+        let new_idx = self.nodes.len() as u32;
+        self.nodes.push(SeqNode {
+            line: event.line,
+            next: NO_NODE,
+        });
+        if let Some(&tail) = self.tails.get(&event.pc) {
+            self.nodes[tail as usize].next = new_idx;
+        }
+        self.tails.insert(event.pc, new_idx);
+        self.last.insert((event.pc, event.line), new_idx);
     }
 }
 

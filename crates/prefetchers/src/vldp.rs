@@ -47,12 +47,64 @@ impl Default for VldpConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+/// Upper bound on tracked delta-context length (`num_dpts` plus one
+/// transient slot during trimming). Contexts and DPT keys live in inline
+/// arrays of this size so the per-event path never allocates.
+const MAX_DELTAS: usize = 8;
+
+/// A DPT key: the last `k` deltas of a context, left-aligned and
+/// zero-padded. Table `k-1` only ever stores keys whose first `k` slots
+/// are meaningful, so padding cannot collide across context lengths.
+type DeltaKey = [i64; MAX_DELTAS];
+
+fn key_of(context: &[i64], k: usize) -> DeltaKey {
+    let mut key = [0i64; MAX_DELTAS];
+    key[..k].copy_from_slice(&context[context.len() - k..]);
+    key
+}
+
+/// Fixed-capacity delta sequence (most recent last) — the inline
+/// replacement for the per-page `Vec<i64>` history.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaSeq {
+    buf: [i64; MAX_DELTAS],
+    len: u8,
+}
+
+impl DeltaSeq {
+    fn as_slice(&self) -> &[i64] {
+        &self.buf[..self.len as usize]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, delta: i64) {
+        self.buf[self.len as usize] = delta;
+        self.len += 1;
+    }
+
+    /// Drops the oldest delta (the `Vec::remove(0)` of the old layout).
+    fn drop_oldest(&mut self) {
+        self.buf.copy_within(1..self.len as usize, 0);
+        self.len -= 1;
+    }
+
+    fn from_slice(context: &[i64]) -> Self {
+        let mut seq = DeltaSeq::default();
+        seq.buf[..context.len()].copy_from_slice(context);
+        seq.len = context.len() as u8;
+        seq
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct DhbEntry {
     page: u64,
     last_offset: i64,
     /// Recent deltas, most recent last; at most `num_dpts` kept.
-    deltas: Vec<i64>,
+    deltas: DeltaSeq,
 }
 
 /// The VLDP prefetcher.
@@ -62,7 +114,7 @@ pub struct Vldp {
     /// LRU order: front = victim.
     dhb: Vec<DhbEntry>,
     /// `dpts[k]` maps the last `k+1` deltas to the next delta.
-    dpts: Vec<FxHashMap<Vec<i64>, i64>>,
+    dpts: Vec<FxHashMap<DeltaKey, i64>>,
     /// First-access offset → first delta.
     opt: Vec<Option<i64>>,
 }
@@ -72,10 +124,15 @@ impl Vldp {
     ///
     /// # Panics
     ///
-    /// Panics on zero-sized structures.
+    /// Panics on zero-sized structures or more than [`MAX_DELTAS`]` - 1`
+    /// delta prediction tables.
     pub fn new(cfg: VldpConfig) -> Self {
         assert!(cfg.dhb_entries > 0, "DHB needs entries");
         assert!(cfg.num_dpts > 0, "need at least one DPT");
+        assert!(
+            cfg.num_dpts < MAX_DELTAS,
+            "num_dpts exceeds inline delta storage"
+        );
         assert!(cfg.degree > 0, "degree must be positive");
         Vldp {
             dhb: Vec::with_capacity(cfg.dhb_entries),
@@ -88,8 +145,7 @@ impl Vldp {
     /// Longest-match DPT lookup over a delta context.
     fn predict_delta(&self, context: &[i64]) -> Option<i64> {
         for k in (1..=self.cfg.num_dpts.min(context.len())).rev() {
-            let key = context[context.len() - k..].to_vec();
-            if let Some(&d) = self.dpts[k - 1].get(&key) {
+            if let Some(&d) = self.dpts[k - 1].get(&key_of(context, k)) {
                 return Some(d);
             }
         }
@@ -99,8 +155,7 @@ impl Vldp {
     /// Updates every DPT whose context length is available.
     fn train_dpts(&mut self, context: &[i64], next: i64) {
         for k in 1..=self.cfg.num_dpts.min(context.len()) {
-            let key = context[context.len() - k..].to_vec();
-            self.dpts[k - 1].insert(key, next);
+            self.dpts[k - 1].insert(key_of(context, k), next);
         }
     }
 
@@ -110,10 +165,10 @@ impl Vldp {
 
     /// Issues up to `degree` chained predictions starting from `offset`.
     fn issue(&self, page: u64, offset: i64, context: &[i64], sink: &mut dyn PrefetchSink) {
-        let mut ctx: Vec<i64> = context.to_vec();
+        let mut ctx = DeltaSeq::from_slice(context);
         let mut cur = offset;
         for _ in 0..self.cfg.degree {
-            let Some(delta) = self.predict_delta(&ctx) else {
+            let Some(delta) = self.predict_delta(ctx.as_slice()) else {
                 break;
             };
             let next = cur + delta;
@@ -129,8 +184,8 @@ impl Vldp {
                 )));
             }
             ctx.push(delta);
-            if ctx.len() > self.cfg.num_dpts {
-                ctx.remove(0);
+            if ctx.len as usize > self.cfg.num_dpts {
+                ctx.drop_oldest();
             }
             cur = next;
         }
@@ -154,15 +209,15 @@ impl Prefetcher for Vldp {
                     let idx = self.opt_index(entry.last_offset);
                     self.opt[idx] = Some(delta);
                 } else {
-                    self.train_dpts(&entry.deltas, delta);
+                    self.train_dpts(entry.deltas.as_slice(), delta);
                 }
                 entry.deltas.push(delta);
-                if entry.deltas.len() > self.cfg.num_dpts {
-                    entry.deltas.remove(0);
+                if entry.deltas.len as usize > self.cfg.num_dpts {
+                    entry.deltas.drop_oldest();
                 }
                 entry.last_offset = offset;
             }
-            self.issue(page, offset, &entry.deltas, sink);
+            self.issue(page, offset, entry.deltas.as_slice(), sink);
             self.dhb.push(entry);
         } else {
             if self.dhb.len() == self.cfg.dhb_entries {
@@ -171,7 +226,7 @@ impl Prefetcher for Vldp {
             self.dhb.push(DhbEntry {
                 page,
                 last_offset: offset,
-                deltas: Vec::new(),
+                deltas: DeltaSeq::default(),
             });
             // Cold page: OPT predicts the first delta from the offset.
             if let Some(delta) = self.opt[self.opt_index(offset)] {

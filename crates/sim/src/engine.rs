@@ -15,7 +15,7 @@
 //! same run.
 
 use domino_mem::cache::SetAssocCache;
-use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
+use domino_mem::interface::{Prefetcher, TriggerEvent};
 use domino_mem::prefetch_buffer::{InsertOutcome, PrefetchBuffer};
 use domino_sequitur::Histogram;
 use domino_telemetry::{CounterSink, Telemetry, DISTANCE_BOUNDS};
@@ -23,6 +23,7 @@ use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
 
 use crate::config::SystemConfig;
+use crate::scratch;
 
 /// Result of a coverage run.
 #[derive(Debug, Clone)]
@@ -191,9 +192,10 @@ pub fn run_coverage_observed(
     tel: &mut Telemetry,
 ) -> CoverageReport {
     let dist_hist = tel.register_histogram("prefetch_to_use_distance", DISTANCE_BOUNDS);
-    let mut l1 = SetAssocCache::new(system.l1d);
-    let mut buffer = PrefetchBuffer::new(system.prefetch_buffer_blocks);
-    let mut sink = CollectSink::new();
+    let mut l1 = scratch::cache(system.l1d);
+    let mut buffer = scratch::buffer(system.prefetch_buffer_blocks);
+    let mut sink = scratch::sink();
+    prefetcher.reserve(trace.len());
     let mut report = CoverageReport {
         name: prefetcher.name().to_string(),
         accesses: 0,
@@ -273,7 +275,7 @@ pub fn run_coverage_observed(
         };
         l1.insert(line);
         sink.clear();
-        prefetcher.on_trigger(&trigger, &mut sink);
+        prefetcher.on_trigger(&trigger, &mut *sink);
         match tel.tracer() {
             Some(rec) => {
                 if sink.meta_read_blocks > 0 {
@@ -357,7 +359,7 @@ pub fn run_coverage_observed(
 /// writes) after L1 filtering — the input for Sequitur/oracle analyses
 /// and the lookup-depth studies.
 pub fn baseline_miss_sequence(system: &SystemConfig, trace: &[AccessEvent]) -> Vec<u64> {
-    let mut l1 = SetAssocCache::new(system.l1d);
+    let mut l1 = scratch::cache(system.l1d);
     let mut out = Vec::new();
     for ev in trace {
         let line = ev.line();

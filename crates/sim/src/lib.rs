@@ -35,6 +35,7 @@ pub mod multicore;
 pub mod observe;
 pub mod report;
 pub mod roster;
+pub(crate) mod scratch;
 pub mod stats;
 pub mod svg;
 pub mod timing;

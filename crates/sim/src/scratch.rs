@@ -1,0 +1,229 @@
+//! Per-thread pools of engine scratch state, reused across sweep cells.
+//!
+//! Every figure cell used to construct its own L1/L2 models, prefetch
+//! buffer, MSHR file, collect sink, and ROB queue from scratch — for the
+//! default L2 alone that is a megabyte-scale allocation per cell. The
+//! pools here hand each engine run recycled storage instead: a component
+//! checked out of the pool is [`reset`]-to-construction-state, so a run
+//! on pooled state is byte-identical to a run on fresh state, and the
+//! guard returns it on drop for the next cell on the same thread.
+//!
+//! Pools are thread-local. With `--jobs 1` the whole figure sweep runs on
+//! the calling thread, so every cell after the first reuses storage; with
+//! N workers each worker warms its own pool on its first cell and reuses
+//! it for the rest of the sweep.
+//!
+//! [`reset`]: SetAssocCache::reset
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+
+use domino_mem::cache::{CacheConfig, SetAssocCache};
+use domino_mem::interface::CollectSink;
+use domino_mem::mshr::MshrFile;
+use domino_mem::prefetch_buffer::PrefetchBuffer;
+
+/// The timing model's retirement-constraint queue: `(instruction limit,
+/// data-ready time)` per outstanding independent miss.
+pub(crate) type RobQueue = VecDeque<(u64, f64)>;
+
+/// Retained items per shelf. Bounds pool growth if a caller ever holds
+/// many components at once (e.g. multicore runs with one engine per
+/// core); excess returns are simply dropped.
+const SHELF_CAP: usize = 16;
+
+#[derive(Default)]
+pub(crate) struct Shelves {
+    caches: Vec<SetAssocCache>,
+    buffers: Vec<PrefetchBuffer>,
+    mshrs: Vec<MshrFile>,
+    sinks: Vec<CollectSink>,
+    robs: Vec<RobQueue>,
+}
+
+thread_local! {
+    static SHELVES: RefCell<Shelves> = RefCell::new(Shelves::default());
+}
+
+/// A pool-allocated component; returns itself to this thread's pool on
+/// drop. Dereferences to the component, so engine code is unchanged.
+pub(crate) struct Pooled<T: PoolItem>(Option<T>);
+
+pub(crate) trait PoolItem: Sized {
+    fn shelf(shelves: &mut Shelves) -> &mut Vec<Self>;
+}
+
+impl PoolItem for SetAssocCache {
+    fn shelf(shelves: &mut Shelves) -> &mut Vec<Self> {
+        &mut shelves.caches
+    }
+}
+
+impl PoolItem for PrefetchBuffer {
+    fn shelf(shelves: &mut Shelves) -> &mut Vec<Self> {
+        &mut shelves.buffers
+    }
+}
+
+impl PoolItem for MshrFile {
+    fn shelf(shelves: &mut Shelves) -> &mut Vec<Self> {
+        &mut shelves.mshrs
+    }
+}
+
+impl PoolItem for CollectSink {
+    fn shelf(shelves: &mut Shelves) -> &mut Vec<Self> {
+        &mut shelves.sinks
+    }
+}
+
+impl PoolItem for RobQueue {
+    fn shelf(shelves: &mut Shelves) -> &mut Vec<Self> {
+        &mut shelves.robs
+    }
+}
+
+impl<T: PoolItem> Deref for Pooled<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("present until drop")
+    }
+}
+
+impl<T: PoolItem> DerefMut for Pooled<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("present until drop")
+    }
+}
+
+impl<T: PoolItem> Drop for Pooled<T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.0.take() {
+            // try_with: the thread-local may already be gone during
+            // thread teardown; dropping the item then is fine.
+            let _ = SHELVES.try_with(|s| {
+                let mut shelves = s.borrow_mut();
+                let shelf = T::shelf(&mut shelves);
+                if shelf.len() < SHELF_CAP {
+                    shelf.push(item);
+                }
+            });
+        }
+    }
+}
+
+/// Takes the first pooled item matching `matches` off its shelf.
+fn take_match<T: PoolItem>(matches: impl Fn(&T) -> bool) -> Option<T> {
+    SHELVES.with(|s| {
+        let mut shelves = s.borrow_mut();
+        let shelf = T::shelf(&mut shelves);
+        let pos = shelf.iter().position(matches)?;
+        Some(shelf.swap_remove(pos))
+    })
+}
+
+/// A cache with the given geometry: recycled (and reset) when this
+/// thread's pool has one, freshly built otherwise.
+pub(crate) fn cache(config: CacheConfig) -> Pooled<SetAssocCache> {
+    Pooled(Some(
+        match take_match(|c: &SetAssocCache| *c.config() == config) {
+            Some(mut c) => {
+                c.reset();
+                c
+            }
+            None => SetAssocCache::new(config),
+        },
+    ))
+}
+
+/// A prefetch buffer of the given capacity, recycled when possible.
+pub(crate) fn buffer(capacity: usize) -> Pooled<PrefetchBuffer> {
+    Pooled(Some(
+        match take_match(|b: &PrefetchBuffer| b.capacity() == capacity) {
+            Some(mut b) => {
+                b.reset();
+                b
+            }
+            None => PrefetchBuffer::new(capacity),
+        },
+    ))
+}
+
+/// An MSHR file of the given capacity, recycled when possible.
+pub(crate) fn mshrs(capacity: usize) -> Pooled<MshrFile> {
+    Pooled(Some(
+        match take_match(|m: &MshrFile| m.capacity() == capacity) {
+            Some(mut m) => {
+                m.reset();
+                m
+            }
+            None => MshrFile::new(capacity),
+        },
+    ))
+}
+
+/// An empty collect sink whose request vectors keep their high-water
+/// capacity across cells.
+pub(crate) fn sink() -> Pooled<CollectSink> {
+    Pooled(Some(match take_match(|_: &CollectSink| true) {
+        Some(mut s) => {
+            s.clear();
+            s
+        }
+        None => CollectSink::new(),
+    }))
+}
+
+/// An empty ROB retirement queue with retained capacity.
+pub(crate) fn rob_queue() -> Pooled<RobQueue> {
+    Pooled(Some(match take_match(|_: &RobQueue| true) {
+        Some(mut q) => {
+            q.clear();
+            q
+        }
+        None => RobQueue::new(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_trace::addr::LineAddr;
+
+    #[test]
+    fn pooled_cache_comes_back_clean() {
+        let cfg = CacheConfig::l1d();
+        {
+            let mut c = cache(cfg);
+            c.insert(LineAddr::new(7));
+            c.access(LineAddr::new(7));
+            assert_eq!(c.hit_miss(), (1, 0));
+        }
+        // Same thread: the next checkout recycles the dirty cache, reset.
+        let c = cache(cfg);
+        assert!(c.is_empty());
+        assert_eq!(c.hit_miss(), (0, 0));
+    }
+
+    #[test]
+    fn distinct_geometries_do_not_mix() {
+        let small = cache(CacheConfig::l1d());
+        let big = cache(CacheConfig::llc());
+        assert_ne!(small.config().size_bytes, big.config().size_bytes);
+    }
+
+    #[test]
+    fn sink_checkout_is_empty() {
+        {
+            let mut s = sink();
+            s.requests
+                .push(domino_mem::interface::PrefetchRequest::immediate(
+                    LineAddr::new(1),
+                ));
+        }
+        let s = sink();
+        assert!(s.requests.is_empty());
+    }
+}

@@ -48,6 +48,7 @@ use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
 
 use crate::config::SystemConfig;
+use crate::scratch;
 
 /// Result of a timing run.
 #[derive(Debug, Clone)]
@@ -110,11 +111,11 @@ impl TimingReport {
 pub(crate) struct CoreEngine<'a> {
     pub(crate) now: f64,
     report: TimingReport,
-    l1: SetAssocCache,
-    buffer: PrefetchBuffer,
-    mshrs: MshrFile,
-    rob_q: std::collections::VecDeque<(u64, f64)>,
-    sink: CollectSink,
+    l1: scratch::Pooled<SetAssocCache>,
+    buffer: scratch::Pooled<PrefetchBuffer>,
+    mshrs: scratch::Pooled<MshrFile>,
+    rob_q: scratch::Pooled<scratch::RobQueue>,
+    sink: scratch::Pooled<CollectSink>,
     prefetcher: &'a mut dyn Prefetcher,
     // Cached parameters.
     per_inst: f64,
@@ -179,11 +180,11 @@ impl<'a> CoreEngine<'a> {
                 full_misses: 0,
                 traffic: TrafficStats::default(),
             },
-            l1: SetAssocCache::new(system.l1d),
-            buffer: PrefetchBuffer::new(system.prefetch_buffer_blocks),
-            mshrs: MshrFile::new(system.l1d_mshrs),
-            rob_q: std::collections::VecDeque::new(),
-            sink: CollectSink::new(),
+            l1: scratch::cache(system.l1d),
+            buffer: scratch::buffer(system.prefetch_buffer_blocks),
+            mshrs: scratch::mshrs(system.l1d_mshrs),
+            rob_q: scratch::rob_queue(),
+            sink: scratch::sink(),
             prefetcher,
             per_inst: cycle / f64::from(system.issue_width),
             l1_lat: f64::from(system.l1d_latency_cycles) * cycle,
@@ -335,7 +336,7 @@ impl<'a> CoreEngine<'a> {
         } else {
             TriggerEvent::miss(ev.pc, line)
         };
-        self.prefetcher.on_trigger(&trigger, &mut self.sink);
+        self.prefetcher.on_trigger(&trigger, &mut *self.sink);
         let now_ts = self.now as u64;
         match self.tel.tracer() {
             Some(rec) => {
@@ -446,7 +447,9 @@ impl<'a> CoreEngine<'a> {
     /// `traffic` should be the share of channel traffic attributed to the
     /// core (for a single core, everything).
     pub(crate) fn finish(mut self, traffic: TrafficStats) -> TimingReport {
-        for (_, done) in std::mem::take(&mut self.rob_q) {
+        // Drain in place (rather than `mem::take`) so the queue keeps its
+        // capacity when it returns to the scratch pool.
+        while let Some((_, done)) = self.rob_q.pop_front() {
             if done > self.now {
                 self.report.independent_stall_ns += done - self.now;
                 self.now = done;
@@ -501,8 +504,9 @@ pub fn run_timing_observed(
     warmup: usize,
     tel: &mut Telemetry,
 ) -> TimingReport {
-    let mut l2 = SetAssocCache::new(system.l2);
+    let mut l2 = scratch::cache(system.l2);
     let mut dram = Dram::new(system.memory);
+    prefetcher.reserve(trace.len());
     // Cross-core LLC pollution state (other cores' fills). Two fills per
     // other core per event: server consolidation keeps the shared LLC
     // under constant pressure (each core's miss rate matches ours, and

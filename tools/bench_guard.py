@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a fresh figure-sweep benchmark against
+the committed baseline.
+
+Usage: bench_guard.py BASELINE_JSON FRESH_JSON
+
+Both files must be `domino-bench-sweep/1` documents (written by
+`cargo run --release --example figures`). The guard fails (exit 1) if any
+figure's replay throughput (`events_per_sec`) in the fresh run drops more
+than the threshold below the committed baseline, printing a per-figure
+table either way. Skip it entirely with DOMINO_SKIP_BENCH_GUARD=1 in
+`tools/check.sh` (e.g. on loaded CI machines or foreign hardware where
+the committed numbers do not apply).
+"""
+
+import json
+import sys
+
+# Allowed slowdown before the guard trips. Generous enough for host noise,
+# tight enough to catch a real regression in the event loop.
+THRESHOLD = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    schema = data.get("schema")
+    if schema != "domino-bench-sweep/1":
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return {f["name"]: float(f["events_per_sec"]) for f in data["figures"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} BASELINE_JSON FRESH_JSON")
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+
+    rows = []
+    failed = []
+    for name, base_eps in sorted(baseline.items()):
+        fresh_eps = fresh.get(name)
+        if fresh_eps is None:
+            rows.append((name, base_eps, None, None, "MISSING"))
+            failed.append(name)
+            continue
+        ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
+        ok = ratio >= 1.0 - THRESHOLD
+        rows.append((name, base_eps, fresh_eps, ratio, "ok" if ok else "REGRESSED"))
+        if not ok:
+            failed.append(name)
+
+    print(f"    {'figure':<10} {'baseline ev/s':>14} {'fresh ev/s':>14} {'ratio':>7}  verdict")
+    for name, base_eps, fresh_eps, ratio, verdict in rows:
+        fresh_s = f"{fresh_eps:>14.0f}" if fresh_eps is not None else f"{'-':>14}"
+        ratio_s = f"{ratio:>6.2f}x" if ratio is not None else f"{'-':>7}"
+        print(f"    {name:<10} {base_eps:>14.0f} {fresh_s} {ratio_s}  {verdict}")
+
+    if failed:
+        sys.exit(
+            f"bench guard: {', '.join(failed)} more than "
+            f"{THRESHOLD:.0%} below the committed BENCH_sweep.json"
+        )
+    print(f"    all figures within {THRESHOLD:.0%} of the committed baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,9 +35,24 @@ if [ "${1:-}" != "--fast" ]; then
         echo "    (python3 not found; skipping JSON schema validation)"
     fi
 
+    echo "==> bench regression guard (DOMINO_SKIP_BENCH_GUARD=1 to skip)"
+    if [ "${DOMINO_SKIP_BENCH_GUARD:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_BENCH_GUARD=1)"
+    elif ! command -v python3 >/dev/null 2>&1; then
+        echo "    (python3 not found; skipping bench comparison)"
+    else
+        bench_dir=$(mktemp -d)
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}"' EXIT
+        # Same scale and job count as the committed BENCH_sweep.json so
+        # the per-figure events_per_sec columns are comparable.
+        cargo run --release -q --example figures -- 20000 --jobs 1 "$bench_dir" \
+            >/dev/null
+        python3 tools/bench_guard.py BENCH_sweep.json "$bench_dir/BENCH_sweep.json"
+    fi
+
     echo "==> flight-recorder trace smoke run"
     trace_dir=$(mktemp -d)
-    trap 'rm -rf "$smoke_dir" "$trace_dir"' EXIT
+    trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "$trace_dir"' EXIT
     cargo run --release -q -p domino-sim --bin explain -- --smoke "$trace_dir"
     cargo run --release -q -p domino-sim --bin explain -- "$trace_dir" --csv >/dev/null
     if command -v python3 >/dev/null 2>&1; then
