@@ -1,0 +1,287 @@
+//! Deterministic trace generation for the checker.
+//!
+//! Each [`Generator`] maps a `(seed, events)` pair to exactly one trace,
+//! so a reproducer file that records the generator name and seed pins
+//! the input stream forever. Four synthetic families stress different
+//! corners of the engines — strides (stream detection and buffer
+//! pressure), pointer chases (dependent-miss serialization, the paper's
+//! target workload shape), irregular pools (aliasing inside a small
+//! footprint), and adversarial aliasing (cache-set collisions plus
+//! addresses at the top of the address space). Two more mutate the
+//! cached workload-model traces, so realistic event mixes also flow
+//! through the oracles.
+
+use domino_sim::trace_cache::shared_trace;
+use domino_trace::addr::{Addr, LineAddr, Pc, LINE_BYTES};
+use domino_trace::event::{AccessEvent, AccessKind};
+use domino_trace::rng::SimRng;
+use domino_trace::workload::catalog;
+
+/// One deterministic trace family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generator {
+    /// Interleaved constant-stride streams from a handful of PCs.
+    Stride,
+    /// A shuffled linked-list walk: every access depends on the last.
+    PointerChase,
+    /// Uniform draws from a small line pool with mixed dependence.
+    Irregular,
+    /// Cache-set-colliding lines plus a cluster at the top of the
+    /// 64-bit address space (line-boundary arithmetic edge cases).
+    AdversarialAlias,
+    /// The OLTP workload model's trace with seeded event mutations.
+    MutatedOltp,
+    /// The Web Search workload model's trace with seeded mutations.
+    MutatedWebSearch,
+}
+
+impl Generator {
+    /// Every family, in campaign order.
+    pub fn all() -> [Generator; 6] {
+        [
+            Generator::Stride,
+            Generator::PointerChase,
+            Generator::Irregular,
+            Generator::AdversarialAlias,
+            Generator::MutatedOltp,
+            Generator::MutatedWebSearch,
+        ]
+    }
+
+    /// Stable name recorded in reproducer files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Generator::Stride => "stride",
+            Generator::PointerChase => "pointer-chase",
+            Generator::Irregular => "irregular",
+            Generator::AdversarialAlias => "adversarial-alias",
+            Generator::MutatedOltp => "mutated-oltp",
+            Generator::MutatedWebSearch => "mutated-web-search",
+        }
+    }
+
+    /// Inverse of [`Generator::name`].
+    pub fn from_name(name: &str) -> Option<Generator> {
+        Generator::all().into_iter().find(|g| g.name() == name)
+    }
+
+    /// Produces the family's trace for `(seed, events)`. Deterministic:
+    /// the same pair always yields the same events.
+    pub fn generate(&self, seed: u64, events: usize) -> Vec<AccessEvent> {
+        match self {
+            Generator::Stride => stride(seed, events),
+            Generator::PointerChase => pointer_chase(seed, events),
+            Generator::Irregular => irregular(seed, events),
+            Generator::AdversarialAlias => adversarial_alias(seed, events),
+            Generator::MutatedOltp => mutated(&catalog::oltp(), seed, events),
+            Generator::MutatedWebSearch => mutated(&catalog::web_search(), seed, events),
+        }
+    }
+}
+
+fn event(pc: u64, line: u64, gap: u32, dependent: bool, write: bool) -> AccessEvent {
+    AccessEvent {
+        pc: Pc::new(pc),
+        addr: LineAddr::new(line).to_addr(),
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        gap_insts: gap,
+        dependent,
+    }
+}
+
+/// 1–4 interleaved streams, each with its own PC, base and stride.
+fn stride(seed: u64, events: usize) -> Vec<AccessEvent> {
+    let mut rng = SimRng::seed(seed ^ 0x5721de);
+    let streams = 1 + rng.index(4);
+    let mut cursors: Vec<(u64, u64, u64)> = (0..streams)
+        .map(|i| {
+            (
+                0x400_000 + i as u64 * 0x40, // pc
+                rng.below(1 << 30),          // line cursor
+                1 + rng.below(8),            // stride in lines
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity(events);
+    while out.len() < events {
+        let i = rng.index(streams);
+        let (pc, line, stride) = cursors[i];
+        out.push(event(
+            pc,
+            line,
+            rng.below(30) as u32,
+            rng.chance(0.1),
+            rng.chance(0.05),
+        ));
+        cursors[i].1 = line.wrapping_add(stride);
+    }
+    out
+}
+
+/// A random permutation chain over a line pool, walked with
+/// `dependent = true` everywhere; restarts hop to a random node.
+fn pointer_chase(seed: u64, events: usize) -> Vec<AccessEvent> {
+    let mut rng = SimRng::seed(seed ^ 0x9c4a5e);
+    let pool = 32 + rng.index(225);
+    // Fisher–Yates permutation: node i points at perm[i].
+    let mut perm: Vec<usize> = (0..pool).collect();
+    for i in (1..pool).rev() {
+        perm.swap(i, rng.index(i + 1));
+    }
+    let base = rng.below(1 << 28);
+    let mut node = rng.index(pool);
+    let mut out = Vec::with_capacity(events);
+    while out.len() < events {
+        out.push(event(
+            0x500_000,
+            base + node as u64 * 3, // spaced so chains are not next-line
+            1 + rng.below(12) as u32,
+            true,
+            false,
+        ));
+        node = if rng.chance(0.02) {
+            rng.index(pool)
+        } else {
+            perm[node]
+        };
+    }
+    out
+}
+
+/// Uniform draws from a small pool: heavy reuse and aliasing.
+fn irregular(seed: u64, events: usize) -> Vec<AccessEvent> {
+    let mut rng = SimRng::seed(seed ^ 0x12258a);
+    let pool = 64 + rng.index(193);
+    let lines: Vec<u64> = (0..pool).map(|_| rng.below(1 << 32)).collect();
+    let pcs = 1 + rng.index(8);
+    let mut out = Vec::with_capacity(events);
+    while out.len() < events {
+        out.push(event(
+            0x600_000 + rng.index(pcs) as u64 * 8,
+            lines[rng.index(pool)],
+            rng.below(20) as u32,
+            rng.chance(0.3),
+            rng.chance(0.1),
+        ));
+    }
+    out
+}
+
+/// Set-colliding lines (identical low index bits, far-apart tags) plus
+/// a cluster hugging the top of the address space, where
+/// line/byte-address conversions are most fragile.
+fn adversarial_alias(seed: u64, events: usize) -> Vec<AccessEvent> {
+    let mut rng = SimRng::seed(seed ^ 0xa11a5);
+    let max_line = u64::MAX / LINE_BYTES;
+    // 4Ki-set spacing collides in every small simulated cache.
+    let colliders: Vec<u64> = (0..8).map(|i| 0x7777 + (i << 22)).collect();
+    let mut out = Vec::with_capacity(events);
+    while out.len() < events {
+        let line = match rng.index(4) {
+            0 | 1 => colliders[rng.index(colliders.len())],
+            2 => max_line - rng.below(8), // top-of-address-space cluster
+            _ => rng.below(1 << 34),
+        };
+        out.push(event(
+            0x700_000 + rng.below(4) * 4,
+            line,
+            rng.below(10) as u32,
+            rng.chance(0.2),
+            rng.chance(0.08),
+        ));
+    }
+    out
+}
+
+/// Takes a workload-model trace from the shared cache and applies
+/// `events / 10` seeded mutations: swaps, duplications, address
+/// perturbations, and dependence flips.
+fn mutated(
+    spec: &domino_trace::workload::WorkloadSpec,
+    seed: u64,
+    events: usize,
+) -> Vec<AccessEvent> {
+    let mut out: Vec<AccessEvent> = shared_trace(spec, events, seed ^ 0xca5e).to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut rng = SimRng::seed(seed ^ 0x3417a7e);
+    for _ in 0..events / 10 {
+        let i = rng.index(out.len());
+        match rng.index(4) {
+            0 => {
+                let j = rng.index(out.len());
+                out.swap(i, j);
+            }
+            1 => {
+                // Duplicate event i over a random slot (length stays
+                // fixed so `events` is still exact).
+                let j = rng.index(out.len());
+                out[j] = out[i];
+            }
+            2 => {
+                let delta = rng.below(64).wrapping_sub(32);
+                let line = out[i].line().raw().wrapping_add(delta);
+                out[i].addr = Addr::new(
+                    LineAddr::new(line & (u64::MAX / LINE_BYTES))
+                        .to_addr()
+                        .raw()
+                        + rng.below(LINE_BYTES),
+                );
+            }
+            _ => out[i].dependent = !out[i].dependent,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for g in Generator::all() {
+            let a = g.generate(42, 500);
+            let b = g.generate(42, 500);
+            assert_eq!(a, b, "{} not deterministic", g.name());
+            assert_eq!(a.len(), 500, "{} wrong length", g.name());
+        }
+    }
+
+    #[test]
+    fn seeds_change_traces() {
+        for g in Generator::all() {
+            let a = g.generate(1, 300);
+            let b = g.generate(2, 300);
+            assert_ne!(a, b, "{} ignores its seed", g.name());
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for g in Generator::all() {
+            assert_eq!(Generator::from_name(g.name()), Some(g));
+        }
+        assert_eq!(Generator::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn pointer_chase_is_fully_dependent() {
+        assert!(Generator::PointerChase
+            .generate(9, 200)
+            .iter()
+            .all(|e| e.dependent));
+    }
+
+    #[test]
+    fn adversarial_reaches_top_lines() {
+        let max_line = u64::MAX / LINE_BYTES;
+        let trace = Generator::AdversarialAlias.generate(3, 2000);
+        assert!(trace.iter().any(|e| e.line().raw() > max_line - 16));
+    }
+}

@@ -1,0 +1,48 @@
+//! Differential simulation checker for the Domino reproduction.
+//!
+//! The repo carries two independent replay engines (`sim::engine`
+//! coverage and `sim::timing` interval timing) over aggressively
+//! optimized flat data structures. Nothing about a single engine run
+//! says whether those layers are *right* — a layout bug would silently
+//! skew every reproduced figure. This crate turns the cross-checks into
+//! enforceable tooling:
+//!
+//! * [`gen`] — a deterministic trace fuzzer: seeded generators for
+//!   stride, pointer-chase, irregular, and adversarial-alias workloads,
+//!   plus seeded mutations of the cached workload-model traces;
+//! * [`oracle`] — three oracle tiers. **Cross-engine differential**:
+//!   wherever the coverage and timing engines overlap semantically
+//!   (demand-miss counts, covered misses, metadata traffic, final
+//!   `knows_line` state) they must agree, and a one-core multicore run
+//!   must be bit-identical to the single-core timing engine.
+//!   **Model-based**: the same event stream drives the optimized
+//!   structures and small obviously-correct [`reference`] models
+//!   (nested-`Vec` EIT vs the flat slab, linear-scan MSHRs vs the
+//!   min-heap, `Vec` prefetch buffer, per-set-`Vec` cache)
+//!   step-for-step. **Invariant audit**: flight-recorder bucket
+//!   conservation, ring chronology, per-epoch counter monotonicity, and
+//!   prefetch-buffer lifetime conservation, read through the existing
+//!   telemetry hooks;
+//! * [`shrink`] — on failure, halving plus single-event-deletion passes
+//!   rerun the oracle to find a minimal reproducing trace;
+//! * [`repro`] — the `DMNOCHK1` reproducer file format (a sibling of
+//!   the flight recorder's `DMNOFLT1`), replayed exactly by
+//!   `domino-check --replay`;
+//! * [`selftest`] — known bugs injected behind `#[cfg(domino_mutate)]`
+//!   across the core/mem/telemetry/sim crates; the self-test asserts
+//!   the fuzzer catches every one, proving the oracles have teeth.
+//!
+//! The `domino-check` binary drives all of this; see `TESTING.md` at
+//! the repo root for the operational guide.
+
+pub mod gen;
+pub mod oracle;
+pub mod reference;
+pub mod repro;
+pub mod selftest;
+pub mod shrink;
+
+pub use gen::Generator;
+pub use oracle::{check_reference_models, check_system_trace, check_trace, Violation};
+pub use repro::Reproducer;
+pub use shrink::shrink;

@@ -1,0 +1,635 @@
+//! The three oracle tiers.
+//!
+//! Tier 1 (**cross-engine differential**, [`check_system_trace`]): the
+//! coverage and timing engines evolve the L1, the prefetch buffer, and
+//! the prefetcher through *identical* sequences — only the clock
+//! differs — so wherever their metrics overlap they must agree exactly:
+//! demand-miss counts, covered misses, metadata traffic, and the final
+//! `knows_line` metadata state. A one-core multicore run must further be
+//! bit-identical to the single-core timing engine.
+//!
+//! Tier 2 (**model-based**, [`check_reference_models`]): the same trace
+//! deterministically derives an op stream that drives each optimized
+//! structure and its [`crate::reference`] model side by side, comparing
+//! every return value. Op choice and operands come only from the event
+//! index and line address, so shrinking the trace shrinks the op
+//! stream.
+//!
+//! Tier 3 (**invariant audit**, inside [`check_system_trace`]): one
+//! telemetry-observed coverage run checks flight-recorder bucket
+//! conservation against engine totals, ring chronology, serialization
+//! round-trips, per-epoch counter monotonicity, and prefetch-buffer
+//! lifetime conservation (every fill is eventually hit, evicted,
+//! discarded, or left resident — exactly once).
+
+use std::fmt;
+
+use domino::eit::{Eit, EitConfig};
+use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
+use domino_mem::mshr::MshrFile;
+use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_sim::config::SystemConfig;
+use domino_sim::engine::{run_coverage, run_coverage_observed};
+use domino_sim::multicore::run_multicore;
+use domino_sim::roster::System;
+use domino_sim::timing::run_timing;
+use domino_telemetry::trace::{TraceFile, TraceMeta};
+use domino_telemetry::Telemetry;
+use domino_trace::addr::{LineAddr, LINE_BYTES};
+use domino_trace::event::AccessEvent;
+
+use crate::reference::{ReferenceBuffer, ReferenceCache, ReferenceEit, ReferenceMshr};
+
+/// Prefetch degree used for every checked system.
+pub const DEGREE: usize = 4;
+
+/// Flight-recorder ring capacity used by the invariant audit; small so
+/// campaign traces wrap it many times and chronology bugs surface.
+const RING_CAPACITY: usize = 128;
+
+/// One oracle failure: which oracle tripped and what it saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable oracle name (`cross_engine`, `eit_model`, ...).
+    pub oracle: &'static str,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+fn violation(oracle: &'static str, detail: String) -> Violation {
+    Violation { oracle, detail }
+}
+
+macro_rules! ensure_eq {
+    ($oracle:expr, $left:expr, $right:expr, $($what:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(violation(
+                $oracle,
+                format!("{}: {:?} != {:?}", format_args!($($what)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Runs every oracle that involves a prefetching system on `trace`.
+pub fn check_system_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    cross_engine(sys, trace)?;
+    multicore_equivalence(sys, trace)?;
+    invariant_audit(sys, trace)
+}
+
+/// Runs the system-independent reference-model differentials on the op
+/// stream derived from `trace`.
+pub fn check_reference_models(trace: &[AccessEvent]) -> Result<(), Violation> {
+    eit_model(trace)?;
+    mshr_model(trace)?;
+    buffer_model(trace)?;
+    cache_model(trace)
+}
+
+/// Every oracle: tier 1 and 3 for `sys`, then the tier-2 models.
+pub fn check_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    check_system_trace(sys, trace)?;
+    check_reference_models(trace)
+}
+
+/// Tier 1: coverage vs timing on the shared metric surface.
+fn cross_engine(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "cross_engine";
+    let cfg = SystemConfig::paper();
+    let mut cov_p = sys.build(DEGREE);
+    let cov = run_coverage(&cfg, trace, cov_p.as_mut());
+    let mut tim_p = sys.build(DEGREE);
+    let tim = run_timing(&cfg, trace, tim_p.as_mut());
+    let label = sys.label();
+    ensure_eq!(
+        O,
+        cov.covered,
+        tim.timely_hits + tim.late_hits,
+        "{label}: covered misses vs timely+late buffer hits"
+    );
+    ensure_eq!(
+        O,
+        cov.baseline_misses,
+        tim.timely_hits + tim.late_hits + tim.full_misses,
+        "{label}: baseline misses vs timing miss classes"
+    );
+    ensure_eq!(
+        O,
+        cov.meta_read_blocks * LINE_BYTES,
+        tim.traffic.metadata_read,
+        "{label}: metadata read traffic (bytes)"
+    );
+    ensure_eq!(
+        O,
+        cov.meta_write_blocks * LINE_BYTES,
+        tim.traffic.metadata_write,
+        "{label}: metadata write traffic (bytes)"
+    );
+    // Same trigger sequence → same learned metadata. `knows_line` is
+    // pure, so probing every distinct line compares the final states.
+    for ev in trace {
+        let line = ev.line();
+        ensure_eq!(
+            O,
+            cov_p.knows_line(line),
+            tim_p.knows_line(line),
+            "{label}: knows_line({}) after both runs",
+            line.raw()
+        );
+    }
+    Ok(())
+}
+
+/// Tier 1: `run_multicore` with one core must reproduce `run_timing`
+/// bit-for-bit (the pollution term vanishes at one core).
+fn multicore_equivalence(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "multicore_equivalence";
+    let cfg = SystemConfig {
+        cores: 1,
+        ..SystemConfig::paper()
+    };
+    let mut p = sys.build(DEGREE);
+    let single = run_timing(&cfg, trace, p.as_mut());
+    let multi = run_multicore(&cfg, vec![trace.to_vec()], vec![sys.build(DEGREE)]);
+    let core = &multi.per_core[0];
+    let label = sys.label();
+    ensure_eq!(O, single.name, core.name, "{label}: report name");
+    ensure_eq!(
+        O,
+        single.instructions,
+        core.instructions,
+        "{label}: instructions"
+    );
+    ensure_eq!(
+        O,
+        (single.timely_hits, single.late_hits, single.full_misses),
+        (core.timely_hits, core.late_hits, core.full_misses),
+        "{label}: miss classification"
+    );
+    ensure_eq!(
+        O,
+        single.total_ns.to_bits(),
+        core.total_ns.to_bits(),
+        "{label}: total_ns ({} vs {})",
+        single.total_ns,
+        core.total_ns
+    );
+    ensure_eq!(
+        O,
+        (
+            single.dependent_stall_ns.to_bits(),
+            single.independent_stall_ns.to_bits()
+        ),
+        (
+            core.dependent_stall_ns.to_bits(),
+            core.independent_stall_ns.to_bits()
+        ),
+        "{label}: stall breakdown"
+    );
+    ensure_eq!(
+        O,
+        (
+            single.traffic.demand,
+            single.traffic.prefetch,
+            single.traffic.metadata_read,
+            single.traffic.metadata_write
+        ),
+        (
+            core.traffic.demand,
+            core.traffic.prefetch,
+            core.traffic.metadata_read,
+            core.traffic.metadata_write
+        ),
+        "{label}: traffic by category"
+    );
+    Ok(())
+}
+
+/// Tier 3: one observed coverage run, audited through the telemetry
+/// hooks the engines already carry.
+fn invariant_audit(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    let cfg = SystemConfig::paper();
+    let epoch = (trace.len() as u64 / 8).max(1);
+    let mut tel = Telemetry::with_epoch(epoch);
+    tel.enable_trace(RING_CAPACITY);
+    let mut p = sys.build(DEGREE);
+    let report = run_coverage_observed(&cfg, trace, p.as_mut(), 0, &mut tel);
+    let rec = tel.take_tracer().expect("tracer was enabled");
+    let label = sys.label();
+
+    // Bucket conservation: every demand miss lands in exactly one
+    // attribution bucket, and the online totals match the engine's.
+    let a = rec.attribution();
+    if !a.is_conserved() {
+        return Err(violation(
+            "attribution_conservation",
+            format!("{label}: buckets {a:?} do not sum to demand misses"),
+        ));
+    }
+    ensure_eq!(
+        "attribution_totals",
+        a.demand_misses,
+        report.baseline_misses,
+        "{label}: recorder demand misses vs engine baseline misses"
+    );
+    ensure_eq!(
+        "attribution_totals",
+        a.covered + a.late,
+        report.covered,
+        "{label}: recorder covered(+late) vs engine covered"
+    );
+
+    // Ring chronology: the coverage engine stamps every record with the
+    // access index, so oldest-first iteration must be nondecreasing.
+    let mut last = 0u64;
+    for (i, ev) in rec.events().enumerate() {
+        if ev.time < last {
+            return Err(violation(
+                "flight_recorder_chronology",
+                format!(
+                    "{label}: ring event {i} at time {} after time {last} \
+                     (recorded {}, wrapped {})",
+                    ev.time,
+                    rec.recorded(),
+                    rec.wrapped()
+                ),
+            ));
+        }
+        last = ev.time;
+    }
+
+    // Serialization round-trip: bytes → TraceFile → verify, and the
+    // replayed attribution must match the online one when no event was
+    // lost to ring wrap.
+    let meta = TraceMeta {
+        workload: "checker".into(),
+        component: label.clone(),
+        kind: "coverage".into(),
+        events: trace.len() as u64,
+        seed: 0,
+        warmup: 0,
+    };
+    let bytes = rec.to_bytes(&meta);
+    let file = TraceFile::from_bytes(&bytes)
+        .map_err(|e| violation("trace_roundtrip", format!("{label}: parse failed: {e}")))?;
+    file.verify()
+        .map_err(|e| violation("trace_roundtrip", format!("{label}: verify failed: {e}")))?;
+    ensure_eq!(
+        "trace_roundtrip",
+        (file.recorded, file.events.len()),
+        (rec.recorded(), rec.len()),
+        "{label}: round-tripped event counts"
+    );
+    if !file.wrapped() {
+        ensure_eq!(
+            "trace_roundtrip",
+            file.replayed_attribution(),
+            a,
+            "{label}: replayed vs online attribution"
+        );
+    }
+
+    // Epoch series: every emitted counter is cumulative, so every column
+    // must be monotonically nondecreasing across epochs.
+    let run = tel.finish(|_| {});
+    for (col, field) in run.fields.iter().enumerate() {
+        let mut prev = 0u64;
+        for (row_idx, row) in run.epochs.iter().enumerate() {
+            let v = row[col];
+            if v < prev {
+                return Err(violation(
+                    "epoch_monotonicity",
+                    format!(
+                        "{label}: counter {field} falls from {prev} to {v} \
+                         at epoch row {row_idx}"
+                    ),
+                ));
+            }
+            prev = v;
+        }
+    }
+
+    // Buffer lifetime conservation. Each insert is a duplicate or
+    // creates a resident entry; entries leave by demand hit, capacity
+    // eviction, or stream discard; leftovers count as overpredictions.
+    // With warmup 0: inserted == duplicates + hits + overpredictions.
+    if let Some(final_row) = run.epochs.last() {
+        let col = |name: &str| -> Option<u64> {
+            run.fields
+                .iter()
+                .position(|f| f == name)
+                .map(|i| final_row[i])
+        };
+        match (
+            col("buffer.inserted"),
+            col("buffer.duplicate_inserts"),
+            col("buffer.hits"),
+        ) {
+            (Some(inserted), Some(duplicates), Some(hits)) => {
+                let lhs = i128::from(inserted);
+                let rhs =
+                    i128::from(duplicates) + i128::from(hits) + i128::from(report.overpredictions);
+                if lhs != rhs {
+                    return Err(violation(
+                        "buffer_conservation",
+                        format!(
+                            "{label}: inserted {inserted} != duplicates {duplicates} \
+                             + hits {hits} + overpredictions {} ({lhs} vs {rhs})",
+                            report.overpredictions
+                        ),
+                    ));
+                }
+            }
+            _ => {
+                return Err(violation(
+                    "buffer_conservation",
+                    format!("{label}: buffer counters missing from telemetry row"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tier 2: flat-slab EIT vs the nested-`Vec` reference.
+///
+/// Tags fold into a 13-line pool over a 3-row table so refreshes,
+/// promotions, and capacity evictions all happen constantly.
+fn eit_model(trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "eit_model";
+    let mut flat = Eit::new(EitConfig {
+        rows: 3,
+        super_entries_per_row: 2,
+        entries_per_super: 3,
+    });
+    let mut model = ReferenceEit::new(3, 2, 3);
+    for (i, pair) in trace.windows(2).enumerate() {
+        let tag = LineAddr::new(pair[0].line().raw() % 13);
+        let next = LineAddr::new(pair[1].line().raw() % 13);
+        let evicted_flat = flat.update(tag, next, i as u64);
+        let evicted_model = model.update(tag, next, i as u64);
+        ensure_eq!(
+            O,
+            evicted_flat,
+            evicted_model,
+            "op {i}: update({}, {}) eviction",
+            tag.raw(),
+            next.raw()
+        );
+        if i % 5 == 0 {
+            let model_entries = model.lookup(next);
+            let flat_entries = flat.lookup(next).map(|se| se.entries().to_vec());
+            ensure_eq!(
+                O,
+                flat_entries,
+                model_entries,
+                "op {i}: lookup({}) entries",
+                next.raw()
+            );
+        }
+        if i % 7 == 0 {
+            ensure_eq!(
+                O,
+                flat.probe(tag),
+                model.probe(tag),
+                "op {i}: probe({})",
+                tag.raw()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Tier 2: min-heap MSHR file vs the linear-scan reference. Completion
+/// times are integer offsets of the simulated clock, so retirement-
+/// boundary ties (`done_at == now`) occur by construction.
+fn mshr_model(trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "mshr_model";
+    let mut heap = MshrFile::new(4);
+    let mut model = ReferenceMshr::new(4);
+    let mut now = 0.0f64;
+    for (i, ev) in trace.iter().enumerate() {
+        let line = LineAddr::new(ev.line().raw() % 11);
+        let done = now + (ev.line().raw() % 7) as f64;
+        match i % 5 {
+            0..=2 => {
+                ensure_eq!(
+                    O,
+                    heap.allocate(line, done),
+                    model.allocate(line, done),
+                    "op {i}: allocate({}, {done}) at now {now}",
+                    line.raw()
+                );
+            }
+            3 => {
+                ensure_eq!(
+                    O,
+                    heap.completion_of(line),
+                    model.completion_of(line),
+                    "op {i}: completion_of({})",
+                    line.raw()
+                );
+            }
+            _ => {
+                heap.retire_until(now);
+                model.retire_until(now);
+                ensure_eq!(
+                    O,
+                    heap.earliest_completion(),
+                    model.earliest_completion(),
+                    "op {i}: earliest completion after retire_until({now})"
+                );
+            }
+        }
+        ensure_eq!(
+            O,
+            heap.in_flight(),
+            model.in_flight(),
+            "op {i}: in-flight count at now {now}"
+        );
+        if i % 3 == 0 {
+            now += 1.0;
+        }
+    }
+    ensure_eq!(O, heap.counters(), model.counters(), "final counters");
+    Ok(())
+}
+
+/// Tier 2: production prefetch buffer vs the `Vec` reference, compared
+/// on every outcome, occupancy, and the lifetime statistics.
+fn buffer_model(trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "buffer_model";
+    let mut prod = PrefetchBuffer::new(4);
+    let mut model = ReferenceBuffer::new(4);
+    for (i, ev) in trace.iter().enumerate() {
+        let line = LineAddr::new(ev.line().raw() % 9);
+        let stream = Some((i % 3) as u32);
+        match i % 4 {
+            0 | 1 => {
+                ensure_eq!(
+                    O,
+                    prod.insert(line, i as f64, stream),
+                    model.insert(line, i as f64, stream),
+                    "op {i}: insert({})",
+                    line.raw()
+                );
+            }
+            2 => {
+                let a = prod
+                    .take(line)
+                    .map(|e| (e.line, e.ready_at.to_bits(), e.stream));
+                let b = model
+                    .take(line)
+                    .map(|e| (e.line, e.ready_at.to_bits(), e.stream));
+                ensure_eq!(O, a, b, "op {i}: take({})", line.raw());
+            }
+            _ => {
+                ensure_eq!(
+                    O,
+                    prod.contains(line),
+                    model.contains(line),
+                    "op {i}: contains({})",
+                    line.raw()
+                );
+                if i % 8 == 3 {
+                    let s = (i % 3) as u32;
+                    ensure_eq!(
+                        O,
+                        prod.discard_stream(s),
+                        model.discard_stream(s),
+                        "op {i}: discard_stream({s})"
+                    );
+                }
+            }
+        }
+        ensure_eq!(O, prod.len(), model.len(), "op {i}: occupancy");
+    }
+    let (p, m) = (prod.stats(), model.stats());
+    ensure_eq!(
+        O,
+        (
+            p.inserted,
+            p.hits,
+            p.evicted_unused,
+            p.discarded_unused,
+            p.duplicate_inserts
+        ),
+        (
+            m.inserted,
+            m.hits,
+            m.evicted_unused,
+            m.discarded_unused,
+            m.duplicate_inserts
+        ),
+        "final lifetime statistics"
+    );
+    Ok(())
+}
+
+/// Tier 2: flat set-associative cache vs the per-set-`Vec` reference,
+/// across all three replacement policies.
+fn cache_model(trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "cache_model";
+    for replacement in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+        let config = CacheConfig {
+            size_bytes: 4 * 2 * LINE_BYTES,
+            ways: 2,
+            replacement,
+        };
+        let pool = (config.sets() * config.ways * 2) as u64;
+        let mut flat = SetAssocCache::new(config);
+        let mut model = ReferenceCache::new(config);
+        for (i, ev) in trace.iter().enumerate() {
+            let line = LineAddr::new(ev.line().raw() % pool);
+            match (ev.line().raw() ^ i as u64) % 10 {
+                0..=3 => {
+                    ensure_eq!(
+                        O,
+                        flat.access(line),
+                        model.access(line),
+                        "{replacement:?} op {i}: access({})",
+                        line.raw()
+                    );
+                }
+                4..=7 => {
+                    ensure_eq!(
+                        O,
+                        flat.insert(line),
+                        model.insert(line),
+                        "{replacement:?} op {i}: insert({})",
+                        line.raw()
+                    );
+                }
+                8 => {
+                    ensure_eq!(
+                        O,
+                        flat.invalidate(line),
+                        model.invalidate(line),
+                        "{replacement:?} op {i}: invalidate({})",
+                        line.raw()
+                    );
+                }
+                _ => {
+                    ensure_eq!(
+                        O,
+                        flat.contains(line),
+                        model.contains(line),
+                        "{replacement:?} op {i}: contains({})",
+                        line.raw()
+                    );
+                }
+            }
+            ensure_eq!(
+                O,
+                flat.len(),
+                model.len(),
+                "{replacement:?} op {i}: occupancy"
+            );
+        }
+        ensure_eq!(
+            O,
+            flat.hit_miss(),
+            model.hit_miss(),
+            "{replacement:?}: final hit/miss counters"
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Generator;
+
+    #[test]
+    fn clean_build_passes_every_oracle() {
+        // A cheap slice of the full campaign: if the production tree is
+        // unmutated, no oracle may fire.
+        for g in [Generator::Stride, Generator::PointerChase] {
+            let trace = g.generate(7, 600);
+            check_reference_models(&trace).expect("reference models agree");
+            for sys in [System::Baseline, System::NextLine, System::Domino] {
+                check_system_trace(sys, &trace).expect("engines agree");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        check_trace(System::Domino, &[]).expect("empty trace trips nothing");
+    }
+
+    #[test]
+    fn violation_displays_oracle_name() {
+        let v = violation("cross_engine", "covered mismatch".into());
+        assert_eq!(v.to_string(), "[cross_engine] covered mismatch");
+    }
+}

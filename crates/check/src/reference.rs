@@ -1,0 +1,471 @@
+//! Obviously-correct reference models for the optimized structures.
+//!
+//! Each model keeps the *semantics* of a production component in the
+//! most transparent representation available — nested `Vec`s in
+//! replacement order, linear scans, no slabs, no heaps, no packed
+//! prefixes — so the differential oracles can drive both through the
+//! same op stream and compare step-for-step. Where the production code
+//! had a pre-optimization layout (the per-set-`Vec` cache, the
+//! nested-`Vec` EIT rows) the model *is* that layout, resurrected.
+//!
+//! The models are deliberately slow (linear everything); they exist to
+//! be read and believed, not to be fast.
+
+use domino::eit::EitEntry;
+use domino_mem::cache::{CacheConfig, Replacement};
+use domino_mem::prefetch_buffer::{BufferedPrefetch, InsertOutcome, PrefetchBufferStats};
+use domino_trace::addr::LineAddr;
+
+/// One reference super-entry: a tag plus its continuations, oldest
+/// first — exactly the nested-`Vec` picture of paper Figure 7.
+#[derive(Debug, Clone)]
+struct RefSuper {
+    tag: LineAddr,
+    /// LRU list, front = oldest, back = most recent.
+    entries: Vec<EitEntry>,
+}
+
+/// Nested-`Vec` Enhanced Index Table with two-level LRU: rows hold
+/// super-entries oldest-first, super-entries hold continuations
+/// oldest-first, and both levels promote with `remove` + `push`.
+///
+/// Mirrors `domino::eit::Eit` with a finite row count; the row hash is
+/// the same multiplicative hash, so a given tag lands in the same row
+/// in both implementations.
+#[derive(Debug, Clone)]
+pub struct ReferenceEit {
+    rows: Vec<Vec<RefSuper>>,
+    super_cap: usize,
+    entry_cap: usize,
+}
+
+impl ReferenceEit {
+    /// Creates an empty table with `rows` rows, `super_cap` super-entries
+    /// per row, and `entry_cap` entries per super-entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(rows: usize, super_cap: usize, entry_cap: usize) -> Self {
+        assert!(rows > 0 && super_cap > 0 && entry_cap > 0, "degenerate EIT");
+        ReferenceEit {
+            rows: vec![Vec::new(); rows],
+            super_cap,
+            entry_cap,
+        }
+    }
+
+    /// The production row hash (multiplicative), verbatim.
+    fn row_index(&self, tag: LineAddr) -> usize {
+        let h = tag.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h % self.rows.len() as u64) as usize
+    }
+
+    /// Looks up `tag`, promoting its super-entry to MRU. Returns the
+    /// entries oldest-first (a clone; the model is not hot-path code).
+    pub fn lookup(&mut self, tag: LineAddr) -> Option<Vec<EitEntry>> {
+        let r = self.row_index(tag);
+        let row = &mut self.rows[r];
+        let pos = row.iter().position(|se| se.tag == tag)?;
+        let se = row.remove(pos);
+        row.push(se);
+        Some(row.last().expect("just pushed").entries.clone())
+    }
+
+    /// Side-effect-free membership probe.
+    pub fn probe(&self, tag: LineAddr) -> bool {
+        let r = self.row_index(tag);
+        self.rows[r].iter().any(|se| se.tag == tag)
+    }
+
+    /// Records `tag → (next, pointer)` with LRU at both levels; returns
+    /// the tag of a super-entry evicted by capacity pressure, if any.
+    pub fn update(&mut self, tag: LineAddr, next: LineAddr, pointer: u64) -> Option<LineAddr> {
+        let r = self.row_index(tag);
+        let super_cap = self.super_cap;
+        let entry_cap = self.entry_cap;
+        let row = &mut self.rows[r];
+        let mut evicted = None;
+        match row.iter().position(|se| se.tag == tag) {
+            Some(pos) => {
+                let se = row.remove(pos);
+                row.push(se);
+            }
+            None => {
+                if row.len() == super_cap {
+                    evicted = Some(row.remove(0).tag);
+                }
+                row.push(RefSuper {
+                    tag,
+                    entries: Vec::new(),
+                });
+            }
+        }
+        let entries = &mut row.last_mut().expect("just placed").entries;
+        if let Some(p) = entries.iter().position(|e| e.addr == next) {
+            let mut e = entries.remove(p);
+            e.pointer = pointer;
+            entries.push(e);
+        } else {
+            if entries.len() == entry_cap {
+                entries.remove(0);
+            }
+            entries.push(EitEntry {
+                addr: next,
+                pointer,
+            });
+        }
+        evicted
+    }
+}
+
+/// Linear-scan MSHR file: one `Vec` of live `(line, done_at)` pairs.
+/// Mirrors `domino_mem::mshr::MshrFile` (slab + free list + min-heap)
+/// semantically: merge on duplicate lines, stall when full, retire at
+/// an *inclusive* time boundary.
+#[derive(Debug, Clone)]
+pub struct ReferenceMshr {
+    capacity: usize,
+    live: Vec<(LineAddr, f64)>,
+    allocations: u64,
+    merges: u64,
+    stalls: u64,
+}
+
+impl ReferenceMshr {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs capacity");
+        ReferenceMshr {
+            capacity,
+            live: Vec::new(),
+            allocations: 0,
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Tracks a miss on `line` completing at `done_at`; merges secondary
+    /// misses, returns `None` (and counts a stall) when full.
+    pub fn allocate(&mut self, line: LineAddr, done_at: f64) -> Option<f64> {
+        if let Some(&(_, t)) = self.live.iter().find(|(l, _)| *l == line) {
+            self.merges += 1;
+            return Some(t);
+        }
+        if self.live.len() == self.capacity {
+            self.stalls += 1;
+            return None;
+        }
+        self.live.push((line, done_at));
+        self.allocations += 1;
+        Some(done_at)
+    }
+
+    /// Merges with an in-flight miss on `line`, if any.
+    pub fn completion_of(&mut self, line: LineAddr) -> Option<f64> {
+        if let Some(&(_, t)) = self.live.iter().find(|(l, _)| *l == line) {
+            self.merges += 1;
+            return Some(t);
+        }
+        None
+    }
+
+    /// Releases every register whose miss completed at or before `now`.
+    pub fn retire_until(&mut self, now: f64) {
+        self.live.retain(|&(_, t)| t > now);
+    }
+
+    /// Earliest completion among outstanding misses.
+    pub fn earliest_completion(&self) -> Option<f64> {
+        self.live
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// Outstanding miss count.
+    pub fn in_flight(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `(allocations, merges, structural_stalls)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.allocations, self.merges, self.stalls)
+    }
+}
+
+/// `Vec`-based prefetch buffer, index 0 = LRU victim end. Mirrors
+/// `domino_mem::prefetch_buffer::PrefetchBuffer` including its lifetime
+/// statistics, so buffer-conservation claims can be cross-checked
+/// against a model whose accounting is visibly correct.
+#[derive(Debug, Clone)]
+pub struct ReferenceBuffer {
+    capacity: usize,
+    entries: Vec<BufferedPrefetch>,
+    stats: PrefetchBufferStats,
+}
+
+impl ReferenceBuffer {
+    /// Creates a buffer of `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer needs capacity");
+        ReferenceBuffer {
+            capacity,
+            entries: Vec::new(),
+            stats: PrefetchBufferStats::default(),
+        }
+    }
+
+    /// Inserts a prefetched line; duplicates drop, full buffers evict
+    /// the LRU entry (counted unused).
+    pub fn insert(&mut self, line: LineAddr, ready_at: f64, stream: Option<u32>) -> InsertOutcome {
+        self.stats.inserted += 1;
+        if self.entries.iter().any(|e| e.line == line) {
+            self.stats.duplicate_inserts += 1;
+            return InsertOutcome::Duplicate;
+        }
+        let victim = if self.entries.len() == self.capacity {
+            self.stats.evicted_unused += 1;
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push(BufferedPrefetch {
+            line,
+            ready_at,
+            stream,
+        });
+        match victim {
+            Some(v) => InsertOutcome::Evicted(v),
+            None => InsertOutcome::Inserted,
+        }
+    }
+
+    /// Demand lookup: removes and returns the entry on a hit.
+    pub fn take(&mut self, line: LineAddr) -> Option<BufferedPrefetch> {
+        let pos = self.entries.iter().position(|e| e.line == line)?;
+        self.stats.hits += 1;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Membership peek.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Discards all entries of `stream`; returns how many.
+    pub fn discard_stream(&mut self, stream: u32) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.stream != Some(stream));
+        let discarded = before - self.entries.len();
+        self.stats.discarded_unused += discarded as u64;
+        discarded
+    }
+
+    /// Buffered block count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> PrefetchBufferStats {
+        self.stats
+    }
+}
+
+/// The pre-flat set-associative cache: per-set `Vec`s in replacement
+/// order (index 0 the victim end), exactly as the original
+/// implementation kept them. Mirrors `domino_mem::cache::SetAssocCache`
+/// including the Random-policy RNG advancing on every insert *before*
+/// the presence check.
+#[derive(Debug, Clone)]
+pub struct ReferenceCache {
+    config: CacheConfig,
+    set_mask: u64,
+    sets: Vec<Vec<LineAddr>>,
+    rand_state: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReferenceCache {
+    /// Creates an empty cache of the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        ReferenceCache {
+            config,
+            set_mask: sets as u64 - 1,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            rand_state: 0x9e37_79b9_7f4a_7c15,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    /// Demand access: hit/miss plus LRU promotion.
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        let promote = self.config.replacement == Replacement::Lru;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if promote {
+                let l = set.remove(pos);
+                set.push(l);
+            }
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Membership peek (no counters, no promotion).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].contains(&line)
+    }
+
+    /// Fills `line`, returning an evicted victim if the set was full.
+    pub fn insert(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let replacement = self.config.replacement;
+        let ways = self.config.ways;
+        let idx = self.set_index(line);
+        // The RNG advances on every insert under Random — before the
+        // presence check — matching the production cache exactly.
+        if replacement == Replacement::Random {
+            self.rand_state ^= self.rand_state << 13;
+            self.rand_state ^= self.rand_state >> 7;
+            self.rand_state ^= self.rand_state << 17;
+        }
+        let victim_pos = (self.rand_state % ways as u64) as usize;
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if replacement == Replacement::Lru {
+                let l = set.remove(pos);
+                set.push(l);
+            }
+            return None;
+        }
+        if set.len() == ways {
+            let evict_pos = match replacement {
+                Replacement::Lru | Replacement::Fifo => 0,
+                Replacement::Random => victim_pos,
+            };
+            let evicted = set.remove(evict_pos);
+            set.push(line);
+            Some(evicted)
+        } else {
+            set.push(line);
+            None
+        }
+    }
+
+    /// Drops `line` if present; reports whether it was.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Total resident lines across sets.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no line is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn reference_eit_two_level_lru() {
+        let mut eit = ReferenceEit::new(1, 2, 2);
+        assert_eq!(eit.update(line(1), line(10), 0), None);
+        assert_eq!(eit.update(line(2), line(20), 1), None);
+        // Promote tag 1; the next capacity eviction takes tag 2.
+        assert!(eit.lookup(line(1)).is_some());
+        assert_eq!(eit.update(line(3), line(30), 2), Some(line(2)));
+        assert!(!eit.probe(line(2)));
+        // Entry LRU: refresh promotes, capacity drops the oldest.
+        eit.update(line(1), line(11), 3);
+        eit.update(line(1), line(10), 4); // refresh 10 → MRU
+        eit.update(line(1), line(12), 5); // evicts 11
+        let entries = eit.lookup(line(1)).unwrap();
+        let addrs: Vec<u64> = entries.iter().map(|e| e.addr.raw()).collect();
+        assert_eq!(addrs, vec![10, 12]);
+    }
+
+    #[test]
+    fn reference_mshr_merges_stalls_retires() {
+        let mut m = ReferenceMshr::new(2);
+        assert_eq!(m.allocate(line(1), 50.0), Some(50.0));
+        assert_eq!(m.allocate(line(1), 99.0), Some(50.0), "merged");
+        assert_eq!(m.allocate(line(2), 60.0), Some(60.0));
+        assert_eq!(m.allocate(line(3), 70.0), None, "full");
+        assert_eq!(m.counters(), (2, 1, 1));
+        assert_eq!(m.earliest_completion(), Some(50.0));
+        m.retire_until(50.0); // inclusive boundary
+        assert_eq!(m.in_flight(), 1);
+    }
+
+    #[test]
+    fn reference_buffer_counts_lifetimes() {
+        let mut b = ReferenceBuffer::new(2);
+        b.insert(line(1), 0.0, Some(0));
+        b.insert(line(1), 1.0, None);
+        b.insert(line(2), 0.0, Some(1));
+        b.insert(line(3), 0.0, Some(0)); // evicts line 1
+        assert!(b.take(line(2)).is_some());
+        assert_eq!(b.discard_stream(0), 1);
+        let s = b.stats();
+        assert_eq!(
+            (
+                s.inserted,
+                s.duplicate_inserts,
+                s.hits,
+                s.evicted_unused,
+                s.discarded_unused
+            ),
+            (4, 1, 1, 1, 1)
+        );
+        assert!(b.is_empty());
+    }
+}

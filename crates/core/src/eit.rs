@@ -291,8 +291,19 @@ impl FiniteRows {
         let mut evicted = None;
         let slot = match self.tags[base..base + occ].iter().position(|&t| t == tag) {
             Some(pos) => {
-                self.promote(b, pos, occ);
-                occ - 1
+                // Injected bug for the checker self-test: a refreshed
+                // super-entry stays at its old LRU position, so capacity
+                // evictions later pick the wrong victim.
+                #[cfg(domino_mutate)]
+                let skip_promotion = crate::mutate_active("eit_skip_promotion");
+                #[cfg(not(domino_mutate))]
+                let skip_promotion = false;
+                if skip_promotion {
+                    pos
+                } else {
+                    self.promote(b, pos, occ);
+                    occ - 1
+                }
             }
             None => {
                 if occ == s {

@@ -178,8 +178,15 @@ impl MshrFile {
 
     /// Releases all registers whose miss completed at or before `now`.
     pub fn retire_until(&mut self, now: f64) {
+        // Injected bug for the checker self-test: treat the retirement
+        // boundary as exclusive, leaking registers whose miss completes
+        // exactly at `now`.
+        #[cfg(domino_mutate)]
+        let exclusive = crate::mutate_active("mshr_retire_boundary");
+        #[cfg(not(domino_mutate))]
+        let exclusive = false;
         while let Some(&(t, slot)) = self.heap.first() {
-            if t > now {
+            if t > now || (exclusive && t >= now) {
                 break;
             }
             self.heap_pop();

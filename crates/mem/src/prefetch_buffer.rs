@@ -109,9 +109,18 @@ impl PrefetchBuffer {
             self.stats.duplicate_inserts += 1;
             return InsertOutcome::Duplicate;
         }
+        // Injected bug for the checker self-test: a capacity eviction
+        // happens but is never counted, silently deflating the
+        // overprediction statistics.
+        #[cfg(domino_mutate)]
+        let count_eviction = !crate::mutate_active("buffer_missing_evict_count");
+        #[cfg(not(domino_mutate))]
+        let count_eviction = true;
         let victim = if self.entries.len() == self.capacity {
             let v = self.entries.pop_front();
-            self.stats.evicted_unused += 1;
+            if count_eviction {
+                self.stats.evicted_unused += 1;
+            }
             v
         } else {
             None
@@ -132,6 +141,12 @@ impl PrefetchBuffer {
     pub fn take(&mut self, line: LineAddr) -> Option<BufferedPrefetch> {
         let pos = self.entries.iter().position(|e| e.line == line)?;
         self.stats.hits += 1;
+        // Injected bug for the checker self-test: the hit is counted but
+        // the entry stays resident, so it can be hit or evicted again.
+        #[cfg(domino_mutate)]
+        if crate::mutate_active("buffer_sticky_take") {
+            return self.entries.get(pos).copied();
+        }
         self.entries.remove(pos)
     }
 

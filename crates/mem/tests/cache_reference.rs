@@ -3,117 +3,16 @@
 //! The cache used to store each set as its own `Vec<LineAddr>` in
 //! replacement order (`remove(pos)` + `push` promotion). The flat layout
 //! replaced that with one contiguous slab and `rotate_left` on the
-//! occupied prefix — a pure storage change. This test keeps the old
-//! layout alive as a reference model and drives both implementations
-//! through exhaustive small-config pseudo-random op streams, asserting
-//! identical hit/miss results, eviction victims, invalidation outcomes,
-//! and counters at every step.
+//! occupied prefix — a pure storage change. The old layout lives on as
+//! [`domino_check::reference::ReferenceCache`] (where the differential
+//! checker also drives it); this test runs both implementations through
+//! exhaustive small-config pseudo-random op streams, asserting identical
+//! hit/miss results, eviction victims, invalidation outcomes, and
+//! counters at every step.
 
+use domino_check::reference::ReferenceCache;
 use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
 use domino_trace::addr::{LineAddr, LINE_BYTES};
-
-/// The pre-flat cache: per-set `Vec`s in replacement order (index 0 the
-/// victim end), exactly as the original implementation kept them.
-struct ReferenceCache {
-    config: CacheConfig,
-    set_mask: u64,
-    sets: Vec<Vec<LineAddr>>,
-    rand_state: u64,
-    hits: u64,
-    misses: u64,
-}
-
-impl ReferenceCache {
-    fn new(config: CacheConfig) -> Self {
-        let sets = config.sets();
-        ReferenceCache {
-            config,
-            set_mask: sets as u64 - 1,
-            sets: vec![Vec::with_capacity(config.ways); sets],
-            rand_state: 0x9e37_79b9_7f4a_7c15,
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() & self.set_mask) as usize
-    }
-
-    fn access(&mut self, line: LineAddr) -> bool {
-        let promote = self.config.replacement == Replacement::Lru;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&l| l == line) {
-            if promote {
-                let l = set.remove(pos);
-                set.push(l);
-            }
-            self.hits += 1;
-            true
-        } else {
-            self.misses += 1;
-            false
-        }
-    }
-
-    fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].contains(&line)
-    }
-
-    fn insert(&mut self, line: LineAddr) -> Option<LineAddr> {
-        let replacement = self.config.replacement;
-        let ways = self.config.ways;
-        let idx = self.set_index(line);
-        // The RNG advances on every insert under Random — before the
-        // presence check — matching the production cache exactly.
-        if replacement == Replacement::Random {
-            self.rand_state ^= self.rand_state << 13;
-            self.rand_state ^= self.rand_state >> 7;
-            self.rand_state ^= self.rand_state << 17;
-        }
-        let victim_pos = (self.rand_state % ways as u64) as usize;
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&l| l == line) {
-            if replacement == Replacement::Lru {
-                let l = set.remove(pos);
-                set.push(l);
-            }
-            return None;
-        }
-        if set.len() == ways {
-            let evict_pos = match replacement {
-                Replacement::Lru | Replacement::Fifo => 0,
-                Replacement::Random => victim_pos,
-            };
-            let evicted = set.remove(evict_pos);
-            set.push(line);
-            Some(evicted)
-        } else {
-            set.push(line);
-            None
-        }
-    }
-
-    fn invalidate(&mut self, line: LineAddr) -> bool {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&l| l == line) {
-            set.remove(pos);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn hit_miss(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
-    }
-}
 
 /// Deterministic op-stream driver comparing both models step by step.
 fn drive(config: CacheConfig, ops: usize, seed: u64) {

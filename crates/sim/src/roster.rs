@@ -42,6 +42,39 @@ pub enum System {
 }
 
 impl System {
+    /// Every buildable system, one entry per enum variant (the
+    /// parameterised lookup-depth variant appears at the paper's default
+    /// depth of 3). Roster-driven tests and the differential checker
+    /// iterate this list so a newly added prefetcher cannot be forgotten.
+    pub fn all() -> Vec<System> {
+        vec![
+            System::Baseline,
+            System::NextLine,
+            System::Stride,
+            System::Ghb,
+            System::Markov,
+            System::Sms,
+            System::Vldp,
+            System::Isb,
+            System::Stms,
+            System::Digram,
+            System::Domino,
+            System::DominoNaive,
+            System::MultiDepth(3),
+            System::VldpPlusDomino,
+        ]
+    }
+
+    /// Inverse of [`System::label`]: resolves a figure label back to the
+    /// system, so reproducer files can name the system they were shrunk
+    /// under. Returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<System> {
+        if let Some(depth) = label.strip_prefix("Lookup-") {
+            return depth.parse().ok().map(System::MultiDepth);
+        }
+        System::all().into_iter().find(|sys| sys.label() == label)
+    }
+
     /// The systems compared in Figures 11, 13 and 14.
     pub fn paper_roster() -> [System; 5] {
         [
@@ -120,23 +153,7 @@ mod tests {
 
     #[test]
     fn every_system_builds_and_runs() {
-        let mut all = vec![
-            System::Baseline,
-            System::NextLine,
-            System::Stride,
-            System::Ghb,
-            System::Markov,
-            System::Sms,
-            System::Vldp,
-            System::Isb,
-            System::Stms,
-            System::Digram,
-            System::Domino,
-            System::DominoNaive,
-            System::MultiDepth(3),
-            System::VldpPlusDomino,
-        ];
-        for sys in all.drain(..) {
+        for sys in System::all() {
             let mut p = sys.build(4);
             let mut sink = CollectSink::new();
             for l in 0..50u64 {
@@ -145,6 +162,15 @@ mod tests {
             assert!(!p.name().is_empty());
             assert!(!sys.label().is_empty());
         }
+    }
+
+    #[test]
+    fn labels_roundtrip_through_from_label() {
+        for sys in System::all() {
+            assert_eq!(System::from_label(&sys.label()), Some(sys));
+        }
+        assert_eq!(System::from_label("Lookup-7"), Some(System::MultiDepth(7)));
+        assert_eq!(System::from_label("NoSuchSystem"), None);
     }
 
     #[test]

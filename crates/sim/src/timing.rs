@@ -258,7 +258,18 @@ impl<'a> CoreEngine<'a> {
                     }
                     (self.now + self.l1_lat, true)
                 } else {
-                    report.late_hits += 1;
+                    // Injected bug for the checker self-test: a late
+                    // buffer hit is booked as a full miss (the data path
+                    // is untouched, only the classification is wrong).
+                    #[cfg(domino_mutate)]
+                    let late_as_full = crate::mutate_active("timing_late_as_full");
+                    #[cfg(not(domino_mutate))]
+                    let late_as_full = false;
+                    if late_as_full {
+                        report.full_misses += 1;
+                    } else {
+                        report.late_hits += 1;
+                    }
                     // Merge with the in-flight prefetch: wait its residual
                     // latency, but never longer than the demand's own best
                     // path (LLC hit or a fresh memory access).

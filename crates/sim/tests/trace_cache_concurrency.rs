@@ -1,0 +1,59 @@
+//! Concurrency test for [`domino_sim::trace_cache`]: N threads racing
+//! for the same `(spec, seed, events)` key must all receive clones of
+//! ONE materialization — same allocation, same contents — and distinct
+//! keys must stay distinct.
+
+use std::sync::{Arc, Barrier};
+
+use domino_sim::trace_cache::shared_trace;
+use domino_trace::workload::catalog;
+
+const THREADS: usize = 8;
+
+#[test]
+fn racing_threads_share_one_materialization() {
+    // A key private to this test so no other test (or earlier call in
+    // this process) has already populated the cell.
+    let seed = 0xCAC4_E007;
+    let events = 20_000;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                shared_trace(&catalog::oltp(), events, seed)
+            })
+        })
+        .collect();
+    let traces: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no thread panicked"))
+        .collect();
+    let first = &traces[0];
+    assert_eq!(first.len(), events);
+    for t in &traces[1..] {
+        assert!(
+            Arc::ptr_eq(first, t),
+            "two threads received distinct materializations of one key"
+        );
+        assert_eq!(&first[..], &t[..]);
+    }
+}
+
+#[test]
+fn distinct_keys_do_not_alias() {
+    let a = shared_trace(&catalog::oltp(), 1_000, 0x0A11_A501);
+    let b = shared_trace(&catalog::oltp(), 1_000, 0x0A11_A502);
+    let c = shared_trace(&catalog::web_search(), 1_000, 0x0A11_A501);
+    assert!(!Arc::ptr_eq(&a, &b), "different seeds must not alias");
+    assert!(!Arc::ptr_eq(&a, &c), "different specs must not alias");
+    assert_ne!(&a[..], &b[..]);
+}
+
+#[test]
+fn repeat_lookup_is_the_cached_slice() {
+    let first = shared_trace(&catalog::web_search(), 5_000, 0x5EED_CAFE);
+    let second = shared_trace(&catalog::web_search(), 5_000, 0x5EED_CAFE);
+    assert!(Arc::ptr_eq(&first, &second));
+}

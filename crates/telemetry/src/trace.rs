@@ -438,7 +438,14 @@ impl FlightRecorder {
         if self.ring.len() < self.capacity {
             self.ring.push(ev);
         } else {
-            let idx = (self.recorded % self.capacity as u64) as usize;
+            // Injected bug for the checker self-test: overwrite one slot
+            // past the true wrap position, scrambling the ring's
+            // oldest-first order once it wraps.
+            #[cfg(domino_mutate)]
+            let wrap_skew = u64::from(crate::mutate_active("ring_wrap_off_by_one"));
+            #[cfg(not(domino_mutate))]
+            let wrap_skew = 0u64;
+            let idx = ((self.recorded + wrap_skew) % self.capacity as u64) as usize;
             self.ring[idx] = ev;
         }
         self.recorded += 1;

@@ -1,0 +1,120 @@
+//! Degenerate-trace tests: every roster system through both replay
+//! engines (and the shared-channel multicore model) on the pathological
+//! inputs a fuzzer loves — empty traces, single events, a single
+//! endlessly repeated address, and lines at the top of the address
+//! space where `LineAddr::offset` wraps.
+//!
+//! These runs assert totality plus the basic accounting identities that
+//! must hold on *any* input; the deeper metric identities live in
+//! `domino_check::oracle`.
+
+use domino_sim::roster::System;
+use domino_sim::{run_coverage, run_multicore, run_timing, SystemConfig};
+use domino_trace::addr::{Addr, Pc, LINE_BYTES};
+use domino_trace::event::{AccessEvent, AccessKind};
+
+const DEGREE: usize = 4;
+
+fn read(pc: u64, addr: u64) -> AccessEvent {
+    AccessEvent::read(Pc::new(pc), Addr::new(addr))
+}
+
+/// Name, trace — one entry per degenerate shape.
+fn degenerate_traces() -> Vec<(&'static str, Vec<AccessEvent>)> {
+    let top = u64::MAX - (LINE_BYTES - 1); // start of the last line
+    vec![
+        ("empty", Vec::new()),
+        ("single-event", vec![read(1, 0x1000)]),
+        (
+            "all-same-address",
+            (0..200).map(|_| read(7, 0xBEEF_0000)).collect(),
+        ),
+        (
+            "write-only-same-address",
+            (0..50)
+                .map(|_| AccessEvent {
+                    pc: Pc::new(3),
+                    addr: Addr::new(0xD00D_0000),
+                    kind: AccessKind::Write,
+                    gap_insts: 0,
+                    dependent: false,
+                })
+                .collect(),
+        ),
+        (
+            // Walk the last lines of the address space so next-line and
+            // stride predictions wrap around `u64::MAX`.
+            "max-line-boundary",
+            (0..32)
+                .map(|i| read(5, top - i * LINE_BYTES))
+                .chain((0..32).map(|i| read(5, u64::MAX - i)))
+                .collect(),
+        ),
+    ]
+}
+
+#[test]
+fn every_system_survives_degenerate_traces() {
+    let cfg = SystemConfig::paper();
+    let one_core = SystemConfig {
+        cores: 1,
+        ..SystemConfig::paper()
+    };
+    for (name, trace) in degenerate_traces() {
+        for sys in System::all() {
+            let label = sys.label();
+            let cov = run_coverage(&cfg, &trace, sys.build(DEGREE).as_mut());
+            assert_eq!(
+                cov.accesses,
+                trace.len() as u64,
+                "{label} on {name}: access count"
+            );
+            assert!(
+                cov.covered <= cov.baseline_misses,
+                "{label} on {name}: covered {} > baseline misses {}",
+                cov.covered,
+                cov.baseline_misses
+            );
+            assert!(
+                cov.read_covered <= cov.covered,
+                "{label} on {name}: read subset exceeds total"
+            );
+
+            let tim = run_timing(&cfg, &trace, sys.build(DEGREE).as_mut());
+            assert!(
+                tim.total_ns.is_finite() && tim.total_ns >= 0.0,
+                "{label} on {name}: non-finite time {}",
+                tim.total_ns
+            );
+            assert_eq!(
+                tim.timely_hits + tim.late_hits + tim.full_misses,
+                cov.baseline_misses,
+                "{label} on {name}: timing miss classes disagree with coverage"
+            );
+
+            let multi = run_multicore(&one_core, vec![trace.clone()], vec![sys.build(DEGREE)]);
+            assert_eq!(multi.per_core.len(), 1);
+            assert_eq!(
+                multi.per_core[0].full_misses, tim.full_misses,
+                "{label} on {name}: one-core multicore diverged from single-core"
+            );
+        }
+    }
+}
+
+/// The empty trace specifically must report all-zero metrics — not
+/// merely avoid panicking — through both engines.
+#[test]
+fn empty_trace_reports_zeros() {
+    let cfg = SystemConfig::paper();
+    for sys in System::all() {
+        let cov = run_coverage(&cfg, &[], sys.build(DEGREE).as_mut());
+        assert_eq!(cov.accesses, 0);
+        assert_eq!(cov.baseline_misses, 0);
+        assert_eq!(cov.covered, 0);
+        assert_eq!(cov.prefetches_issued, 0, "{}", sys.label());
+        let tim = run_timing(&cfg, &[], sys.build(DEGREE).as_mut());
+        assert_eq!(tim.total_ns, 0.0);
+        assert_eq!(tim.instructions, 0);
+    }
+}

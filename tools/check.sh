@@ -1,30 +1,62 @@
 #!/usr/bin/env sh
 # Offline lint gate: formatting + clippy with warnings denied + a
 # release build with warnings denied + tests + a telemetry schema smoke
-# run. Everything here runs without network access (the workspace has
-# no external dependencies), so it is usable as a pre-push hook or CI
-# step in air-gapped environments.
+# run + the differential checker. Everything here runs without network
+# access (the workspace has no external dependencies), so it is usable
+# as a pre-push hook or CI step in air-gapped environments.
 #
 #   tools/check.sh          # everything
 #   tools/check.sh --fast   # fmt + clippy only
+#
+# A per-stage timing summary is printed at the end.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
+# --- per-stage timing -------------------------------------------------
+# mark <name> closes the previous stage and opens <name>; POSIX sh, so
+# timings accumulate in a string rather than an array (1 s resolution).
+stage_times=""
+stage_name=""
+stage_start=0
+mark() {
+    now=$(date +%s)
+    if [ -n "$stage_name" ]; then
+        stage_times="${stage_times}${stage_name}:$((now - stage_start))\n"
+    fi
+    stage_name="${1:-}"
+    stage_start=$now
+}
+summary() {
+    mark ""
+    printf '\nper-stage timing:\n'
+    # shellcheck disable=SC2059 # stage_times embeds its own \n markers
+    printf "$stage_times" | while IFS=: read -r name secs; do
+        if [ -n "$name" ]; then
+            printf '  %-28s %4ss\n' "$name" "$secs"
+        fi
+    done
+}
+
+mark fmt
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+mark clippy
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "${1:-}" != "--fast" ]; then
+    mark build-release
     echo "==> cargo build --release (deny warnings)"
     RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
 
+    mark test
     echo "==> cargo test"
     cargo test --workspace -q
 
+    mark telemetry-smoke
     echo "==> telemetry schema smoke run"
     smoke_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir"' EXIT
@@ -35,6 +67,7 @@ if [ "${1:-}" != "--fast" ]; then
         echo "    (python3 not found; skipping JSON schema validation)"
     fi
 
+    mark bench-guard
     echo "==> bench regression guard (DOMINO_SKIP_BENCH_GUARD=1 to skip)"
     if [ "${DOMINO_SKIP_BENCH_GUARD:-0}" = "1" ]; then
         echo "    skipped (DOMINO_SKIP_BENCH_GUARD=1)"
@@ -50,6 +83,7 @@ if [ "${1:-}" != "--fast" ]; then
         python3 tools/bench_guard.py BENCH_sweep.json "$bench_dir/BENCH_sweep.json"
     fi
 
+    mark trace-smoke
     echo "==> flight-recorder trace smoke run"
     trace_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "$trace_dir"' EXIT
@@ -60,6 +94,24 @@ if [ "${1:-}" != "--fast" ]; then
     else
         echo "    (python3 not found; skipping binary trace validation)"
     fi
+
+    mark differential-check
+    echo "==> differential checker smoke (DOMINO_SKIP_CHECK=1 to skip)"
+    if [ "${DOMINO_SKIP_CHECK:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_CHECK=1)"
+    else
+        check_dir=$(mktemp -d)
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "$check_dir"' EXIT
+        # Any oracle violation exits nonzero and fails the gate (set -e).
+        # Reproducers go to the gitignored check-failures/ so a failing
+        # run leaves its shrunk trace behind for replay.
+        cargo run --release -q -p domino-check -- --smoke --out check-failures
+        # Prove the shrink + reproducer machinery end to end (its
+        # forced reproducer is disposable, so it goes to the tmp dir).
+        cargo run --release -q -p domino-check -- --force-fail --out "$check_dir" \
+            >/dev/null
+    fi
 fi
 
 echo "check.sh: all clean"
+summary
