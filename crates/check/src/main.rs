@@ -3,6 +3,7 @@
 //! ```text
 //! domino-check [--seed N] [--cases N] [--events N] [--out DIR] [--systems A,B]
 //! domino-check --smoke [--out DIR]
+//! domino-check --batch-parity [--seed N] [--events N] [--out DIR] [--systems A,B]
 //! domino-check --replay <file.events>
 //! domino-check --force-fail [--out DIR]
 //! domino-check --self-test [--out DIR]
@@ -29,10 +30,12 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use domino_check::oracle::{check_reference_models, check_system_trace, Violation};
+use domino_check::oracle::{
+    check_batched_parity, check_reference_models, check_system_trace, Violation, CHECKED_BATCHES,
+};
 use domino_check::repro::Reproducer;
 use domino_check::selftest::run_self_test;
-use domino_check::shrink::shrink;
+use domino_check::shrink::{shrink, shrink_aligned};
 use domino_check::Generator;
 use domino_sim::roster::System;
 use domino_trace::event::AccessEvent;
@@ -57,6 +60,8 @@ fn usage() -> ExitCode {
         "usage: domino-check [--seed N] [--cases N] [--events N] \
          [--out DIR] [--systems A,B,..]\n\
          \x20      domino-check --smoke [--out DIR]\n\
+         \x20      domino-check --batch-parity [--seed N] [--events N] \
+         [--out DIR] [--systems A,B,..]\n\
          \x20      domino-check --replay <file.events>\n\
          \x20      domino-check --force-fail [--out DIR]\n\
          \x20      domino-check --self-test [--out DIR]"
@@ -74,6 +79,7 @@ fn main() -> ExitCode {
         systems: System::all(),
     };
     let mut smoke = false;
+    let mut batch_parity = false;
     let mut force_fail = false;
     let mut self_test = false;
     let mut replay: Option<PathBuf> = None;
@@ -81,6 +87,7 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--batch-parity" => batch_parity = true,
             "--force-fail" => force_fail = true,
             "--self-test" => self_test = true,
             "--replay" => match it.next() {
@@ -143,6 +150,9 @@ fn main() -> ExitCode {
     if force_fail {
         return run_force_fail(&opts);
     }
+    if batch_parity {
+        return run_batch_parity(&opts);
+    }
     run_campaign(&opts)
 }
 
@@ -182,7 +192,12 @@ fn run_campaign(opts: &Options) -> ExitCode {
             if let Err((system, violation)) = check_all(&opts.systems, &trace) {
                 eprintln!("FAIL {} seed {seed:#x} system {system}", g.name());
                 eprintln!("  {violation}");
-                return fail_and_shrink(opts, g, seed, &system, &violation, &trace);
+                let oracle = violation.oracle;
+                let fails = |t: &[AccessEvent]| match check_all(&opts.systems, t) {
+                    Err((_, v)) => v.oracle == oracle,
+                    Ok(()) => false,
+                };
+                return fail_and_shrink(opts, g, seed, &system, &violation, &trace, fails);
             }
             done += 1;
             println!(
@@ -200,8 +215,45 @@ fn run_campaign(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--batch-parity`: only the batched-vs-scalar oracle, run for every
+/// generator x system at each checked batch size. The fast CI stage
+/// wired into `tools/check.sh`.
+fn run_batch_parity(opts: &Options) -> ExitCode {
+    let mut done = 0u64;
+    for g in Generator::all() {
+        let trace = g.generate(opts.seed, opts.events);
+        for sys in &opts.systems {
+            for batch in CHECKED_BATCHES {
+                if let Err(violation) = check_batched_parity(*sys, &trace, batch) {
+                    let system = sys.label();
+                    eprintln!(
+                        "FAIL {} seed {:#x} system {system} batch {batch}",
+                        g.name(),
+                        opts.seed
+                    );
+                    eprintln!("  {violation}");
+                    let fails = |t: &[AccessEvent]| check_batched_parity(*sys, t, batch).is_err();
+                    return fail_and_shrink(opts, g, opts.seed, &system, &violation, &trace, fails);
+                }
+            }
+            done += 1;
+        }
+        println!(
+            "ok {} ({} events, {} systems x {:?} batches)",
+            g.name(),
+            trace.len(),
+            opts.systems.len(),
+            CHECKED_BATCHES
+        );
+    }
+    println!("batch parity clean: {done} system-traces, scalar and batched byte-identical");
+    ExitCode::SUCCESS
+}
+
 /// Shrinks the failing trace against "the same oracle still fires" and
-/// writes the `DMNOCHK1` reproducer.
+/// writes the `DMNOCHK1` reproducer. Batch-sensitive violations shrink
+/// with cuts aligned to the failing batch size, so every surviving
+/// event keeps its position within its chunk.
 fn fail_and_shrink(
     opts: &Options,
     g: Generator,
@@ -209,20 +261,18 @@ fn fail_and_shrink(
     system: &str,
     violation: &Violation,
     trace: &[AccessEvent],
+    fails: impl FnMut(&[AccessEvent]) -> bool,
 ) -> ExitCode {
-    let oracle = violation.oracle;
-    let fails = |t: &[AccessEvent]| match check_all(&opts.systems, t) {
-        Err((_, v)) => v.oracle == oracle,
-        Ok(()) => false,
-    };
-    eprintln!("shrinking {} events ...", trace.len());
-    let small = shrink(trace, fails, SHRINK_BUDGET);
+    let align = violation.batch.unwrap_or(1) as usize;
+    eprintln!("shrinking {} events (alignment {align}) ...", trace.len());
+    let small = shrink_aligned(trace, fails, SHRINK_BUDGET, align);
     eprintln!("shrunk to {} events", small.len());
     let repro = Reproducer {
         system: system.to_string(),
-        oracle: oracle.to_string(),
+        oracle: violation.oracle.to_string(),
         generator: g.name().to_string(),
         seed,
+        batch: violation.batch,
         events: small,
     };
     match write_repro(&opts.out, &repro) {
@@ -287,6 +337,20 @@ fn run_replay(file: &Path) -> ExitCode {
         eprintln!("error: unknown system label {:?}", repro.system);
         return ExitCode::FAILURE;
     };
+    // A recorded batch pins the chunking that manifested the failure:
+    // rerun the parity differential at exactly that size first, so the
+    // replay reproduces under the same batch geometry it was caught in.
+    if let Some(batch) = repro.batch {
+        match check_batched_parity(sys, &repro.events, batch) {
+            Err(v) => {
+                eprintln!("reproduced: {v}");
+                return ExitCode::FAILURE;
+            }
+            Ok(()) => {
+                println!("batch-{batch} parity quiet; rerunning the full oracle stack");
+            }
+        }
+    }
     match check_reference_models(&repro.events)
         .and_then(|()| check_system_trace(sys, &repro.events))
     {
@@ -331,6 +395,7 @@ fn run_force_fail(opts: &Options) -> ExitCode {
         oracle: FORCED_ORACLE.to_string(),
         generator: Generator::Irregular.name().to_string(),
         seed: opts.seed,
+        batch: None,
         events: small,
     };
     let path = match write_repro(&opts.out, &repro) {

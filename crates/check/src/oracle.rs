@@ -1,6 +1,10 @@
 //! The three oracle tiers.
 //!
-//! Tier 1 (**cross-engine differential**, [`check_system_trace`]): the
+//! Tier 1 opens with the **batched-vs-scalar differential**: the SoA
+//! batched hot path must produce byte-for-byte the same coverage,
+//! timing, and multicore reports as the scalar per-event loop, at every
+//! checked batch size and across warmup boundaries that do not divide
+//! the batch. Then the **cross-engine differential**: the
 //! coverage and timing engines evolve the L1, the prefetch buffer, and
 //! the prefetcher through *identical* sequences — only the clock
 //! differs — so wherever their metrics overlap they must agree exactly:
@@ -29,10 +33,10 @@ use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
 use domino_mem::mshr::MshrFile;
 use domino_mem::prefetch_buffer::PrefetchBuffer;
 use domino_sim::config::SystemConfig;
-use domino_sim::engine::{run_coverage, run_coverage_observed};
-use domino_sim::multicore::run_multicore;
+use domino_sim::engine::{run_coverage, run_coverage_observed, run_coverage_with_batch};
+use domino_sim::multicore::{run_multicore, run_multicore_with_batch};
 use domino_sim::roster::System;
-use domino_sim::timing::run_timing;
+use domino_sim::timing::{run_timing, run_timing_with_batch};
 use domino_telemetry::trace::{TraceFile, TraceMeta};
 use domino_telemetry::Telemetry;
 use domino_trace::addr::{LineAddr, LINE_BYTES};
@@ -54,16 +58,28 @@ pub struct Violation {
     pub oracle: &'static str,
     /// Human-readable mismatch description.
     pub detail: String,
+    /// Batch size under which the violation manifested, if the failing
+    /// oracle is batch-sensitive. Recorded in the reproducer so replay
+    /// and shrinking rerun under the exact same chunking.
+    pub batch: Option<u32>,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}", self.oracle, self.detail)
+        write!(f, "[{}] {}", self.oracle, self.detail)?;
+        if let Some(b) = self.batch {
+            write!(f, " (batch {b})")?;
+        }
+        Ok(())
     }
 }
 
 fn violation(oracle: &'static str, detail: String) -> Violation {
-    Violation { oracle, detail }
+    Violation {
+        oracle,
+        detail,
+        batch: None,
+    }
 }
 
 macro_rules! ensure_eq {
@@ -78,8 +94,19 @@ macro_rules! ensure_eq {
     }};
 }
 
+/// Batch sizes the batched-vs-scalar oracle exercises: one that is not
+/// a divisor of anything interesting (odd, smaller than most traces)
+/// and the production default.
+pub const CHECKED_BATCHES: [u32; 2] = [7, 64];
+
 /// Runs every oracle that involves a prefetching system on `trace`.
+///
+/// The batched-vs-scalar tier runs first: it owns every batching bug by
+/// construction, so a chunking defect is always reported under its name
+/// even when downstream oracles (which run at the ambient batch size)
+/// would also trip over it.
 pub fn check_system_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    batched_vs_scalar(sys, trace)?;
     cross_engine(sys, trace)?;
     multicore_equivalence(sys, trace)?;
     invariant_audit(sys, trace)
@@ -98,6 +125,93 @@ pub fn check_reference_models(trace: &[AccessEvent]) -> Result<(), Violation> {
 pub fn check_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
     check_system_trace(sys, trace)?;
     check_reference_models(trace)
+}
+
+/// Tier 1: the batched SoA hot path vs the scalar per-event loop.
+///
+/// Every report a figure can print must be *byte-for-byte* identical
+/// between `batch == 1` (the scalar loop) and any larger batch, so the
+/// comparison is on the full `Debug` rendering of each report — `f64`
+/// Debug is shortest-roundtrip and therefore injective, making string
+/// equality equivalent to bit equality of every field.
+fn batched_vs_scalar(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    for batch in CHECKED_BATCHES {
+        check_batched_parity(sys, trace, batch)?;
+    }
+    Ok(())
+}
+
+/// Compares scalar and `batch`-chunked runs of all three engines on
+/// `trace`. Public so `--replay` can rerun a reproducer under exactly
+/// the recorded batch size.
+pub fn check_batched_parity(
+    sys: System,
+    trace: &[AccessEvent],
+    batch: u32,
+) -> Result<(), Violation> {
+    const O: &str = "batched_vs_scalar";
+    let cfg = SystemConfig::paper();
+    let label = sys.label();
+    let mismatch = |engine: &str, warmup: usize, scalar: String, batched: String| Violation {
+        oracle: O,
+        detail: format!(
+            "{label}: {engine} (warmup {warmup}) diverges at batch {batch}:\n\
+             scalar:  {scalar}\n\
+             batched: {batched}"
+        ),
+        batch: Some(batch),
+    };
+    // Two warmups: none, and one that is deliberately not a batch
+    // multiple so the warmup-boundary chunk clamp is exercised.
+    for warmup in [0, trace.len() / 3] {
+        let mut p = sys.build(DEGREE);
+        let scalar = format!(
+            "{:?}",
+            run_coverage_with_batch(&cfg, trace, p.as_mut(), warmup, 1)
+        );
+        let mut p = sys.build(DEGREE);
+        let batched = format!(
+            "{:?}",
+            run_coverage_with_batch(&cfg, trace, p.as_mut(), warmup, batch)
+        );
+        if scalar != batched {
+            return Err(mismatch("coverage", warmup, scalar, batched));
+        }
+        let mut p = sys.build(DEGREE);
+        let scalar = format!(
+            "{:?}",
+            run_timing_with_batch(&cfg, trace, p.as_mut(), warmup, 1)
+        );
+        let mut p = sys.build(DEGREE);
+        let batched = format!(
+            "{:?}",
+            run_timing_with_batch(&cfg, trace, p.as_mut(), warmup, batch)
+        );
+        if scalar != batched {
+            return Err(mismatch("timing", warmup, scalar, batched));
+        }
+    }
+    // Multicore: two cores sharing the LLC, scalar vs per-core staged.
+    if !trace.is_empty() {
+        let cfg2 = SystemConfig {
+            cores: 2,
+            ..SystemConfig::paper()
+        };
+        let traces = vec![trace.to_vec(), trace.to_vec()];
+        let build = || vec![sys.build(DEGREE), sys.build(DEGREE)];
+        let scalar = format!(
+            "{:?}",
+            run_multicore_with_batch(&cfg2, traces.clone(), build(), 1)
+        );
+        let batched = format!(
+            "{:?}",
+            run_multicore_with_batch(&cfg2, traces, build(), batch)
+        );
+        if scalar != batched {
+            return Err(mismatch("multicore", 0, scalar, batched));
+        }
+    }
+    Ok(())
 }
 
 /// Tier 1: coverage vs timing on the shared metric surface.
@@ -631,5 +745,20 @@ mod tests {
     fn violation_displays_oracle_name() {
         let v = violation("cross_engine", "covered mismatch".into());
         assert_eq!(v.to_string(), "[cross_engine] covered mismatch");
+        let v = Violation {
+            batch: Some(7),
+            ..v
+        };
+        assert_eq!(v.to_string(), "[cross_engine] covered mismatch (batch 7)");
+    }
+
+    #[test]
+    fn batched_parity_holds_on_adversarial_trace() {
+        // Direct exercise of the public parity entry point (the replay
+        // path) at a batch that does not divide the trace length.
+        let trace = Generator::PointerChase.generate(3, 501);
+        for sys in [System::Stms, System::Domino] {
+            check_batched_parity(sys, &trace, 7).expect("scalar and batched agree");
+        }
     }
 }

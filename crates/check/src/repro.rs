@@ -12,8 +12,9 @@
 //!
 //! ```text
 //! "DMNOCHK1"  magic, 8 bytes
-//! u32         version (1)
-//! u32         reserved (0)
+//! u32         version (2; version-1 files still decode)
+//! u32         batch size that manifested the failure (0 = unset;
+//!             the reserved word of version-1 files)
 //! str         system label     (u32 length + UTF-8 bytes)
 //! str         oracle name
 //! str         generator name
@@ -28,8 +29,10 @@ use domino_trace::event::{AccessEvent, AccessKind};
 
 /// File magic.
 pub const MAGIC: &[u8; 8] = b"DMNOCHK1";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 repurposed the reserved header
+/// word as the failing batch size; version-1 files decode with no
+/// recorded batch.
+pub const VERSION: u32 = 2;
 /// Bytes per event record.
 const RECORD_BYTES: usize = 24;
 
@@ -44,6 +47,10 @@ pub struct Reproducer {
     pub generator: String,
     /// Fuzzer seed of the failing case.
     pub seed: u64,
+    /// Batch size the violation manifested under (`None` for
+    /// batch-insensitive oracles and version-1 files). Replay reruns
+    /// the batched engines at exactly this chunking.
+    pub batch: Option<u32>,
     /// The shrunk trace.
     pub events: Vec<AccessEvent>,
 }
@@ -106,7 +113,7 @@ impl Reproducer {
         let mut out = Vec::with_capacity(64 + self.events.len() * RECORD_BYTES);
         out.extend_from_slice(MAGIC);
         put_u32(&mut out, VERSION);
-        put_u32(&mut out, 0);
+        put_u32(&mut out, self.batch.unwrap_or(0));
         put_str(&mut out, &self.system);
         put_str(&mut out, &self.oracle);
         put_str(&mut out, &self.generator);
@@ -134,10 +141,15 @@ impl Reproducer {
             return Err("bad magic: not a domino-check reproducer".into());
         }
         let version = c.u32()?;
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(format!("unsupported reproducer version {version}"));
         }
-        let _reserved = c.u32()?;
+        // Version 1 wrote a zeroed reserved word here; version 2 stores
+        // the failing batch size in it (still 0 when unset).
+        let batch = match c.u32()? {
+            0 => None,
+            b => Some(b),
+        };
         let system = c.string()?;
         let oracle = c.string()?;
         let generator = c.string()?;
@@ -175,6 +187,7 @@ impl Reproducer {
             oracle,
             generator,
             seed,
+            batch,
             events,
         })
     }
@@ -190,6 +203,7 @@ mod tests {
             oracle: "cross_engine".into(),
             generator: "pointer-chase".into(),
             seed: 0xD0C5,
+            batch: Some(64),
             events: vec![
                 AccessEvent {
                     pc: Pc::new(0x500_000),
@@ -241,6 +255,31 @@ mod tests {
         let mut b = sample().to_bytes();
         b[8] = 99;
         assert!(Reproducer::from_bytes(&b).unwrap_err().contains("version"));
+        b[8] = 0;
+        assert!(Reproducer::from_bytes(&b).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn version_1_decodes_without_batch() {
+        // A v2 file with no batch recorded is byte-identical to v1
+        // except for the version word, so patching it back reproduces a
+        // real v1 file exactly.
+        let r = Reproducer {
+            batch: None,
+            ..sample()
+        };
+        let mut b = r.to_bytes();
+        b[8] = 1;
+        let decoded = Reproducer::from_bytes(&b).expect("v1 files stay readable");
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn batch_survives_roundtrip() {
+        let r = sample();
+        assert_eq!(r.batch, Some(64));
+        let decoded = Reproducer::from_bytes(&r.to_bytes()).expect("valid file");
+        assert_eq!(decoded.batch, Some(64));
     }
 
     #[test]

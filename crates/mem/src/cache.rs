@@ -164,7 +164,22 @@ impl SetAssocCache {
         }
         let victim_pos = (self.rand_state % ways as u64) as usize;
         let set = self.set_slice_mut(idx);
-        if let Some(pos) = set.iter().position(|&l| l == line) {
+        // Branchless presence reduction first: an insert's common case
+        // is a new line (every demand fill follows a failed lookup, and
+        // synthetic LLC pollution is uniform over a space far larger
+        // than the cache), so the early exit of a positional scan never
+        // fires and only inhibits vectorization. A line is resident at
+        // most once, so re-deriving its position on the rare refresh
+        // path costs one more short scan.
+        let mut present = false;
+        for &l in set.iter() {
+            present |= l == line;
+        }
+        if present {
+            let pos = set
+                .iter()
+                .position(|&l| l == line)
+                .expect("presence reduction found the line");
             if replacement == Replacement::Lru {
                 set[pos..].rotate_left(1);
             }
@@ -186,6 +201,78 @@ impl SetAssocCache {
             self.occ[idx] += 1;
             None
         }
+    }
+
+    /// Fused demand access: one set scan that behaves exactly like
+    /// [`SetAssocCache::access`] followed — on a miss only — by
+    /// [`SetAssocCache::insert`] of the same line. Returns
+    /// `(hit, evicted_victim)`.
+    ///
+    /// This is the batched engines' hot-path primitive: the scalar
+    /// engines always insert the demand line right after a miss and
+    /// never insert after a hit, so the second scan of `insert` (and,
+    /// for `Random` replacement, its RNG step on the hit path) is
+    /// provably dead and elided here.
+    pub fn access_insert(&mut self, line: LineAddr) -> (bool, Option<LineAddr>) {
+        let replacement = self.config.replacement;
+        let ways = self.config.ways;
+        let idx = self.set_index(line);
+        let base = idx * ways;
+        let n = self.occ[idx] as usize;
+        let set = &mut self.lines[base..base + n];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if replacement == Replacement::Lru {
+                set[pos..].rotate_left(1);
+            }
+            self.hits += 1;
+            return (true, None);
+        }
+        self.misses += 1;
+        if replacement == Replacement::Random {
+            self.rand_state ^= self.rand_state << 13;
+            self.rand_state ^= self.rand_state >> 7;
+            self.rand_state ^= self.rand_state << 17;
+        }
+        let victim_pos = (self.rand_state % ways as u64) as usize;
+        if n == ways {
+            let set = &mut self.lines[base..base + n];
+            let evict_pos = match replacement {
+                Replacement::Lru | Replacement::Fifo => 0,
+                Replacement::Random => victim_pos,
+            };
+            let evicted = set[evict_pos];
+            set[evict_pos..].rotate_left(1);
+            set[ways - 1] = line;
+            (false, Some(evicted))
+        } else {
+            self.lines[base + n] = line;
+            self.occ[idx] += 1;
+            (false, None)
+        }
+    }
+
+    /// Hints the host CPU to pull `line`'s set into cache ahead of an
+    /// upcoming [`SetAssocCache::access`]/[`SetAssocCache::insert`].
+    /// Purely a host-side prefetch of the simulator's own storage — it
+    /// reads and writes no simulated state, so interleaving it anywhere
+    /// cannot change any simulation outcome. The batched engines use it
+    /// to overlap the host-memory latency of set lookups they can
+    /// predict (the slab of a large cache does not fit in the host's L1).
+    #[inline]
+    pub fn prefetch_set(&self, line: LineAddr) {
+        let base = self.set_index(line) * self.config.ways;
+        let ptr = std::ptr::addr_of!(self.lines[base]);
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(ptr.cast::<i8>(), _MM_HINT_T0);
+            // A 16-way set spans two cache lines of slab.
+            if self.config.ways * 8 > 64 {
+                _mm_prefetch(ptr.cast::<i8>().add(64), _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = ptr;
     }
 
     /// Removes a line if present; returns whether it was there.
@@ -338,6 +425,42 @@ mod tests {
         // Fifth insert into set 0 evicts only from set 0.
         assert_eq!(c.insert(LineAddr::new(4)), Some(LineAddr::new(0)));
         assert!(c.contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn access_insert_matches_access_then_insert() {
+        // Drive two caches with the same pseudo-random line stream: one
+        // via the scalar access()+insert-on-miss protocol, one via the
+        // fused access_insert(). Every observable — hit results, victims,
+        // counters, residency — must match for every policy.
+        for replacement in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut scalar = tiny(2, replacement);
+            let mut fused = tiny(2, replacement);
+            let mut state = 0xdead_beefu64;
+            for _ in 0..2000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let line = LineAddr::new(state % 24);
+                let hit = scalar.access(line);
+                let victim = if hit { None } else { scalar.insert(line) };
+                assert_eq!(
+                    fused.access_insert(line),
+                    (hit, victim),
+                    "{replacement:?}: fused path diverged on line {line:?}"
+                );
+                assert_eq!(scalar.hit_miss(), fused.hit_miss());
+            }
+            assert_eq!(scalar.len(), fused.len());
+            for l in 0..24 {
+                let line = LineAddr::new(l);
+                assert_eq!(
+                    scalar.contains(line),
+                    fused.contains(line),
+                    "{replacement:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -95,6 +95,39 @@ pub trait PrefetchSink {
     fn metadata_replace(&mut self, _line: LineAddr) {}
 }
 
+/// A batch of pending triggering events, resolved one at a time by the
+/// engine that owns it.
+///
+/// This is the inversion at the heart of the batched hot path: instead
+/// of the engine calling [`Prefetcher::on_trigger`] once per event, the
+/// engine hands the prefetcher a whole batch and the *prefetcher* pulls
+/// triggers out of it. Between pulls the prefetcher can see the
+/// remaining triggers' `line`/`pc` lanes ([`TriggerBatch::pending_lines`]
+/// / [`TriggerBatch::pending_pcs`]) and warm its index structures with
+/// batched, branch-free probes — hash all lanes first, then probe — so
+/// metadata lookups pipeline instead of serializing behind each
+/// trigger's control flow.
+///
+/// Protocol (the engine's [`TriggerBatch::next`] implements all of it):
+/// each `next` call **applies** the previous trigger's sink outputs to
+/// the engine (buffer fills, stream discards, metadata traffic), clears
+/// `sink`, and resolves the next triggering event; when the batch is
+/// exhausted it applies the final trigger's outputs and returns `None`.
+/// A [`Prefetcher::train_predict_batch`] implementation must therefore
+/// drain the batch: keep calling `next` (responding to each trigger via
+/// `sink`) until it returns `None`. Warming probes must not change any
+/// observable prefetcher state or counters — batched and scalar replays
+/// are required to be byte-identical.
+pub trait TriggerBatch {
+    /// Demand lines of the not-yet-resolved triggers, in replay order.
+    fn pending_lines(&self) -> &[LineAddr];
+    /// PCs of the not-yet-resolved triggers, in replay order.
+    fn pending_pcs(&self) -> &[Pc];
+    /// Applies the previous trigger's outputs, clears `sink`, and
+    /// resolves the next triggering event (`None` when exhausted).
+    fn next(&mut self, sink: &mut CollectSink) -> Option<TriggerEvent>;
+}
+
 /// A data prefetcher driven by triggering events.
 ///
 /// Implementations include the baselines in `domino-prefetchers`
@@ -110,6 +143,23 @@ pub trait Prefetcher: Send {
 
     /// Reacts to one triggering event.
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink);
+
+    /// Drains a [`TriggerBatch`], responding to each trigger.
+    ///
+    /// The default is the scalar loop — pull each trigger and feed it to
+    /// [`Prefetcher::on_trigger`] — which is behaviour-identical to the
+    /// engine's one-event-at-a-time path by construction. Hot roster
+    /// systems override this to warm their index tables from the batch's
+    /// pending lanes before draining, hoisting hash-and-probe work out
+    /// of the per-trigger inner loop. Overrides must preserve exact
+    /// scalar behaviour: same triggers, same sink outputs, same counter
+    /// values (the `domino-check` batched-vs-scalar oracle enforces
+    /// this byte-for-byte).
+    fn train_predict_batch(&mut self, batch: &mut dyn TriggerBatch, sink: &mut CollectSink) {
+        while let Some(event) = batch.next(sink) {
+            self.on_trigger(&event, sink);
+        }
+    }
 
     /// Hint that up to `expected_events` trace events are about to be
     /// replayed, letting prefetchers with append-only metadata (e.g. the
@@ -232,6 +282,61 @@ mod tests {
         p.on_trigger(&TriggerEvent::miss(Pc::new(1), LineAddr::new(2)), &mut sink);
         assert!(sink.requests.is_empty());
         assert_eq!(p.name(), "Baseline");
+    }
+
+    #[test]
+    fn default_batch_drain_visits_every_trigger() {
+        /// Minimal batch: serves triggers from a list, counts how many
+        /// times outputs were applied.
+        struct ListBatch {
+            lines: Vec<LineAddr>,
+            pcs: Vec<Pc>,
+            cursor: usize,
+            applied: usize,
+        }
+        impl TriggerBatch for ListBatch {
+            fn pending_lines(&self) -> &[LineAddr] {
+                &self.lines[self.cursor..]
+            }
+            fn pending_pcs(&self) -> &[Pc] {
+                &self.pcs[self.cursor..]
+            }
+            fn next(&mut self, sink: &mut CollectSink) -> Option<TriggerEvent> {
+                if self.cursor > 0 {
+                    self.applied += 1;
+                }
+                sink.clear();
+                if self.cursor == self.lines.len() {
+                    return None;
+                }
+                let ev = TriggerEvent::miss(self.pcs[self.cursor], self.lines[self.cursor]);
+                self.cursor += 1;
+                Some(ev)
+            }
+        }
+
+        /// Echoes every trigger line back as an immediate prefetch.
+        struct Echo;
+        impl Prefetcher for Echo {
+            fn name(&self) -> &str {
+                "Echo"
+            }
+            fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
+                sink.prefetch(PrefetchRequest::immediate(event.line));
+            }
+        }
+
+        let mut batch = ListBatch {
+            lines: (0..5).map(LineAddr::new).collect(),
+            pcs: (0..5).map(Pc::new).collect(),
+            cursor: 0,
+            applied: 0,
+        };
+        let mut sink = CollectSink::new();
+        Echo.train_predict_batch(&mut batch, &mut sink);
+        assert_eq!(batch.cursor, 5, "default impl drained the batch");
+        assert_eq!(batch.applied, 5, "every trigger's outputs were applied");
+        assert!(batch.pending_lines().is_empty());
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Structure-of-arrays staging for the batched event hot path.
+//!
+//! The scalar engines interleave four concerns per event: L1 lookup,
+//! prefetch-buffer resolution, prefetcher training, and buffer fills
+//! gated on *current* L1 membership. Batching splits the first concern
+//! out into a **staging pre-pass** over a fixed-size chunk of the trace:
+//! one tight loop that performs every L1 access-and-fill up front and
+//! records the per-event hit flags in a lane ([`L1Lanes::hits`]).
+//!
+//! The pre-pass is exact, not approximate, because of a structural
+//! property of the simulated system: prefetches fill only the prefetch
+//! buffer, never the L1, and a demand miss inserts its line into the L1
+//! whether the buffer covered it or not. L1 state therefore evolves
+//! independently of everything the prefetcher does, and the chunk's L1
+//! outcomes can be computed before any prefetcher runs.
+//!
+//! The one wrinkle is the engines' *dropped-request* rule: a prefetch
+//! request for a line already in the L1 at its trigger event is dropped.
+//! After the pre-pass the L1 holds chunk-**end** state, so the staging
+//! loop also records a delta map of membership changes
+//! (line, event index, inserted-or-evicted). [`L1Lanes::contains_at`]
+//! replays membership *as of any event in the chunk* from chunk-end
+//! state plus the deltas.
+//!
+//! The delta map is kept in the order staging produced it — ascending
+//! event index, at zero extra cost — and queried by a seek to the first
+//! change after the probe point plus a short forward scan. For
+//! default-sized chunks the tail is at most a couple of cache lines,
+//! and chunks that trigger no prefetches (the common case under
+//! low-coverage systems) never pay a sort. A span whose delta map grows
+//! past [`SEAL_THRESHOLD`] (a huge `--batch`) is re-keyed once by
+//! `(line, index)` so queries binary-search instead.
+
+use domino_mem::cache::SetAssocCache;
+use domino_trace::addr::{LineAddr, Pc};
+use domino_trace::event::AccessEvent;
+
+/// Delta-map size at which staging re-keys for binary search
+/// ([`L1Lanes::seal_by_line`]): default-sized chunks stay well under it
+/// and keep the sort-free forward scan; oversized spans (a huge
+/// `--batch`, or a short trace staged whole) pay one sort instead of
+/// long scans. Either layout answers queries identically, so the
+/// threshold affects speed only, never figure bytes.
+const SEAL_THRESHOLD: usize = 512;
+
+/// Staged per-chunk L1 outcomes plus the membership-delta map.
+#[derive(Debug, Default)]
+pub(crate) struct L1Lanes {
+    /// Per-event L1 hit flag, indexed by `event_index - start`. Filled
+    /// by [`L1Lanes::stage`] (the timing engines step every event);
+    /// [`L1Lanes::stage_coverage`] leaves it empty — the coverage
+    /// engine only ever visits the compacted misses.
+    pub hits: Vec<bool>,
+    /// Membership changes during the chunk: `(line_raw, event_index,
+    /// inserted)` in staging order (ascending `event_index`), re-keyed
+    /// to `(line_raw, event_index)` order by [`L1Lanes::seal_by_line`].
+    /// `inserted = false` records an eviction.
+    deltas: Vec<(u64, u32, bool)>,
+    /// Whether `deltas` is keyed by line ([`L1Lanes::seal_by_line`]).
+    by_line: bool,
+}
+
+/// Compacted triggering events of a staged coverage chunk (L1 misses
+/// only — hits never reach the prefetcher), in parallel lanes.
+#[derive(Debug, Default)]
+pub(crate) struct TriggerLanes {
+    /// Absolute trace indices of the chunk's triggering events.
+    pub idx: Vec<u32>,
+    /// Demand lines, PCs, and read flags, parallel to `idx`.
+    pub lines: Vec<LineAddr>,
+    pub pcs: Vec<Pc>,
+    pub reads: Vec<bool>,
+}
+
+impl TriggerLanes {
+    pub fn new() -> Self {
+        TriggerLanes::default()
+    }
+
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        self.lines.clear();
+        self.pcs.clear();
+        self.reads.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+}
+
+impl L1Lanes {
+    /// Creates empty lanes (no allocation until first [`L1Lanes::stage`]).
+    pub fn new() -> Self {
+        L1Lanes::default()
+    }
+
+    /// Runs the L1 pre-pass over `trace[start..end]`: every event's
+    /// demand access *and* — on a miss — the demand fill, exactly as the
+    /// scalar engines interleave them, via the fused
+    /// [`SetAssocCache::access_insert`]. On return `l1` holds chunk-end
+    /// state and the lanes hold per-event hits plus the delta map.
+    pub fn stage(
+        &mut self,
+        l1: &mut SetAssocCache,
+        trace: &[AccessEvent],
+        start: usize,
+        end: usize,
+    ) {
+        self.hits.clear();
+        self.deltas.clear();
+        self.by_line = false;
+        self.hits.reserve(end - start);
+        for (off, ev) in trace[start..end].iter().enumerate() {
+            let line = ev.line();
+            let (hit, victim) = l1.access_insert(line);
+            self.hits.push(hit);
+            if !hit {
+                let idx = (start + off) as u32;
+                self.deltas.push((line.raw(), idx, true));
+                if let Some(evicted) = victim {
+                    self.deltas.push((evicted.raw(), idx, false));
+                }
+            }
+        }
+        if self.deltas.len() >= SEAL_THRESHOLD {
+            self.seal_by_line();
+        }
+    }
+
+    /// The coverage engines' fused pre-pass: stages `trace[start..end]`
+    /// like [`L1Lanes::stage`] but compacts the misses straight into
+    /// `trig` instead of filling the per-event hit lane, and returns the
+    /// chunk's L1 hit count. One loop does the L1 advance, the delta
+    /// map, and the trigger compaction the coverage drive loop needs.
+    pub fn stage_coverage(
+        &mut self,
+        l1: &mut SetAssocCache,
+        trace: &[AccessEvent],
+        start: usize,
+        end: usize,
+        trig: &mut TriggerLanes,
+    ) -> u64 {
+        self.hits.clear();
+        self.deltas.clear();
+        self.by_line = false;
+        trig.clear();
+        let mut hits = 0u64;
+        for (off, ev) in trace[start..end].iter().enumerate() {
+            let line = ev.line();
+            let (hit, victim) = l1.access_insert(line);
+            if hit {
+                hits += 1;
+                continue;
+            }
+            let idx = (start + off) as u32;
+            trig.idx.push(idx);
+            trig.lines.push(line);
+            trig.pcs.push(ev.pc);
+            trig.reads.push(ev.kind.is_read());
+            self.deltas.push((line.raw(), idx, true));
+            if let Some(evicted) = victim {
+                self.deltas.push((evicted.raw(), idx, false));
+            }
+        }
+        if self.deltas.len() >= SEAL_THRESHOLD {
+            self.seal_by_line();
+        }
+        hits
+    }
+
+    /// Re-keys the delta map to `(line, event_index)` order so
+    /// [`L1Lanes::contains_at`] runs a binary search instead of a
+    /// forward scan. Staging calls this automatically past
+    /// [`SEAL_THRESHOLD`]; default-sized chunks never reach it.
+    fn seal_by_line(&mut self) {
+        self.deltas.sort_unstable();
+        self.by_line = true;
+    }
+
+    /// Whether `line` was in the L1 *just after* event `idx`'s own
+    /// demand fill — the point at which the scalar engines evaluate the
+    /// dropped-request rule for event `idx`'s prefetches. `l1` must hold
+    /// the chunk-end state left by staging.
+    pub fn contains_at(&self, l1: &SetAssocCache, idx: u32, line: LineAddr) -> bool {
+        // Injected bug for `domino-check --self-test`: consult chunk-end
+        // state directly, ignoring membership changes after `idx`. A
+        // line evicted later in the chunk then wrongly reads as absent
+        // at `idx` (and vice versa), so buffered prefetches diverge from
+        // the scalar engines.
+        #[cfg(domino_mutate)]
+        if crate::mutate_active("batch_stale_contains") {
+            return l1.contains(line);
+        }
+        let key = line.raw();
+        if self.by_line {
+            // First change to `line` strictly after `idx`: the state
+            // *before* that change is the state at the query point.
+            let p = self
+                .deltas
+                .partition_point(|&(l, i, _)| l < key || (l == key && i <= idx));
+            return match self.deltas.get(p) {
+                Some(&(l, _, inserted)) if l == key => !inserted,
+                _ => l1.contains(line),
+            };
+        }
+        // Staging order (ascending index): seek past the changes already
+        // applied at the query point, then take the first later change
+        // to `line`, if any.
+        let p = self.deltas.partition_point(|&(_, i, _)| i <= idx);
+        match self.deltas[p..].iter().find(|&&(l, _, _)| l == key) {
+            Some(&(_, _, inserted)) => !inserted,
+            None => l1.contains(line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
+    use domino_trace::addr::{Addr, Pc, LINE_BYTES};
+
+    fn tiny_l1() -> SetAssocCache {
+        // 4 sets x 2 ways: small enough to force evictions quickly.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 8 * LINE_BYTES,
+            ways: 2,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    fn ev(line: u64) -> AccessEvent {
+        AccessEvent::read(Pc::new(1), Addr::new(line * LINE_BYTES))
+    }
+
+    fn xorshift_trace(n: usize) -> Vec<AccessEvent> {
+        let mut state = 0x1234_5678u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ev(state % 24)
+            })
+            .collect()
+    }
+
+    /// Oracle: replay the scalar access/insert protocol event by event
+    /// and query membership after each event's fill — through both delta
+    /// layouts (staging order and sealed-by-line).
+    #[test]
+    fn contains_at_matches_scalar_replay() {
+        let trace = xorshift_trace(300);
+        let probe_lines: Vec<LineAddr> = (0..24).map(LineAddr::new).collect();
+
+        // Scalar oracle: membership of every probe line after each event.
+        let mut scalar = tiny_l1();
+        let mut expected: Vec<Vec<bool>> = Vec::new();
+        let mut scalar_hits = Vec::new();
+        for e in &trace {
+            let hit = scalar.access(e.line());
+            if !hit {
+                scalar.insert(e.line());
+            }
+            scalar_hits.push(hit);
+            expected.push(probe_lines.iter().map(|&l| scalar.contains(l)).collect());
+        }
+
+        for seal in [false, true] {
+            // Staged path, in chunks of 7 (not a divisor of 300).
+            let mut l1 = tiny_l1();
+            let mut lanes = L1Lanes::new();
+            let mut s = 0;
+            while s < trace.len() {
+                let e = (s + 7).min(trace.len());
+                lanes.stage(&mut l1, &trace, s, e);
+                if seal {
+                    lanes.seal_by_line();
+                }
+                for idx in s..e {
+                    assert_eq!(lanes.hits[idx - s], scalar_hits[idx], "hit flag at {idx}");
+                    for (k, &l) in probe_lines.iter().enumerate() {
+                        assert_eq!(
+                            lanes.contains_at(&l1, idx as u32, l),
+                            expected[idx][k],
+                            "membership of line {k} after event {idx} (seal {seal})"
+                        );
+                    }
+                }
+                s = e;
+            }
+            assert_eq!(scalar.hit_miss(), l1.hit_miss());
+        }
+    }
+
+    /// The fused coverage pre-pass must agree with plain staging on hit
+    /// counts, compacted triggers, and delta-map answers.
+    #[test]
+    fn stage_coverage_matches_stage() {
+        let trace = xorshift_trace(300);
+        let probe_lines: Vec<LineAddr> = (0..24).map(LineAddr::new).collect();
+        let mut l1_a = tiny_l1();
+        let mut l1_b = tiny_l1();
+        let mut plain = L1Lanes::new();
+        let mut fused = L1Lanes::new();
+        let mut trig = TriggerLanes::new();
+        let mut s = 0;
+        while s < trace.len() {
+            let e = (s + 7).min(trace.len());
+            plain.stage(&mut l1_a, &trace, s, e);
+            let hits = fused.stage_coverage(&mut l1_b, &trace, s, e, &mut trig);
+            let plain_hits = plain.hits.iter().filter(|&&h| h).count() as u64;
+            assert_eq!(hits, plain_hits, "hit count at chunk {s}");
+            let misses: Vec<u32> = (s..e)
+                .filter(|&i| !plain.hits[i - s])
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(trig.idx, misses, "compacted trigger indices at {s}");
+            assert_eq!(trig.len(), trig.lines.len());
+            for (k, &i) in trig.idx.iter().enumerate() {
+                let ev = &trace[i as usize];
+                assert_eq!(trig.lines[k], ev.line());
+                assert_eq!(trig.pcs[k], ev.pc);
+                assert_eq!(trig.reads[k], ev.kind.is_read());
+            }
+            for idx in s..e {
+                for &l in &probe_lines {
+                    assert_eq!(
+                        plain.contains_at(&l1_a, idx as u32, l),
+                        fused.contains_at(&l1_b, idx as u32, l),
+                        "delta answers diverged at event {idx}"
+                    );
+                }
+            }
+            s = e;
+        }
+        assert_eq!(l1_a.hit_miss(), l1_b.hit_miss());
+    }
+
+    #[test]
+    fn single_event_chunk_stages() {
+        let trace = vec![ev(3)];
+        let mut l1 = tiny_l1();
+        let mut lanes = L1Lanes::new();
+        lanes.stage(&mut l1, &trace, 0, 1);
+        assert_eq!(lanes.hits, vec![false]);
+        assert!(lanes.contains_at(&l1, 0, LineAddr::new(3)));
+        assert!(!lanes.contains_at(&l1, 0, LineAddr::new(4)));
+    }
+}

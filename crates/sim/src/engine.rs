@@ -15,13 +15,14 @@
 //! same run.
 
 use domino_mem::cache::SetAssocCache;
-use domino_mem::interface::{Prefetcher, TriggerEvent};
+use domino_mem::interface::{CollectSink, Prefetcher, TriggerBatch, TriggerEvent};
 use domino_mem::prefetch_buffer::{InsertOutcome, PrefetchBuffer};
 use domino_sequitur::Histogram;
 use domino_telemetry::{CounterSink, Telemetry, DISTANCE_BOUNDS};
-use domino_trace::addr::LINE_BYTES;
+use domino_trace::addr::{LineAddr, Pc, LINE_BYTES};
 use domino_trace::event::AccessEvent;
 
+use crate::batch::{L1Lanes, TriggerLanes};
 use crate::config::SystemConfig;
 use crate::scratch;
 
@@ -184,7 +185,47 @@ fn emit_coverage_row(
 /// counters), and covered misses record their prefetch-to-use distance
 /// in demand accesses. With a disabled handle this is exactly
 /// [`run_coverage_warmed`] — one dead branch per access.
+///
+/// Unobserved runs take the batched structure-of-arrays hot path when
+/// the effective [`crate::observe::batch_size`] is greater than one;
+/// observed runs (epoch telemetry or flight recorder) always take the
+/// scalar path, whose per-event hooks the observation machinery needs.
+/// Both paths produce byte-identical reports.
 pub fn run_coverage_observed(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    tel: &mut Telemetry,
+) -> CoverageReport {
+    let batch = crate::observe::batch_size();
+    if batch > 1 && !tel.is_on() && !tel.has_tracer() {
+        run_coverage_batched(system, trace, prefetcher, warmup, batch as usize)
+    } else {
+        run_coverage_scalar(system, trace, prefetcher, warmup, tel)
+    }
+}
+
+/// [`run_coverage`] at an explicit batch size, ignoring the process-wide
+/// knob — the entry point for batched-vs-scalar differential checks
+/// (`batch = 1` forces the scalar loop).
+pub fn run_coverage_with_batch(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    batch: u32,
+) -> CoverageReport {
+    if batch > 1 {
+        run_coverage_batched(system, trace, prefetcher, warmup, batch as usize)
+    } else {
+        run_coverage_scalar(system, trace, prefetcher, warmup, &mut Telemetry::off())
+    }
+}
+
+/// The scalar one-event-at-a-time loop (and the only loop that supports
+/// telemetry and tracing).
+fn run_coverage_scalar(
     system: &SystemConfig,
     trace: &[AccessEvent],
     prefetcher: &mut dyn Prefetcher,
@@ -355,6 +396,187 @@ pub fn run_coverage_observed(
     report
 }
 
+/// The coverage engine's [`TriggerBatch`]: one staged chunk's compacted
+/// triggering events (L1 misses only — hits never reach the prefetcher),
+/// resolved against the prefetch buffer one pull at a time.
+struct CoverageDriver<'a> {
+    l1: &'a SetAssocCache,
+    lanes: &'a L1Lanes,
+    buffer: &'a mut PrefetchBuffer,
+    report: &'a mut CoverageReport,
+    run: &'a mut u64,
+    measuring: bool,
+    /// Absolute trace indices of the chunk's triggering events.
+    idx: &'a [u32],
+    /// Demand lines, PCs, and read flags, parallel to `idx`.
+    lines: &'a [LineAddr],
+    pcs: &'a [Pc],
+    reads: &'a [bool],
+    cursor: usize,
+}
+
+impl CoverageDriver<'_> {
+    /// Applies trigger `k`'s sink outputs: stream discards, buffer
+    /// fills gated on as-of-event-`k` L1 membership, and metadata
+    /// traffic — the exact tail of the scalar event loop.
+    fn apply(&mut self, k: usize, sink: &CollectSink) {
+        let i = self.idx[k];
+        for &stream in &sink.discarded_streams {
+            self.buffer.discard_stream(stream);
+        }
+        let mut first_of_event = true;
+        for req in &sink.requests {
+            if self.measuring {
+                self.report.prefetches_issued += 1;
+                if first_of_event && req.delay_trips > 0 {
+                    self.report.first_prefetch_trips += u64::from(req.delay_trips);
+                    self.report.first_prefetch_count += 1;
+                    first_of_event = false;
+                }
+            }
+            if !self.lanes.contains_at(self.l1, i, req.line) {
+                self.buffer.insert(req.line, f64::from(i), req.stream);
+            }
+        }
+        if self.measuring {
+            self.report.meta_read_blocks += sink.meta_read_blocks;
+            self.report.meta_write_blocks += sink.meta_write_blocks;
+        }
+    }
+}
+
+impl TriggerBatch for CoverageDriver<'_> {
+    fn pending_lines(&self) -> &[LineAddr] {
+        &self.lines[self.cursor..]
+    }
+
+    fn pending_pcs(&self) -> &[Pc] {
+        &self.pcs[self.cursor..]
+    }
+
+    fn next(&mut self, sink: &mut CollectSink) -> Option<TriggerEvent> {
+        if self.cursor > 0 {
+            self.apply(self.cursor - 1, sink);
+        }
+        sink.clear();
+        if self.cursor == self.idx.len() {
+            return None;
+        }
+        let k = self.cursor;
+        self.cursor += 1;
+        let line = self.lines[k];
+        let covered = self.buffer.take(line).is_some();
+        if self.measuring {
+            self.report.baseline_misses += 1;
+            if self.reads[k] {
+                self.report.read_misses += 1;
+            }
+            if covered {
+                self.report.covered += 1;
+                if self.reads[k] {
+                    self.report.read_covered += 1;
+                }
+                *self.run += 1;
+            } else if *self.run > 0 {
+                self.report.stream_lengths.record(*self.run);
+                *self.run = 0;
+            }
+        }
+        Some(if covered {
+            TriggerEvent::prefetch_hit(self.pcs[k], line)
+        } else {
+            TriggerEvent::miss(self.pcs[k], line)
+        })
+    }
+}
+
+/// The batched structure-of-arrays loop: one fused pre-pass per
+/// fixed-size chunk ([`L1Lanes::stage_coverage`]) advances the L1,
+/// compacts the misses into trigger lanes, and counts the hits, then
+/// the whole chunk goes to the prefetcher via
+/// [`Prefetcher::train_predict_batch`]. Byte-identical to
+/// [`run_coverage_scalar`] by construction; the `domino-check`
+/// batched-vs-scalar oracle enforces it.
+fn run_coverage_batched(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    batch: usize,
+) -> CoverageReport {
+    let mut l1 = scratch::cache(system.l1d);
+    let mut buffer = scratch::buffer(system.prefetch_buffer_blocks);
+    let mut sink = scratch::sink();
+    prefetcher.reserve(trace.len());
+    let mut report = CoverageReport {
+        name: prefetcher.name().to_string(),
+        accesses: 0,
+        l1_hits: 0,
+        baseline_misses: 0,
+        covered: 0,
+        read_misses: 0,
+        read_covered: 0,
+        prefetches_issued: 0,
+        overpredictions: 0,
+        meta_read_blocks: 0,
+        meta_write_blocks: 0,
+        stream_lengths: Histogram::fig12(),
+        first_prefetch_trips: 0,
+        first_prefetch_count: 0,
+    };
+    let mut run = 0u64;
+    let mut warmup_overpredictions = 0u64;
+    let mut lanes = L1Lanes::new();
+    // Compacted trigger lanes of the current chunk, reused across chunks.
+    let mut trig = TriggerLanes::new();
+    let n = trace.len();
+    let mut s = 0usize;
+    while s < n {
+        // Clamp the chunk to the warmup boundary so `measuring` is
+        // constant within it (the scalar loop flips mid-stream).
+        let mut e = (s + batch).min(n);
+        if s < warmup && e > warmup {
+            e = warmup;
+        }
+        let measuring = s >= warmup;
+        if measuring && s == warmup && warmup > 0 {
+            warmup_overpredictions = buffer.stats().overpredictions();
+        }
+        let hits = lanes.stage_coverage(&mut l1, trace, s, e, &mut trig);
+        if measuring {
+            report.accesses += (e - s) as u64;
+            report.l1_hits += hits;
+        }
+        let mut driver = CoverageDriver {
+            l1: &l1,
+            lanes: &lanes,
+            buffer: &mut buffer,
+            report: &mut report,
+            run: &mut run,
+            measuring,
+            idx: &trig.idx,
+            lines: &trig.lines,
+            pcs: &trig.pcs,
+            reads: &trig.reads,
+            cursor: 0,
+        };
+        prefetcher.train_predict_batch(&mut driver, &mut sink);
+        debug_assert_eq!(
+            driver.cursor,
+            trig.len(),
+            "train_predict_batch must drain the batch"
+        );
+        s = e;
+    }
+    if run > 0 {
+        report.stream_lengths.record(run);
+    }
+    let stats = buffer.stats();
+    report.overpredictions =
+        (stats.overpredictions() - warmup_overpredictions) + buffer.len() as u64;
+    report
+}
+
 /// Convenience: the baseline miss sequence (line addresses, reads and
 /// writes) after L1 filtering — the input for Sequitur/oracle analyses
 /// and the lookup-depth studies.
@@ -511,6 +733,25 @@ mod tests {
         let r = super::run_coverage_warmed(&system(), &trace, &mut p, 5_000);
         assert_eq!(r.accesses, 0);
         assert_eq!(r.baseline_misses, 0);
+    }
+
+    #[test]
+    fn batched_coverage_is_byte_identical_to_scalar() {
+        let spec = catalog::oltp();
+        let trace: Vec<_> = spec.generator(17).take(30_000).collect();
+        for warmup in [0usize, 10_000, 29_999] {
+            let mut scalar_p = Stms::new(TemporalConfig::default());
+            let scalar = run_coverage_with_batch(&system(), &trace, &mut scalar_p, warmup, 1);
+            for batch in [2u32, 7, 64, 4096] {
+                let mut p = Stms::new(TemporalConfig::default());
+                let batched = run_coverage_with_batch(&system(), &trace, &mut p, warmup, batch);
+                assert_eq!(
+                    format!("{scalar:?}"),
+                    format!("{batched:?}"),
+                    "batch {batch}, warmup {warmup}"
+                );
+            }
+        }
     }
 
     #[test]

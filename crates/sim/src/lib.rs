@@ -38,6 +38,7 @@ pub(crate) fn mutate_active(name: &str) -> bool {
         .unwrap_or(false)
 }
 
+pub(crate) mod batch;
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -53,11 +54,14 @@ pub mod timing;
 pub mod trace_cache;
 
 pub use config::SystemConfig;
-pub use engine::{baseline_miss_sequence, run_coverage, run_coverage_observed, CoverageReport};
+pub use engine::{
+    baseline_miss_sequence, run_coverage, run_coverage_observed, run_coverage_with_batch,
+    CoverageReport,
+};
 pub use figures::Scale;
-pub use multicore::{run_homogeneous, run_multicore, MulticoreReport};
+pub use multicore::{run_homogeneous, run_multicore, run_multicore_with_batch, MulticoreReport};
 pub use report::FigureTable;
 pub use roster::System;
 pub use stats::Sample;
-pub use timing::{run_timing, run_timing_observed, TimingReport};
+pub use timing::{run_timing, run_timing_observed, run_timing_with_batch, TimingReport};
 pub use trace_cache::{shared_miss_sequence, shared_trace};

@@ -47,8 +47,43 @@ use domino_telemetry::{CounterSink, HistId, Telemetry, LATENCY_BOUNDS, MSHR_BOUN
 use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
 
+use crate::batch::L1Lanes;
 use crate::config::SystemConfig;
 use crate::scratch;
+
+/// How [`CoreEngine::step`] sees the L1 for one event.
+///
+/// The batched hot path pre-advances the L1 over a whole staged span
+/// ([`L1Lanes::stage`]) before stepping any event, which is exact
+/// because prefetches never fill the L1 (see [`crate::batch`]). `step`
+/// then reads the staged hit flag instead of probing the cache, skips
+/// the (already performed) demand fill, and answers dropped-request
+/// membership queries through the staging delta map.
+#[derive(Clone, Copy)]
+pub(crate) enum L1View<'s> {
+    /// Probe and fill the live cache per event (the scalar path).
+    Live,
+    /// Probe-and-fill in one fused scan at the probe point
+    /// ([`SetAssocCache::access_insert`]). Exact because nothing
+    /// between the scalar loop's probe and its demand fill reads the
+    /// L1, so hoisting the fill to the probe is unobservable — and the
+    /// dropped-request gate then reads live post-fill state, exactly
+    /// what the scalar gate reads. The single-core batched timing loop
+    /// uses this: it pays neither the second scan of a separate
+    /// `insert` nor any staging bookkeeping.
+    Fused,
+    /// The event's L1 outcome was staged ahead of time (a whole span
+    /// was pre-advanced, so membership queries go through the staging
+    /// delta map). The multicore interleave uses this.
+    Staged {
+        /// Absolute trace index of the event (delta-map query point).
+        idx: u32,
+        /// Staged demand outcome: `true` = L1 hit.
+        hit: bool,
+        /// The staged span covering this event.
+        lanes: &'s L1Lanes,
+    },
+}
 
 /// Result of a timing run.
 #[derive(Debug, Clone)]
@@ -212,8 +247,26 @@ impl<'a> CoreEngine<'a> {
         ));
     }
 
+    /// Stages the L1 outcomes of `trace[start..end]` into `lanes` (the
+    /// batched paths' pre-pass over this core's private L1).
+    pub(crate) fn stage_span(
+        &mut self,
+        lanes: &mut L1Lanes,
+        trace: &[AccessEvent],
+        start: usize,
+        end: usize,
+    ) {
+        lanes.stage(&mut self.l1, trace, start, end);
+    }
+
     /// Processes one trace event against the shared LLC and channel.
-    pub(crate) fn step(&mut self, ev: &AccessEvent, l2: &mut SetAssocCache, dram: &mut Dram) {
+    pub(crate) fn step(
+        &mut self,
+        ev: &AccessEvent,
+        view: L1View<'_>,
+        l2: &mut SetAssocCache,
+        dram: &mut Dram,
+    ) {
         let report = &mut self.report;
         report.instructions += u64::from(ev.gap_insts) + 1;
         self.now += f64::from(ev.gap_insts) * self.per_inst;
@@ -231,7 +284,12 @@ impl<'a> CoreEngine<'a> {
         }
         self.mshrs.retire_until(self.now);
         let line = ev.line();
-        if self.l1.access(line) {
+        let l1_hit = match view {
+            L1View::Live => self.l1.access(line),
+            L1View::Fused => self.l1.access_insert(line).0,
+            L1View::Staged { hit, .. } => hit,
+        };
+        if l1_hit {
             return;
         }
         // Demand miss: resolve when its data is available.
@@ -339,7 +397,11 @@ impl<'a> CoreEngine<'a> {
             self.rob_q
                 .push_back((report.instructions + self.rob, data_ready));
         }
-        self.l1.insert(line);
+        if matches!(view, L1View::Live) {
+            // Fused probes and staged spans already performed the
+            // demand fill.
+            self.l1.insert(line);
+        }
         // Drive the prefetcher.
         self.sink.clear();
         let trigger = if covered {
@@ -386,7 +448,11 @@ impl<'a> CoreEngine<'a> {
             if let Some(rec) = self.tel.tracer() {
                 rec.issue(now_ts, req.line.raw(), req.stream, req.delay_trips);
             }
-            if self.l1.contains(req.line) {
+            let in_l1 = match view {
+                L1View::Live | L1View::Fused => self.l1.contains(req.line),
+                L1View::Staged { idx, lanes, .. } => lanes.contains_at(&self.l1, idx, req.line),
+            };
+            if in_l1 {
                 if let Some(rec) = self.tel.tracer() {
                     // Already in the L1: the engine drops the request.
                     rec.drop_unbuffered(now_ts, req.line.raw(), req.stream, 2);
@@ -508,7 +574,120 @@ pub fn run_timing_warmed(
 /// [`run_timing_warmed`] with a telemetry handle: per-epoch snapshots of
 /// the core, caches, MSHRs, and shared channel, plus metadata round-trip
 /// latency and MSHR-occupancy histograms.
+///
+/// As with the coverage engine, unobserved runs take the batched
+/// structure-of-arrays path at the effective
+/// [`crate::observe::batch_size`]; observed runs stay scalar. The
+/// reports are byte-identical either way.
 pub fn run_timing_observed(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    tel: &mut Telemetry,
+) -> TimingReport {
+    let batch = crate::observe::batch_size();
+    if batch > 1 && !tel.is_on() && !tel.has_tracer() {
+        run_timing_batched(system, trace, prefetcher, warmup, batch as usize)
+    } else {
+        run_timing_scalar(system, trace, prefetcher, warmup, tel)
+    }
+}
+
+/// [`run_timing`] at an explicit batch size, ignoring the process-wide
+/// knob (`batch = 1` forces the scalar loop) — the batched-vs-scalar
+/// differential checker's entry point.
+pub fn run_timing_with_batch(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    batch: u32,
+) -> TimingReport {
+    if batch > 1 {
+        run_timing_batched(system, trace, prefetcher, warmup, batch as usize)
+    } else {
+        run_timing_scalar(system, trace, prefetcher, warmup, &mut Telemetry::off())
+    }
+}
+
+/// How many pollution inserts ahead the batched timing loop prefetches
+/// the LLC slab. Far enough to cover a host-memory round trip, close
+/// enough that the touched sets are still cached when the insert runs.
+const POLLUTE_PREFETCH_AHEAD: usize = 16;
+
+/// The batched timing loop: per chunk, one SoA pass precomputes the
+/// cross-core pollution RNG chain (it depends on nothing else) and
+/// host-prefetches the LLC sets it will touch — the pollution lines
+/// are uniform over a slab far larger than the host's L1, so the
+/// scalar loop stalls on a cold set per insert. Events then step with
+/// a fused L1 probe-and-fill ([`L1View::Fused`]): one scan where the
+/// scalar loop pays a probe scan plus a fill scan per miss. Every
+/// simulated interaction (pollution inserts, DRAM, MSHRs) happens in
+/// the exact scalar order.
+fn run_timing_batched(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    batch: usize,
+) -> TimingReport {
+    let mut l2 = scratch::cache(system.l2);
+    let mut dram = Dram::new(system.memory);
+    prefetcher.reserve(trace.len());
+    let mut pollute_state: u64 = 0x1234_5678_9abc_def1;
+    let pollute_per_event = 2 * (system.cores - 1) as usize;
+    let mut tel = Telemetry::off();
+    let mut engine = CoreEngine::new(system, prefetcher, &mut tel);
+    // The chunk's pollution lines, precomputed per chunk and reused
+    // across chunks.
+    let mut pollute_lines: Vec<domino_trace::addr::LineAddr> = Vec::new();
+    let n = trace.len();
+    let mut s = 0usize;
+    while s < n {
+        // Chunks break at the warmup boundary so the measurement mark
+        // lands exactly where the scalar loop places it.
+        let mut e = (s + batch).min(n);
+        if s < warmup && e > warmup {
+            e = warmup;
+        }
+        if s == warmup && warmup > 0 {
+            engine.mark_measurement_start();
+        }
+        pollute_lines.clear();
+        for _ in 0..(e - s) * pollute_per_event {
+            pollute_state ^= pollute_state << 13;
+            pollute_state ^= pollute_state >> 7;
+            pollute_state ^= pollute_state << 17;
+            pollute_lines.push(domino_trace::addr::LineAddr::new(
+                0x0F00_0000_0000 | (pollute_state & 0xFFFF_FFFF),
+            ));
+        }
+        for l in pollute_lines.iter().take(POLLUTE_PREFETCH_AHEAD) {
+            l2.prefetch_set(*l);
+        }
+        for (off, ev) in trace[s..e].iter().enumerate() {
+            let base = off * pollute_per_event;
+            for (k, &line) in pollute_lines[base..base + pollute_per_event]
+                .iter()
+                .enumerate()
+            {
+                if let Some(&ahead) = pollute_lines.get(base + k + POLLUTE_PREFETCH_AHEAD) {
+                    l2.prefetch_set(ahead);
+                }
+                l2.insert(line);
+            }
+            engine.step(ev, L1View::Fused, &mut l2, &mut dram);
+        }
+        s = e;
+    }
+    let traffic = dram.traffic();
+    engine.finish(traffic)
+}
+
+/// The scalar one-event-at-a-time timing loop (and the only loop that
+/// supports telemetry and tracing).
+fn run_timing_scalar(
     system: &SystemConfig,
     trace: &[AccessEvent],
     prefetcher: &mut dyn Prefetcher,
@@ -537,7 +716,7 @@ pub fn run_timing_observed(
                 0x0F00_0000_0000 | (pollute_state & 0xFFFF_FFFF),
             ));
         }
-        engine.step(ev, &mut l2, &mut dram);
+        engine.step(ev, L1View::Live, &mut l2, &mut dram);
     }
     engine.flush_telemetry(&dram);
     let traffic = dram.traffic();
@@ -637,6 +816,25 @@ mod tests {
             warmed.instructions,
             full.instructions
         );
+    }
+
+    #[test]
+    fn batched_timing_is_byte_identical_to_scalar() {
+        let spec = catalog::oltp();
+        let trace: Vec<_> = spec.generator(13).take(25_000).collect();
+        for warmup in [0usize, 9_000] {
+            let mut scalar_p = Stms::new(TemporalConfig::default());
+            let scalar = run_timing_with_batch(&system(), &trace, &mut scalar_p, warmup, 1);
+            for batch in [2u32, 7, 64, 4096] {
+                let mut p = Stms::new(TemporalConfig::default());
+                let batched = run_timing_with_batch(&system(), &trace, &mut p, warmup, batch);
+                assert_eq!(
+                    format!("{scalar:?}"),
+                    format!("{batched:?}"),
+                    "batch {batch}, warmup {warmup}"
+                );
+            }
+        }
     }
 
     #[test]

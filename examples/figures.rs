@@ -8,6 +8,7 @@
 //! cargo run --release --example figures -- 100000           # events/workload
 //! cargo run --release --example figures -- 100000 out_dir   # + SVG & CSV files
 //! cargo run --release --example figures -- --jobs 8         # worker threads
+//! cargo run --release --example figures -- --batch 128      # event batch size
 //! cargo run --release --example figures -- --epoch 50000    # per-epoch telemetry
 //! cargo run --release --example figures -- --trace 65536    # flight recorder
 //! ```
@@ -17,10 +18,18 @@
 //! variable, else the host's available parallelism. Output tables are
 //! byte-identical at any job count.
 //!
+//! The per-event hot path runs in SoA batches of `--batch` events
+//! (else `DOMINO_BATCH`, else a tuned default; `--batch 1` forces the
+//! scalar loop). Every table is byte-identical at any batch size — the
+//! `batched_vs_scalar` checker oracle enforces this.
+//!
 //! Each run also writes `BENCH_sweep.json` (to the output directory if
 //! one is given, else the working directory): per-figure wall-clock and
-//! replay throughput, plus the job count and host core count, so sweeps
-//! at different `--jobs` values can be compared mechanically.
+//! replay throughput, the job count, batch size, and host core count at
+//! bench time — so the bench guard can refuse comparisons across
+//! different configurations — plus a jobs-1/2/4/8 scaling curve over
+//! the three heaviest figures (skipped when `--epoch`/`--trace`
+//! observation is on, to keep telemetry output single-valued).
 //!
 //! With `--epoch N` (or the `DOMINO_EPOCH` environment variable) the
 //! roster figures additionally record per-epoch telemetry — one
@@ -50,6 +59,13 @@ struct FigureTiming {
     events_per_sec: f64,
 }
 
+struct ScalingPoint {
+    figure: &'static str,
+    jobs: usize,
+    seconds: f64,
+    events_per_sec: f64,
+}
+
 fn main() {
     let mut events: Option<usize> = None;
     let mut out_dir: Option<std::path::PathBuf> = None;
@@ -61,6 +77,12 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .expect("--jobs needs a positive integer");
             exec::set_jobs_override(Some(n));
+        } else if arg == "--batch" {
+            let n: u32 = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--batch needs a positive integer (1 = scalar)");
+            observe::set_batch_override(Some(n));
         } else if arg == "--epoch" {
             let n: u64 = args
                 .next()
@@ -149,12 +171,45 @@ fn main() {
     let total = t0.elapsed().as_secs_f64();
     eprintln!("all figures in {total:.1}s");
 
+    // Scaling curve: the three heaviest figures at jobs 1/2/4/8, for
+    // the bench guard's multicore-scaling checks. Observed runs skip it
+    // so every telemetry/trace cell stays single-valued.
+    let mut scaling: Vec<ScalingPoint> = Vec::new();
+    if !observe::observing() {
+        eprintln!("scaling curve (jobs 1/2/4/8)...");
+        macro_rules! scale_point {
+            ($name:literal, $j:expr, $figure:expr) => {{
+                let start = std::time::Instant::now();
+                let _ = $figure;
+                let seconds = start.elapsed().as_secs_f64();
+                eprintln!("  {} at jobs {} in {seconds:.1}s", $name, $j);
+                scaling.push(ScalingPoint {
+                    figure: $name,
+                    jobs: $j,
+                    seconds,
+                    events_per_sec: (scale.events * WORKLOADS) as f64 / seconds,
+                });
+            }};
+        }
+        for j in [1usize, 2, 4, 8] {
+            exec::set_jobs_override(Some(j));
+            scale_point!("fig05", j, fig05(&scale));
+            scale_point!("fig14", j, fig14(&scale));
+            scale_point!("bandwidth", j, bandwidth_utilization(&scale));
+        }
+        exec::set_jobs_override(Some(jobs));
+    }
+
     let out_base = out_dir
         .as_deref()
         .unwrap_or_else(|| std::path::Path::new("."))
         .to_path_buf();
     let bench_path = out_base.join("BENCH_sweep.json");
-    std::fs::write(&bench_path, bench_json(&timings, total, events, jobs)).expect("write bench");
+    std::fs::write(
+        &bench_path,
+        bench_json(&timings, &scaling, total, events, jobs),
+    )
+    .expect("write bench");
     eprintln!("wrote {}", bench_path.display());
 
     let reports = observe::drain();
@@ -181,14 +236,21 @@ fn main() {
 
 /// Renders the sweep timings as JSON by hand (the tree is tiny and the
 /// build is offline, so no serde).
-fn bench_json(timings: &[FigureTiming], total: f64, events: usize, jobs: usize) -> String {
+fn bench_json(
+    timings: &[FigureTiming],
+    scaling: &[ScalingPoint],
+    total: f64,
+    events: usize,
+    jobs: usize,
+) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"domino-bench-sweep/1\",\n");
+    out.push_str("  \"schema\": \"domino-bench-sweep/2\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"batch\": {},\n", observe::batch_size()));
     out.push_str(&format!("  \"events_per_workload\": {events},\n"));
     out.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     out.push_str("  \"figures\": [\n");
@@ -199,6 +261,19 @@ fn bench_json(timings: &[FigureTiming], total: f64, events: usize, jobs: usize) 
             t.seconds,
             t.events_per_sec,
             if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"figure\": \"{}\", \"jobs\": {}, \"seconds\": {:.3}, \
+             \"events_per_sec\": {:.0}}}{}\n",
+            p.figure,
+            p.jobs,
+            p.seconds,
+            p.events_per_sec,
+            if i + 1 < scaling.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

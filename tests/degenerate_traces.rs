@@ -9,7 +9,10 @@
 //! `domino_check::oracle`.
 
 use domino_sim::roster::System;
-use domino_sim::{run_coverage, run_multicore, run_timing, SystemConfig};
+use domino_sim::{
+    run_coverage, run_coverage_with_batch, run_multicore, run_multicore_with_batch, run_timing,
+    run_timing_with_batch, SystemConfig,
+};
 use domino_trace::addr::{Addr, Pc, LINE_BYTES};
 use domino_trace::event::{AccessEvent, AccessKind};
 
@@ -98,6 +101,73 @@ fn every_system_survives_degenerate_traces() {
                 multi.per_core[0].full_misses, tim.full_misses,
                 "{label} on {name}: one-core multicore diverged from single-core"
             );
+        }
+    }
+}
+
+/// Batch-boundary pathology: the degenerate shapes hit every edge the
+/// chunk loop has — zero chunks (empty trace), one single-event chunk,
+/// trace lengths that are not a batch multiple, and batches larger than
+/// the whole trace. Every roster system must produce byte-identical
+/// reports at batch 1 and at every other batch size.
+#[test]
+fn batched_engines_match_scalar_on_degenerate_traces() {
+    let cfg = SystemConfig::paper();
+    let one_core = SystemConfig {
+        cores: 1,
+        ..SystemConfig::paper()
+    };
+    for (name, trace) in degenerate_traces() {
+        for sys in System::all() {
+            let label = sys.label();
+            let cov_scalar = format!(
+                "{:?}",
+                run_coverage_with_batch(&cfg, &trace, sys.build(DEGREE).as_mut(), 0, 1)
+            );
+            let tim_scalar = format!(
+                "{:?}",
+                run_timing_with_batch(&cfg, &trace, sys.build(DEGREE).as_mut(), 0, 1)
+            );
+            let multi_scalar = format!(
+                "{:?}",
+                run_multicore_with_batch(
+                    &one_core,
+                    vec![trace.clone()],
+                    vec![sys.build(DEGREE)],
+                    1
+                )
+            );
+            for batch in [2u32, 3, 64] {
+                let cov = format!(
+                    "{:?}",
+                    run_coverage_with_batch(&cfg, &trace, sys.build(DEGREE).as_mut(), 0, batch)
+                );
+                assert_eq!(
+                    cov_scalar, cov,
+                    "{label} on {name}: coverage diverged at batch {batch}"
+                );
+                let tim = format!(
+                    "{:?}",
+                    run_timing_with_batch(&cfg, &trace, sys.build(DEGREE).as_mut(), 0, batch)
+                );
+                assert_eq!(
+                    tim_scalar, tim,
+                    "{label} on {name}: timing diverged at batch {batch}"
+                );
+                let multi = format!(
+                    "{:?}",
+                    run_multicore_with_batch(
+                        &one_core,
+                        vec![trace.clone()],
+                        vec![sys.build(DEGREE)],
+                        batch
+                    )
+                );
+                assert_eq!(
+                    multi_scalar, multi,
+                    "{label} on {name}: multicore diverged at batch {batch}"
+                );
+            }
         }
     }
 }

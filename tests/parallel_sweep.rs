@@ -121,6 +121,60 @@ fn trace_files_are_byte_identical_at_any_job_count() {
 }
 
 #[test]
+fn figures_are_byte_identical_at_any_batch_size() {
+    // The batch override shares process-global state with the jobs
+    // override tests, so it serializes on the same lock.
+    let _guard = JOBS_LOCK.lock().expect("unpoisoned");
+    let scale = Scale {
+        events: 20_000,
+        seed: 11,
+    };
+    exec::set_jobs_override(Some(2));
+    let run = |batch| {
+        observe::set_batch_override(Some(batch));
+        let out = (format!("{}", fig01(&scale)), format!("{}", fig14(&scale)));
+        observe::set_batch_override(None);
+        out
+    };
+    let scalar = run(1);
+    for batch in [2, 7, 64] {
+        let batched = run(batch);
+        assert_eq!(
+            scalar, batched,
+            "figure output drifted between batch 1 and batch {batch}"
+        );
+    }
+    exec::set_jobs_override(None);
+}
+
+#[test]
+fn telemetry_json_is_byte_identical_at_any_batch_size() {
+    let _guard = JOBS_LOCK.lock().expect("unpoisoned");
+    let scale = Scale {
+        events: 20_000,
+        seed: 11,
+    };
+    let sweep = |batch| {
+        observe::set_batch_override(Some(batch));
+        observe::set_epoch_override(Some(5_000));
+        observe::drain(); // discard anything a previous test left behind
+        let tables = fig13(&scale);
+        let reports = observe::drain();
+        observe::set_batch_override(None);
+        observe::set_epoch_override(None);
+        assert!(!reports.is_empty(), "observed fig13 produced no telemetry");
+        (
+            tables.iter().map(|t| format!("{t}")).collect::<Vec<_>>(),
+            observe::aggregate_json(&reports),
+        )
+    };
+    let scalar = sweep(1);
+    let batched = sweep(64);
+    assert_eq!(scalar.1, batched.1, "telemetry drifted between batch sizes");
+    assert_eq!(scalar.0, batched.0, "figures drifted with telemetry on");
+}
+
+#[test]
 fn full_roster_runs_through_the_executor() {
     let _guard = JOBS_LOCK.lock().expect("unpoisoned");
     exec::set_jobs_override(Some(4));

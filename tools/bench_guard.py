@@ -4,13 +4,19 @@ the committed baseline.
 
 Usage: bench_guard.py BASELINE_JSON FRESH_JSON
 
-Both files must be `domino-bench-sweep/1` documents (written by
-`cargo run --release --example figures`). The guard fails (exit 1) if any
-figure's replay throughput (`events_per_sec`) in the fresh run drops more
-than the threshold below the committed baseline, printing a per-figure
-table either way. Skip it entirely with DOMINO_SKIP_BENCH_GUARD=1 in
-`tools/check.sh` (e.g. on loaded CI machines or foreign hardware where
-the committed numbers do not apply).
+Both files must be `domino-bench-sweep/2` documents (written by
+`cargo run --release --example figures`). The guard refuses to compare
+runs from different configurations (events per workload or batch size
+mismatch) — a cross-config ratio is meaningless, not merely noisy. It
+fails (exit 1) if any figure's replay throughput (`events_per_sec`) in
+the fresh run drops more than the threshold below the committed
+baseline, and applies the same rule to each point of the jobs-scaling
+curve that the fresh host can actually drive (fresh `host_cores` >=
+the point's job count; oversubscribed points are reported but skipped).
+Failure messages carry both throughput numbers so a regression is
+diagnosable from the log alone. Skip the guard entirely with
+DOMINO_SKIP_BENCH_GUARD=1 in `tools/check.sh` (e.g. on loaded CI
+machines or foreign hardware where the committed numbers do not apply).
 """
 
 import json
@@ -20,14 +26,75 @@ import sys
 # tight enough to catch a real regression in the event loop.
 THRESHOLD = 0.25
 
+SCHEMA = "domino-bench-sweep/2"
+
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
     schema = data.get("schema")
-    if schema != "domino-bench-sweep/1":
-        sys.exit(f"{path}: unexpected schema {schema!r}")
+    if schema != SCHEMA:
+        sys.exit(f"{path}: unexpected schema {schema!r} (want {SCHEMA!r})")
+    return data
+
+
+def figure_map(data):
     return {f["name"]: float(f["events_per_sec"]) for f in data["figures"]}
+
+
+def scaling_map(data):
+    return {
+        (p["figure"], int(p["jobs"])): float(p["events_per_sec"])
+        for p in data.get("scaling", [])
+    }
+
+
+def check_same_config(baseline, fresh):
+    """Refuse to compare runs whose throughput numbers are incommensurable."""
+    for knob in ("events_per_workload", "batch"):
+        b, f = baseline.get(knob), fresh.get(knob)
+        if b != f:
+            sys.exit(
+                f"bench guard: configuration mismatch on {knob!r}: baseline ran "
+                f"with {b}, fresh with {f} — throughput ratios across different "
+                f"configurations are meaningless; regenerate the baseline or "
+                f"rerun the sweep at the committed settings"
+            )
+
+
+def compare(label, pairs):
+    """pairs: [(name, base_eps, fresh_eps_or_None, skip_reason_or_None)].
+
+    Prints a table; returns failure strings naming both numbers."""
+    failed = []
+    print(
+        f"    {label:<16} {'baseline ev/s':>14} {'fresh ev/s':>14} "
+        f"{'ratio':>7}  verdict"
+    )
+    for name, base_eps, fresh_eps, skip in pairs:
+        if skip is not None:
+            print(f"    {name:<16} {base_eps:>14.0f} {'-':>14} {'-':>7}  {skip}")
+            continue
+        if fresh_eps is None:
+            print(f"    {name:<16} {base_eps:>14.0f} {'-':>14} {'-':>7}  MISSING")
+            failed.append(
+                f"{name}: present in baseline ({base_eps:.0f} ev/s) but missing "
+                f"from the fresh run"
+            )
+            continue
+        ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
+        ok = ratio >= 1.0 - THRESHOLD
+        verdict = "ok" if ok else "REGRESSED"
+        print(
+            f"    {name:<16} {base_eps:>14.0f} {fresh_eps:>14.0f} "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+        if not ok:
+            failed.append(
+                f"{name}: fresh {fresh_eps:.0f} ev/s is {ratio:.2f}x of "
+                f"baseline {base_eps:.0f} ev/s"
+            )
+    return failed
 
 
 def main():
@@ -35,33 +102,44 @@ def main():
         sys.exit(f"usage: {sys.argv[0]} BASELINE_JSON FRESH_JSON")
     baseline = load(sys.argv[1])
     fresh = load(sys.argv[2])
+    check_same_config(baseline, fresh)
 
-    rows = []
-    failed = []
-    for name, base_eps in sorted(baseline.items()):
-        fresh_eps = fresh.get(name)
-        if fresh_eps is None:
-            rows.append((name, base_eps, None, None, "MISSING"))
-            failed.append(name)
-            continue
-        ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
-        ok = ratio >= 1.0 - THRESHOLD
-        rows.append((name, base_eps, fresh_eps, ratio, "ok" if ok else "REGRESSED"))
-        if not ok:
-            failed.append(name)
+    base_figs = figure_map(baseline)
+    fresh_figs = figure_map(fresh)
+    pairs = [
+        (name, eps, fresh_figs.get(name), None)
+        for name, eps in sorted(base_figs.items())
+    ]
+    failed = compare("figure", pairs)
 
-    print(f"    {'figure':<10} {'baseline ev/s':>14} {'fresh ev/s':>14} {'ratio':>7}  verdict")
-    for name, base_eps, fresh_eps, ratio, verdict in rows:
-        fresh_s = f"{fresh_eps:>14.0f}" if fresh_eps is not None else f"{'-':>14}"
-        ratio_s = f"{ratio:>6.2f}x" if ratio is not None else f"{'-':>7}"
-        print(f"    {name:<10} {base_eps:>14.0f} {fresh_s} {ratio_s}  {verdict}")
+    base_scaling = scaling_map(baseline)
+    if base_scaling:
+        fresh_scaling = scaling_map(fresh)
+        host_cores = int(fresh.get("host_cores", 1))
+        pairs = []
+        for (figure, jobs), eps in sorted(base_scaling.items()):
+            name = f"{figure}@jobs{jobs}"
+            if jobs > host_cores:
+                # An oversubscribed point measures the scheduler, not the
+                # event loop; the committed number came from a host that
+                # could drive it.
+                pairs.append(
+                    (name, eps, None, f"skipped ({host_cores}-core host)")
+                )
+            else:
+                pairs.append((name, eps, fresh_scaling.get((figure, jobs)), None))
+        print()
+        failed += compare("scaling point", pairs)
 
     if failed:
+        print()
+        for f in failed:
+            print(f"    FAIL {f}")
         sys.exit(
-            f"bench guard: {', '.join(failed)} more than "
+            f"bench guard: {len(failed)} measurement(s) more than "
             f"{THRESHOLD:.0%} below the committed BENCH_sweep.json"
         )
-    print(f"    all figures within {THRESHOLD:.0%} of the committed baseline")
+    print(f"    all measurements within {THRESHOLD:.0%} of the committed baseline")
 
 
 if __name__ == "__main__":

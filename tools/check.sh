@@ -111,6 +111,17 @@ if [ "${1:-}" != "--fast" ]; then
         cargo run --release -q -p domino-check -- --force-fail --out "$check_dir" \
             >/dev/null
     fi
+
+    mark batched-parity
+    echo "==> batched-vs-scalar parity (DOMINO_SKIP_CHECK=1 to skip)"
+    if [ "${DOMINO_SKIP_CHECK:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_CHECK=1)"
+    else
+        # Every roster system, every generator family, batch 7 and 64:
+        # the batched SoA engines must be byte-identical to scalar.
+        cargo run --release -q -p domino-check -- --batch-parity \
+            --events 1200 --out check-failures
+    fi
 fi
 
 echo "check.sh: all clean"
