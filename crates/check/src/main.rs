@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! domino-check [--seed N] [--cases N] [--events N] [--out DIR] [--systems A,B]
+//! domino-check --list-systems
 //! domino-check --smoke [--out DIR]
 //! domino-check --batch-parity [--seed N] [--events N] [--out DIR] [--systems A,B]
 //! domino-check --replay <file.events>
@@ -59,6 +60,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: domino-check [--seed N] [--cases N] [--events N] \
          [--out DIR] [--systems A,B,..]\n\
+         \x20      domino-check --list-systems\n\
          \x20      domino-check --smoke [--out DIR]\n\
          \x20      domino-check --batch-parity [--seed N] [--events N] \
          [--out DIR] [--systems A,B,..]\n\
@@ -86,6 +88,12 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--list-systems" => {
+                for sys in System::all() {
+                    println!("{}", sys.label());
+                }
+                return ExitCode::SUCCESS;
+            }
             "--smoke" => smoke = true,
             "--batch-parity" => batch_parity = true,
             "--force-fail" => force_fail = true,
@@ -113,7 +121,10 @@ fn main() -> ExitCode {
             "--systems" => match it.next().map(|v| parse_systems(v)) {
                 Some(Ok(s)) => opts.systems = s,
                 Some(Err(bad)) => {
-                    eprintln!("error: unknown system label {bad:?}");
+                    eprintln!(
+                        "error: unknown system label {bad:?}\nvalid systems: {}",
+                        roster_labels()
+                    );
                     return ExitCode::FAILURE;
                 }
                 None => return usage(),
@@ -162,6 +173,16 @@ fn parse_u64(v: &str) -> Option<u64> {
         Some(hex) => u64::from_str_radix(hex, 16).ok(),
         None => v.parse().ok(),
     }
+}
+
+/// Comma-joined roster labels for error messages (`--list-systems`
+/// prints them one per line for scripting).
+fn roster_labels() -> String {
+    System::all()
+        .iter()
+        .map(System::label)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn parse_systems(csv: &str) -> Result<Vec<System>, String> {
@@ -334,7 +355,11 @@ fn run_replay(file: &Path) -> ExitCode {
         };
     }
     let Some(sys) = System::from_label(&repro.system) else {
-        eprintln!("error: unknown system label {:?}", repro.system);
+        eprintln!(
+            "error: unknown system label {:?}\nvalid systems: {}",
+            repro.system,
+            roster_labels()
+        );
         return ExitCode::FAILURE;
     };
     // A recorded batch pins the chunking that manifested the failure:

@@ -25,15 +25,27 @@
 //! round-trips, per-epoch counter monotonicity, and prefetch-buffer
 //! lifetime conservation (every fill is eventually hit, evicted,
 //! discarded, or left resident — exactly once).
+//!
+//! Tier 4 (**service equivalence**, inside [`check_system_trace`]): a
+//! multi-tenant sharded `domino-service` run over interleaved rotations
+//! of the trace must be indistinguishable, per tenant, from independent
+//! single-tenant runs — same coverage report bytes, same decision
+//! digest, same final metadata membership. This is the isolation and
+//! linearity anchor for the metadata service.
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 use domino::eit::{Eit, EitConfig};
 use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
 use domino_mem::mshr::MshrFile;
 use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_service::{BatchRequest, MetadataService, OverloadPolicy, ServiceConfig};
 use domino_sim::config::SystemConfig;
-use domino_sim::engine::{run_coverage, run_coverage_observed, run_coverage_with_batch};
+use domino_sim::engine::{
+    run_coverage, run_coverage_observed, run_coverage_session, run_coverage_with_batch,
+};
 use domino_sim::multicore::{run_multicore, run_multicore_with_batch};
 use domino_sim::roster::System;
 use domino_sim::timing::{run_timing, run_timing_with_batch};
@@ -109,7 +121,8 @@ pub fn check_system_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Viol
     batched_vs_scalar(sys, trace)?;
     cross_engine(sys, trace)?;
     multicore_equivalence(sys, trace)?;
-    invariant_audit(sys, trace)
+    invariant_audit(sys, trace)?;
+    service_equivalence(sys, trace)
 }
 
 /// Runs the system-independent reference-model differentials on the op
@@ -468,6 +481,120 @@ fn invariant_audit(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> 
                     format!("{label}: buffer counters missing from telemetry row"),
                 ));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Tier 4: the sharded multi-tenant metadata service vs independent
+/// single-tenant runs.
+///
+/// Four tenants replay rotations of the checker trace through a
+/// two-shard service, interleaved in small non-divisor batches under the
+/// blocking policy. Every tenant must then be indistinguishable from a
+/// lone `run_coverage_session` over its own stream: same coverage report
+/// (full `Debug` rendering, so bit equality), same decision digest, and
+/// same final metadata membership over every line the tenant touched.
+/// Any cross-tenant leak, shard-scheduling dependence, or batching
+/// defect in the service layer breaks one of the three.
+fn service_equivalence(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "service_equivalence";
+    if trace.is_empty() {
+        return Ok(());
+    }
+    const TENANTS: usize = 4;
+    /// Deliberately not a divisor of anything, so request boundaries
+    /// land mid-everything.
+    const REQUEST_BATCH: usize = 17;
+    let label = sys.label();
+    let len = trace.len();
+    // Tenant t replays the trace rotated by t quarters: every stream
+    // touches the same lines (maximal aliasing pressure) while being a
+    // genuinely different sequence.
+    let streams: Vec<Arc<[AccessEvent]>> = (0..TENANTS)
+        .map(|t| {
+            let cut = t * len / TENANTS;
+            let mut v = Vec::with_capacity(len);
+            v.extend_from_slice(&trace[cut..]);
+            v.extend_from_slice(&trace[..cut]);
+            v.into()
+        })
+        .collect();
+    let service = MetadataService::start(ServiceConfig {
+        shards: 2,
+        queue_depth: 4,
+        policy: OverloadPolicy::Block,
+        degree: DEGREE,
+        system: SystemConfig::paper(),
+        ..ServiceConfig::default()
+    });
+    {
+        let client = service.client();
+        let mut cursor = [0usize; TENANTS];
+        let mut live = TENANTS;
+        while live > 0 {
+            live = 0;
+            for (t, cursor) in cursor.iter_mut().enumerate() {
+                if *cursor >= len {
+                    continue;
+                }
+                let start = *cursor;
+                let end = (start + REQUEST_BATCH).min(len);
+                *cursor = end;
+                if end < len {
+                    live += 1;
+                }
+                client.submit(BatchRequest {
+                    tenant: t as u64,
+                    system: sys,
+                    trace: Arc::clone(&streams[t]),
+                    base: 0,
+                    len: len as u32,
+                    start: start as u32,
+                    end: end as u32,
+                    enqueued: Instant::now(),
+                });
+            }
+        }
+    }
+    let result = service.shutdown();
+    for (t, stream) in streams.iter().enumerate() {
+        let mut reference = sys.build(DEGREE);
+        let (ref_report, ref_digest) =
+            run_coverage_session(&SystemConfig::paper(), stream, reference.as_mut(), 64);
+        let Some(fin) = result.tenant(t as u64) else {
+            return Err(violation(
+                O,
+                format!("{label}: tenant {t} did not survive to a single final"),
+            ));
+        };
+        ensure_eq!(
+            O,
+            (fin.evicted, fin.gap_events, fin.resets),
+            (false, 0, 0),
+            "{label}: tenant {t} ran without pressure events"
+        );
+        ensure_eq!(
+            O,
+            fin.digest,
+            ref_digest,
+            "{label}: tenant {t} decision digest vs single-tenant run"
+        );
+        ensure_eq!(
+            O,
+            format!("{:?}", fin.report),
+            format!("{ref_report:?}"),
+            "{label}: tenant {t} coverage report vs single-tenant run"
+        );
+        for ev in stream.iter() {
+            let line = ev.line();
+            ensure_eq!(
+                O,
+                fin.prefetcher.knows_line(line),
+                reference.knows_line(line),
+                "{label}: tenant {t} knows_line({}) vs single-tenant run",
+                line.raw()
+            );
         }
     }
     Ok(())

@@ -293,6 +293,10 @@ impl Prefetcher for Domino {
         self.eit.probe(line)
     }
 
+    fn footprint_bytes(&self) -> usize {
+        self.eit.footprint_bytes() + self.ht.footprint_bytes()
+    }
+
     fn train_predict_batch(&mut self, batch: &mut dyn TriggerBatch, sink: &mut CollectSink) {
         // Hash-then-probe over the EIT: one read-only sweep touches the
         // row of every pending trigger line before the serial drain's

@@ -443,6 +443,27 @@ impl Eit {
         }
     }
 
+    /// Approximate bytes of backing storage currently allocated. O(1):
+    /// computed from the slab lengths (finite backing) or entry counts
+    /// (unbounded), never by walking entries — the metadata service
+    /// polls this after every request batch for its memory budgets.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match &self.backing {
+            Backing::Finite(rows) => {
+                rows.row_block.len() * size_of::<u32>()
+                    + rows.occ.len()
+                    + rows.tags.len() * size_of::<LineAddr>()
+                    + rows.lens.len()
+                    + rows.entries.len() * size_of::<EitEntry>()
+            }
+            Backing::Unbounded(map) => {
+                map.len()
+                    * (size_of::<SuperEntry>() + self.cfg.entries_per_super * size_of::<EitEntry>())
+            }
+        }
+    }
+
     /// `(lookups, hits, updates)` counters.
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.lookups, self.hits, self.updates)

@@ -104,6 +104,13 @@ impl HistoryTable {
         self.appended
     }
 
+    /// Bytes of ring/unbounded storage currently allocated (entries
+    /// live, not reserved capacity) — the history's share of
+    /// `Prefetcher::footprint_bytes`.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.ring.len() + self.unbounded.len()) * std::mem::size_of::<HistoryEntry>()
+    }
+
     /// Whether nothing has been appended.
     pub fn is_empty(&self) -> bool {
         self.appended == 0

@@ -174,6 +174,17 @@ pub trait Prefetcher: Send {
     /// reports nothing, so plain prefetchers need no telemetry code.
     fn emit_counters(&self, _sink: &mut dyn CounterSink) {}
 
+    /// Approximate bytes of metadata storage this prefetcher currently
+    /// holds (index tables, history rings, stream buffers). The
+    /// metadata service uses this to enforce per-tenant memory budgets
+    /// and shard-wide LRU pressure, so it should track the *allocated*
+    /// backing stores, not the modelled hardware budget. Must not mutate
+    /// observable state or counters. Default: 0, i.e. the prefetcher is
+    /// treated as metadata-free and never trips a budget.
+    fn footprint_bytes(&self) -> usize {
+        0
+    }
+
     /// Whether this prefetcher's *metadata* currently records `line` as a
     /// reachable prediction target. The flight recorder uses this to
     /// split uncovered misses into **mispredicted** (metadata knew the

@@ -192,6 +192,10 @@ impl<P: Prefetcher> Prefetcher for AdaptiveDegree<P> {
         self.inner.reserve(expected_events);
     }
 
+    fn footprint_bytes(&self) -> usize {
+        self.inner.footprint_bytes()
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         if event.kind == TriggerKind::PrefetchHit && self.shadow_set.remove(&event.line) {
             self.useful_in_epoch += 1;

@@ -182,6 +182,10 @@ impl<S: Prefetcher, T: Prefetcher> Prefetcher for SpatioTemporal<S, T> {
     fn knows_line(&self, line: LineAddr) -> bool {
         self.spatial.knows_line(line) || self.temporal.knows_line(line)
     }
+
+    fn footprint_bytes(&self) -> usize {
+        self.spatial.footprint_bytes() + self.temporal.footprint_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,11 @@ impl Prefetcher for Stms {
         self.index.contains_key(&line)
     }
 
+    fn footprint_bytes(&self) -> usize {
+        self.ht.footprint_bytes()
+            + self.index.len() * (std::mem::size_of::<LineAddr>() + std::mem::size_of::<u64>())
+    }
+
     fn on_trigger(&mut self, event: &TriggerEvent, sink: &mut dyn PrefetchSink) {
         let line = event.line;
         let mut trips = 0u8;

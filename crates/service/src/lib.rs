@@ -1,0 +1,50 @@
+//! A sharded, concurrent, multi-tenant prefetch-metadata service.
+//!
+//! The paper's defining design choice is that correlation metadata lives
+//! **off-chip** and is consulted over a request/response channel (§III).
+//! This crate pushes that to its logical extreme: a long-running service
+//! that fields thousands of independent tenant miss streams against
+//! sharded metadata state, the shape such a component would take inside
+//! a storage or caching tier serving heavy multi-tenant traffic.
+//!
+//! Architecture, in one pass through the modules:
+//!
+//! * [`session`] — one [`session::TenantSession`] per tenant: an owned
+//!   prefetcher plus an incremental
+//!   [`domino_sim::CoverageSession`], so a tenant's stream replayed in
+//!   request-batch increments produces decisions **bit-identical** to a
+//!   single-tenant `sim` run of the same stream (the batched-parity
+//!   invariant from the coverage engine makes chunk boundaries
+//!   irrelevant).
+//! * [`shard`] — shard-per-thread state: each worker owns the sessions
+//!   of the tenants hashed to it, so no lock ever guards metadata.
+//!   Enforces the memory-pressure policy: per-tenant budgets reset a
+//!   tenant's metadata in place; a shard-wide budget evicts whole
+//!   sessions in LRU order.
+//! * [`service`] — the front: tenant→shard hashing, bounded request
+//!   queues, and the counted backpressure policy
+//!   ([`service::OverloadPolicy::Block`] applies backpressure to the
+//!   submitter, [`service::OverloadPolicy::Shed`] rejects and counts).
+//! * [`load`] — a deterministic load generator synthesizing tenant
+//!   streams as windows into the shared Table-II workload traces
+//!   ([`domino_sim::trace_cache::shared_tenant_slice`]).
+//! * [`report`] — the schema-versioned `SERVICE_report.json`: per-shard
+//!   throughput plus p50/p95/p99 request latency out of
+//!   [`domino_telemetry::FixedHistogram`]s.
+//!
+//! Correctness is anchored by the `domino-check` `service_equivalence`
+//! oracle tier: an N-tenant sharded run must match N independent
+//! single-tenant runs per tenant — same coverage report bytes, same
+//! decision digest, same metadata membership.
+
+pub mod load;
+pub mod report;
+pub mod service;
+pub mod session;
+pub mod shard;
+
+pub use load::{run_load, tenant_stream, LoadPlan, LoadReport};
+pub use report::{render_report, LATENCY_BOUNDS_NS, SCHEMA};
+pub use service::{MetadataService, OverloadPolicy, ServiceClient, ServiceConfig, ServiceResult};
+pub use session::{TenantFinal, TenantSession};
+pub use shard::{BatchRequest, ShardOutcome, ShardStats};

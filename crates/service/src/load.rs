@@ -1,0 +1,170 @@
+//! Deterministic multi-tenant load generator.
+//!
+//! Tenant streams are windows into the shared Table-II workload traces
+//! ([`domino_sim::trace_cache::shared_tenant_slice`]): thousands of
+//! tenants share a handful of base allocations, and every derivation is
+//! seeded — the same [`LoadPlan`] always offers byte-identical streams,
+//! so a service run can be checked tenant-by-tenant against independent
+//! single-tenant reference runs.
+//!
+//! Submission is concurrent but per-tenant FIFO: each client thread owns
+//! a fixed residue class of tenants (`c, c + clients, c + 2·clients, …`)
+//! and walks its tenants' cursors round-robin, so one tenant's batches
+//! are always submitted in stream order by one thread. Under the shed
+//! policy a rejected batch still advances the cursor — the events are
+//! lost, which is exactly the gap the session accounts for.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use domino_sim::trace_cache::{shared_tenant_slice, TenantSlice};
+use domino_sim::System;
+use domino_trace::rng::SimRng;
+use domino_trace::workload::catalog;
+
+use crate::service::ServiceClient;
+use crate::shard::BatchRequest;
+
+/// Salt folded into the seed for per-tenant workload selection, distinct
+/// from the slice-offset salt inside `shared_tenant_slice`.
+const WORKLOAD_SALT: u64 = 0x1f3a_9c80_57e2_d46b;
+
+/// One load-generation run, fully determined by its fields.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Concurrent tenant streams.
+    pub tenants: u64,
+    /// Events per tenant stream.
+    pub events_per_tenant: usize,
+    /// Events per submitted batch (the request granularity).
+    pub request_batch: usize,
+    /// Concurrent submitter threads.
+    pub clients: usize,
+    /// Master seed: workload choice, slice offsets, base traces.
+    pub seed: u64,
+    /// System every tenant runs.
+    pub system: System,
+    /// Base-trace length the tenant windows are cut from.
+    pub base_events: usize,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            tenants: 1_000,
+            events_per_tenant: 120,
+            request_batch: 32,
+            clients: 4,
+            seed: 0xD0,
+            system: System::Domino,
+            base_events: 50_000,
+        }
+    }
+}
+
+/// What the generator offered and what the service accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Tenant streams offered.
+    pub tenants: u64,
+    /// Batches accepted by the service.
+    pub submitted_batches: u64,
+    /// Batches rejected under the shed policy.
+    pub shed_rejections: u64,
+    /// Total events across all offered streams (accepted or not).
+    pub events_offered: u64,
+    /// Submission span in nanoseconds (first offer to last accept).
+    pub wall_ns: u64,
+}
+
+/// The stream tenant `tenant` replays under `plan`: its workload is
+/// drawn from the Table-II catalog by seeded choice, its window by
+/// [`shared_tenant_slice`]. Pure function of `(plan, tenant)`.
+pub fn tenant_stream(plan: &LoadPlan, tenant: u64) -> TenantSlice {
+    let specs = catalog::all();
+    let mut rng = SimRng::seed(plan.seed ^ WORKLOAD_SALT);
+    let mut rng = rng.fork(tenant);
+    let spec = &specs[rng.index(specs.len())];
+    shared_tenant_slice(
+        spec,
+        plan.base_events,
+        plan.seed,
+        tenant,
+        plan.events_per_tenant,
+    )
+}
+
+/// Runs `plan` against a service through `client`, spawning
+/// `plan.clients` submitter threads. Returns once every stream has been
+/// fully offered (the service may still be draining; call
+/// `MetadataService::shutdown` for results).
+pub fn run_load(client: &ServiceClient, plan: &LoadPlan) -> LoadReport {
+    assert!(
+        plan.request_batch > 0,
+        "batches must hold at least one event"
+    );
+    let clients = plan.clients.max(1);
+    let t0 = Instant::now();
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(clients);
+        for c in 0..clients as u64 {
+            let client = client.clone();
+            workers.push(scope.spawn(move || {
+                let mut accepted = 0u64;
+                let mut shed = 0u64;
+                // This client's tenants: the residue class c mod clients.
+                let mut streams: Vec<(u64, TenantSlice, usize)> = (c..plan.tenants)
+                    .step_by(clients)
+                    .map(|tenant| (tenant, tenant_stream(plan, tenant), 0usize))
+                    .collect();
+                // Round-robin the cursors so the shards see interleaved
+                // tenants, not one tenant's whole stream at a time.
+                let mut live = streams.len();
+                while live > 0 {
+                    live = 0;
+                    for (tenant, slice, cursor) in &mut streams {
+                        if *cursor >= slice.len {
+                            continue;
+                        }
+                        let start = *cursor;
+                        let end = (start + plan.request_batch).min(slice.len);
+                        *cursor = end;
+                        if *cursor < slice.len {
+                            live += 1;
+                        }
+                        let req = BatchRequest {
+                            tenant: *tenant,
+                            system: plan.system,
+                            trace: Arc::clone(&slice.trace),
+                            base: slice.start as u32,
+                            len: slice.len as u32,
+                            start: start as u32,
+                            end: end as u32,
+                            enqueued: Instant::now(),
+                        };
+                        if client.submit(req) {
+                            accepted += 1;
+                        } else {
+                            shed += 1;
+                        }
+                    }
+                }
+                (accepted, shed)
+            }));
+        }
+        for worker in workers {
+            let (a, s) = worker.join().expect("load client panicked");
+            accepted += a;
+            shed += s;
+        }
+    });
+    LoadReport {
+        tenants: plan.tenants,
+        submitted_batches: accepted,
+        shed_rejections: shed,
+        events_offered: plan.tenants * plan.events_per_tenant as u64,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    }
+}

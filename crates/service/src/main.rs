@@ -1,0 +1,191 @@
+//! `domino-serve`: run the sharded metadata service under the
+//! deterministic load generator and emit `SERVICE_report.json`.
+//!
+//! ```text
+//! domino-serve [--tenants N] [--events N] [--batch N] [--shards N]
+//!              [--queue N] [--clients N] [--policy block|shed]
+//!              [--system LABEL] [--seed N] [--degree N]
+//!              [--tenant-budget BYTES] [--shard-budget BYTES]
+//!              [--base-events N] [--out FILE]
+//! domino-serve --smoke DIR
+//! ```
+//!
+//! `--smoke` is the fixed CI preset wired into `tools/check.sh`: 1,000
+//! tenant streams over 4 shards under the blocking policy, report
+//! written to `DIR/SERVICE_report.json` and validated by
+//! `tools/validate_service.py`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use domino_service::{
+    render_report, run_load, LoadPlan, MetadataService, OverloadPolicy, ServiceConfig,
+};
+use domino_sim::roster::System;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: domino-serve [--tenants N] [--events N] [--batch N] [--shards N]\n\
+         \x20                   [--queue N] [--clients N] [--policy block|shed]\n\
+         \x20                   [--system LABEL] [--seed N] [--degree N]\n\
+         \x20                   [--tenant-budget BYTES] [--shard-budget BYTES]\n\
+         \x20                   [--base-events N] [--out FILE]\n\
+         \x20      domino-serve --smoke DIR"
+    );
+    ExitCode::FAILURE
+}
+
+fn roster_labels() -> String {
+    System::all()
+        .iter()
+        .map(System::label)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Accepts decimal or `0x`-prefixed values.
+fn parse_u64(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut plan = LoadPlan::default();
+    let mut cfg = ServiceConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => match it.next() {
+                Some(dir) => out = Some(PathBuf::from(dir).join("SERVICE_report.json")),
+                None => return usage(),
+            },
+            "--tenants" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) if v > 0 => plan.tenants = v,
+                _ => return usage(),
+            },
+            "--events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => plan.events_per_tenant = v,
+                None => return usage(),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => plan.request_batch = v,
+                _ => return usage(),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => cfg.shards = v,
+                _ => return usage(),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => cfg.queue_depth = v,
+                _ => return usage(),
+            },
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => plan.clients = v,
+                _ => return usage(),
+            },
+            "--policy" => match it.next().and_then(|v| OverloadPolicy::from_label(v)) {
+                Some(p) => cfg.policy = p,
+                None => {
+                    eprintln!("error: --policy takes block or shed");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--system" => match it.next() {
+                Some(label) => match System::from_label(label) {
+                    Some(sys) => plan.system = sys,
+                    None => {
+                        eprintln!(
+                            "error: unknown system label {label:?}\nvalid systems: {}",
+                            roster_labels()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) => plan.seed = v,
+                None => return usage(),
+            },
+            "--degree" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => cfg.degree = v,
+                _ => return usage(),
+            },
+            "--tenant-budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.tenant_budget_bytes = v,
+                None => return usage(),
+            },
+            "--shard-budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.shard_budget_bytes = v,
+                None => return usage(),
+            },
+            "--base-events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => plan.base_events = v,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    println!(
+        "domino-serve: {} tenants x {} events (batch {}), {} shards (queue {}, {}), \
+         {} clients, system {}, seed {:#x}",
+        plan.tenants,
+        plan.events_per_tenant,
+        plan.request_batch,
+        cfg.shards,
+        cfg.queue_depth,
+        cfg.policy.label(),
+        plan.clients,
+        plan.system.label(),
+        plan.seed
+    );
+    let service = MetadataService::start(cfg);
+    let load = {
+        let client = service.client();
+        run_load(&client, &plan)
+    };
+    let result = service.shutdown();
+    let report = render_report(&plan, &load, &result);
+    // Incomplete = lost events anywhere: a shed mid-stream gap, an
+    // eviction restart, or a truncated tail (every accepted batch after
+    // the first shed being rejected leaves processed short of the
+    // stream). Tenants with no accepted batch at all have no final.
+    let finished: u64 = result
+        .finals()
+        .filter(|f| !f.evicted && f.gap_events == 0 && f.processed == plan.events_per_tenant)
+        .count() as u64;
+    let incomplete = plan.tenants - finished;
+    println!(
+        "served {} events in {} batches ({} shed, {} tenants incomplete) over {:.1} ms",
+        result.total_events(),
+        result.total_batches(),
+        result.total_shed(),
+        incomplete,
+        load.wall_ns as f64 / 1e6
+    );
+    match out {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: mkdir {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("error: write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("report: {}", path.display());
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}

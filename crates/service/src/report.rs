@@ -1,0 +1,243 @@
+//! The schema-versioned `SERVICE_report.json` renderer.
+//!
+//! Hand-rolled JSON in the style of `domino_telemetry::report`: the
+//! document is assembled with [`domino_telemetry::json::quote`] and
+//! [`domino_telemetry::json::u64_array`], validated out-of-band by
+//! `tools/validate_service.py`.
+
+use domino_telemetry::json::{quote, u64_array};
+use domino_telemetry::FixedHistogram;
+
+use crate::load::{LoadPlan, LoadReport};
+use crate::service::ServiceResult;
+
+/// Schema tag; bump on any breaking field change.
+pub const SCHEMA: &str = "domino-service/1";
+
+/// Request-latency bucket upper bounds in nanoseconds: 1 µs → 200 ms,
+/// roughly geometric. Submissions landing past the last bound count in
+/// the histogram overflow bucket and report percentiles as `u64::MAX`.
+pub const LATENCY_BOUNDS_NS: &[u64] = &[
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    200_000_000,
+];
+
+/// `u64::MAX` percentiles (overflow bucket) render as the sentinel
+/// itself; `None` (empty histogram) renders as 0.
+fn pct(hist: &FixedHistogram, p: f64) -> u64 {
+    hist.percentile(p).unwrap_or(0)
+}
+
+fn f64_field(v: f64) -> String {
+    // Throughput fields; plain decimal keeps the document parseable by
+    // the in-repo JSON parser (no exponents).
+    format!("{v:.3}")
+}
+
+fn hist_fields(hist: &FixedHistogram, indent: &str) -> String {
+    format!(
+        "{indent}\"latency_bounds_ns\": {},\n\
+         {indent}\"latency_counts\": {},\n\
+         {indent}\"latency_sum_ns\": {},\n\
+         {indent}\"p50_ns\": {},\n\
+         {indent}\"p95_ns\": {},\n\
+         {indent}\"p99_ns\": {}",
+        u64_array(hist.bounds()),
+        u64_array(hist.counts()),
+        hist.sum(),
+        pct(hist, 0.50),
+        pct(hist, 0.95),
+        pct(hist, 0.99),
+    )
+}
+
+/// Renders the full service report document. `result` must come from
+/// `MetadataService::shutdown` on the run `load` describes.
+pub fn render_report(plan: &LoadPlan, load: &LoadReport, result: &ServiceResult) -> String {
+    let mut aggregate = FixedHistogram::new(LATENCY_BOUNDS_NS);
+    let mut total_gap = 0u64;
+    let mut total_evictions = 0u64;
+    let mut total_resets = 0u64;
+    for shard in &result.shards {
+        let (bounds, counts) = (shard.stats.latency.bounds(), shard.stats.latency.counts());
+        debug_assert_eq!(bounds, LATENCY_BOUNDS_NS);
+        aggregate = FixedHistogram::from_parts(
+            bounds.to_vec(),
+            aggregate
+                .counts()
+                .iter()
+                .zip(counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            aggregate.sum() + shard.stats.latency.sum(),
+        );
+        total_gap += shard.stats.gap_events;
+        total_evictions += shard.stats.evictions;
+        total_resets += shard.stats.resets;
+    }
+    let total_events = result.total_events();
+    let throughput = if load.wall_ns == 0 {
+        0.0
+    } else {
+        total_events as f64 / (load.wall_ns as f64 / 1e9)
+    };
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
+    out.push_str(&format!("  \"system\": {},\n", quote(&plan.system.label())));
+    out.push_str(&format!("  \"tenants\": {},\n", plan.tenants));
+    out.push_str(&format!(
+        "  \"events_per_tenant\": {},\n",
+        plan.events_per_tenant
+    ));
+    out.push_str(&format!("  \"request_batch\": {},\n", plan.request_batch));
+    out.push_str(&format!("  \"clients\": {},\n", plan.clients));
+    out.push_str(&format!("  \"seed\": {},\n", plan.seed));
+    out.push_str(&format!("  \"shard_count\": {},\n", result.shards.len()));
+    out.push_str(&format!("  \"events_offered\": {},\n", load.events_offered));
+    out.push_str(&format!("  \"total_events\": {total_events},\n"));
+    out.push_str(&format!(
+        "  \"total_batches\": {},\n",
+        result.total_batches()
+    ));
+    out.push_str(&format!("  \"total_shed\": {},\n", result.total_shed()));
+    out.push_str(&format!("  \"total_gap_events\": {total_gap},\n"));
+    out.push_str(&format!("  \"total_evictions\": {total_evictions},\n"));
+    out.push_str(&format!("  \"total_resets\": {total_resets},\n"));
+    out.push_str(&format!("  \"wall_ns\": {},\n", load.wall_ns));
+    out.push_str(&format!(
+        "  \"throughput_eps\": {},\n",
+        f64_field(throughput)
+    ));
+    out.push_str(&hist_fields(&aggregate, "  "));
+    out.push_str(",\n  \"per_shard\": [\n");
+    for (i, shard) in result.shards.iter().enumerate() {
+        let s = &shard.stats;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"shard\": {},\n", s.shard));
+        out.push_str(&format!("      \"tenants\": {},\n", shard.finals.len()));
+        out.push_str(&format!("      \"batches\": {},\n", s.batches));
+        out.push_str(&format!("      \"events\": {},\n", s.events));
+        out.push_str(&format!("      \"shed\": {},\n", s.shed));
+        out.push_str(&format!("      \"evictions\": {},\n", s.evictions));
+        out.push_str(&format!("      \"resets\": {},\n", s.resets));
+        out.push_str(&format!("      \"gap_events\": {},\n", s.gap_events));
+        out.push_str(&format!("      \"peak_tenants\": {},\n", s.peak_tenants));
+        out.push_str(&format!(
+            "      \"peak_footprint_bytes\": {},\n",
+            s.peak_footprint
+        ));
+        out.push_str(&format!("      \"busy_ns\": {},\n", s.busy_ns));
+        out.push_str(&format!("      \"wall_ns\": {},\n", s.wall_ns));
+        out.push_str(&format!(
+            "      \"throughput_eps\": {},\n",
+            f64_field(s.throughput_eps())
+        ));
+        out.push_str(&hist_fields(&s.latency, "      "));
+        out.push_str("\n    }");
+        out.push_str(if i + 1 < result.shards.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{ShardOutcome, ShardStats};
+    use domino_telemetry::json::parse;
+
+    fn one_shard_result(values: &[u64]) -> ServiceResult {
+        let mut latency = FixedHistogram::new(LATENCY_BOUNDS_NS);
+        for &v in values {
+            latency.record(v);
+        }
+        let stats = ShardStats {
+            shard: 0,
+            batches: values.len() as u64,
+            events: values.len() as u64 * 32,
+            shed: 0,
+            evictions: 0,
+            resets: 0,
+            gap_events: 0,
+            peak_tenants: 3,
+            peak_footprint: 4096,
+            busy_ns: 1_000,
+            wall_ns: 2_000,
+            latency,
+        };
+        ServiceResult {
+            shards: vec![ShardOutcome {
+                stats,
+                finals: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_parses_and_percentiles_are_ordered() {
+        let plan = LoadPlan::default();
+        let load = LoadReport {
+            tenants: plan.tenants,
+            submitted_batches: 3,
+            shed_rejections: 0,
+            events_offered: 96,
+            wall_ns: 2_000,
+        };
+        let result = one_shard_result(&[900, 3_000, 40_000]);
+        let doc = render_report(&plan, &load, &result);
+        let json = parse(&doc).expect("report is valid JSON");
+        assert_eq!(json.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        assert_eq!(json.get("total_events").and_then(|v| v.as_u64()), Some(96));
+        let pct = |k: &str| json.get(k).and_then(|v| v.as_u64()).expect("u64 field");
+        assert!(pct("p50_ns") <= pct("p95_ns"));
+        assert!(pct("p95_ns") <= pct("p99_ns"));
+        // Known buckets: 900 → bound 1000, 3000 → 5000, 40000 → 50000.
+        assert_eq!(pct("p50_ns"), 5_000);
+        assert_eq!(pct("p99_ns"), 50_000);
+        let shards = json.get("per_shard").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(shards.len(), 1);
+        let counts = shards[0]
+            .get("latency_counts")
+            .and_then(|v| v.as_arr())
+            .unwrap();
+        assert_eq!(counts.len(), LATENCY_BOUNDS_NS.len() + 1);
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_percentiles() {
+        let plan = LoadPlan::default();
+        let load = LoadReport {
+            tenants: 0,
+            submitted_batches: 0,
+            shed_rejections: 0,
+            events_offered: 0,
+            wall_ns: 0,
+        };
+        let result = one_shard_result(&[]);
+        let doc = render_report(&plan, &load, &result);
+        let json = parse(&doc).expect("report is valid JSON");
+        assert_eq!(json.get("p50_ns").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(
+            json.get("throughput_eps").and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The service front: shard spawning, tenant→shard hashing, bounded
+//! queues, and the counted overload policy.
+
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use domino_sim::SystemConfig;
+use domino_trace::hash::FxBuildHasher;
+
+use crate::session::TenantFinal;
+use crate::shard::{run_shard, BatchRequest, ShardOutcome};
+
+/// What the service does when a shard's bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the submitter until the queue drains — backpressure. Every
+    /// accepted stream replays completely, so per-tenant results stay
+    /// bit-identical to single-tenant runs; this is the mode the
+    /// equivalence oracle and the SLO report use.
+    Block,
+    /// Reject the request and count it. The tenant's stream develops a
+    /// gap (the session skips the lost events), so decisions diverge
+    /// from the contiguous reference — but never leak across tenants.
+    Shed,
+}
+
+impl OverloadPolicy {
+    /// Stable lower-case label (report JSON, CLI flag values).
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::Shed => "shed",
+        }
+    }
+
+    /// Inverse of [`OverloadPolicy::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "block" => Some(OverloadPolicy::Block),
+            "shed" => Some(OverloadPolicy::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// Service-wide configuration, fixed at [`MetadataService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Shard workers (threads); tenants hash across them.
+    pub shards: usize,
+    /// Bounded request-queue depth per shard.
+    pub queue_depth: usize,
+    /// Overload behaviour when a queue is full.
+    pub policy: OverloadPolicy,
+    /// Prefetch degree every tenant's prefetcher is built at.
+    pub degree: usize,
+    /// Engine geometry (L1 model, prefetch-buffer blocks) per tenant.
+    pub system: SystemConfig,
+    /// Per-tenant metadata budget; exceeding it resets the tenant's
+    /// metadata in place. `usize::MAX` disables.
+    pub tenant_budget_bytes: usize,
+    /// Whole-shard footprint budget; exceeding it evicts
+    /// least-recently-served sessions. `usize::MAX` disables.
+    pub shard_budget_bytes: usize,
+    /// Whether tenant sessions fold the decision digest (cheap; the
+    /// equivalence oracle and the scale tests rely on it).
+    pub digest: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_depth: 64,
+            policy: OverloadPolicy::Block,
+            degree: 4,
+            system: SystemConfig::paper(),
+            tenant_budget_bytes: usize::MAX,
+            shard_budget_bytes: usize::MAX,
+            digest: true,
+        }
+    }
+}
+
+/// A running sharded metadata service.
+pub struct MetadataService {
+    senders: Vec<SyncSender<BatchRequest>>,
+    handles: Vec<JoinHandle<ShardOutcome>>,
+    shed: Vec<Arc<AtomicU64>>,
+    policy: OverloadPolicy,
+}
+
+/// A cheap per-submitter handle: cloned queue senders plus the shed
+/// counters. Load-generator client threads each own one, so submission
+/// never synchronizes through the service struct.
+#[derive(Clone)]
+pub struct ServiceClient {
+    senders: Vec<SyncSender<BatchRequest>>,
+    shed: Vec<Arc<AtomicU64>>,
+    policy: OverloadPolicy,
+}
+
+impl ServiceClient {
+    /// The shard `tenant` hashes to.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        (FxBuildHasher::default().hash_one(tenant) as usize) % self.senders.len()
+    }
+
+    /// Submits one batch to its tenant's shard. Returns `false` only
+    /// when the shed policy rejected it (queue full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard worker has terminated (service bug).
+    pub fn submit(&self, req: BatchRequest) -> bool {
+        let s = self.shard_of(req.tenant);
+        match self.policy {
+            OverloadPolicy::Block => {
+                self.senders[s].send(req).expect("shard worker alive");
+                true
+            }
+            OverloadPolicy::Shed => match self.senders[s].try_send(req) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    self.shed[s].fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+                Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
+            },
+        }
+    }
+}
+
+/// Everything the shards hand back at shutdown.
+pub struct ServiceResult {
+    /// Per-shard outcomes, indexed by shard.
+    pub shards: Vec<ShardOutcome>,
+}
+
+impl ServiceResult {
+    /// Every closed tenant session across all shards.
+    pub fn finals(&self) -> impl Iterator<Item = &TenantFinal> {
+        self.shards.iter().flat_map(|s| s.finals.iter())
+    }
+
+    /// The single final of `tenant` — `None` when the tenant never sent
+    /// a batch *or* was evicted mid-run (multiple finals mean the run is
+    /// not reference-comparable, so callers must not pick one blindly).
+    pub fn tenant(&self, tenant: u64) -> Option<&TenantFinal> {
+        let mut it = self.finals().filter(|f| f.tenant == tenant);
+        let first = it.next()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    /// Events replayed across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.events).sum()
+    }
+
+    /// Batches served across all shards.
+    pub fn total_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.batches).sum()
+    }
+
+    /// Requests shed across all shards.
+    pub fn total_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.shed).sum()
+    }
+}
+
+impl MetadataService {
+    /// Spawns the shard workers and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config (zero shards or queue depth).
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.shards > 0, "service needs at least one shard");
+        assert!(cfg.queue_depth > 0, "queues must hold at least one request");
+        let policy = cfg.policy;
+        let cfg = Arc::new(cfg);
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        let mut shed = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = sync_channel::<BatchRequest>(cfg.queue_depth);
+            let cfg = Arc::clone(&cfg);
+            let handle = std::thread::Builder::new()
+                .name(format!("svc-shard-{shard}"))
+                .spawn(move || run_shard(shard, cfg, rx))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+            shed.push(Arc::new(AtomicU64::new(0)));
+        }
+        MetadataService {
+            senders,
+            handles,
+            shed,
+            policy,
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard `tenant` hashes to.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        (FxBuildHasher::default().hash_one(tenant) as usize) % self.senders.len()
+    }
+
+    /// A submission handle for one client thread.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            senders: self.senders.clone(),
+            shed: self.shed.clone(),
+            policy: self.policy,
+        }
+    }
+
+    /// Submits one batch from the service's own handle (tests and
+    /// single-threaded drivers; load generators use [`ServiceClient`]s).
+    pub fn submit(&self, req: BatchRequest) -> bool {
+        self.client().submit(req)
+    }
+
+    /// Hangs up the queues, joins every shard, and returns their
+    /// outcomes with the front-end shed counts folded in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked.
+    pub fn shutdown(self) -> ServiceResult {
+        // Dropping the senders disconnects the channels once every
+        // outstanding ServiceClient is gone too; clients are expected to
+        // be dropped before shutdown (the load generator scopes them).
+        drop(self.senders);
+        let mut shards = Vec::with_capacity(self.handles.len());
+        for (handle, shed) in self.handles.into_iter().zip(self.shed) {
+            let mut outcome = handle.join().expect("shard worker panicked");
+            outcome.stats.shed = shed.load(Ordering::Relaxed);
+            shards.push(outcome);
+        }
+        ServiceResult { shards }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for policy in [OverloadPolicy::Block, OverloadPolicy::Shed] {
+            assert_eq!(OverloadPolicy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(OverloadPolicy::from_label("drop"), None);
+    }
+
+    #[test]
+    fn tenants_spread_deterministically_across_shards() {
+        let service = MetadataService::start(ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let mut seen = [false; 4];
+        for tenant in 0..64 {
+            let s = service.shard_of(tenant);
+            assert_eq!(s, client.shard_of(tenant), "front and client agree");
+            assert_eq!(s, service.shard_of(tenant), "hashing is stable");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 tenants cover 4 shards");
+        // The client's sender clones keep the shard queues connected;
+        // it must be gone before shutdown can join the workers.
+        drop(client);
+        let result = service.shutdown();
+        assert_eq!(result.shards.len(), 4);
+        assert_eq!(result.total_events(), 0);
+    }
+}

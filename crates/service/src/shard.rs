@@ -1,0 +1,199 @@
+//! Shard-per-thread workers: each shard exclusively owns the sessions
+//! of the tenants hashed to it.
+//!
+//! A shard is a plain loop over its bounded request queue — no locks
+//! guard any metadata, because a tenant's state is only ever touched by
+//! the one worker its id hashes to, and the queue preserves per-tenant
+//! FIFO order. That is what makes the whole service bit-reproducible
+//! under the `Block` policy: scheduling can interleave *tenants*
+//! arbitrarily, but each tenant's own stream replays in order on one
+//! thread.
+//!
+//! Memory pressure is enforced here, after every served batch:
+//!
+//! * **per-tenant budget** — a session whose footprint exceeds
+//!   [`crate::ServiceConfig::tenant_budget_bytes`] has its metadata
+//!   reset in place (counted in [`ShardStats::resets`]);
+//! * **shard budget** — while the shard's total footprint exceeds
+//!   [`crate::ServiceConfig::shard_budget_bytes`], least-recently-served
+//!   sessions (other than the one just served) are evicted whole
+//!   (counted in [`ShardStats::evictions`]); an evicted tenant that
+//!   sends again restarts cold at its current stream position.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::Instant;
+
+use domino_sim::System;
+use domino_telemetry::FixedHistogram;
+use domino_trace::event::AccessEvent;
+use domino_trace::FxHashMap;
+
+use crate::report::LATENCY_BOUNDS_NS;
+use crate::service::ServiceConfig;
+use crate::session::{TenantFinal, TenantSession};
+
+/// One batch of a tenant's miss stream, submitted to its shard.
+#[derive(Clone)]
+pub struct BatchRequest {
+    /// Tenant id (also the shard-hash key).
+    pub tenant: u64,
+    /// System the tenant runs (fixed per tenant; the first batch wins).
+    pub system: System,
+    /// Shared base trace the tenant's stream is a window of.
+    pub trace: Arc<[AccessEvent]>,
+    /// Window start within `trace`.
+    pub base: u32,
+    /// Window length (the tenant's whole stream).
+    pub len: u32,
+    /// Batch start within the tenant stream (0-based, inclusive).
+    pub start: u32,
+    /// Batch end within the tenant stream (exclusive).
+    pub end: u32,
+    /// Submission stamp; request latency is measured from here to the
+    /// end of processing.
+    pub enqueued: Instant,
+}
+
+/// Per-shard counters and the request-latency histogram.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Request batches served.
+    pub batches: u64,
+    /// Events replayed (excludes shed gaps).
+    pub events: u64,
+    /// Requests rejected at the queue under the shed policy (counted by
+    /// the front-end, folded in at shutdown).
+    pub shed: u64,
+    /// Sessions evicted by the shard-wide budget.
+    pub evictions: u64,
+    /// Per-tenant metadata resets.
+    pub resets: u64,
+    /// Events skipped because an earlier batch was shed.
+    pub gap_events: u64,
+    /// Most sessions resident at once.
+    pub peak_tenants: usize,
+    /// Largest total footprint observed (bytes).
+    pub peak_footprint: usize,
+    /// Nanoseconds spent processing batches (excludes queue idle time).
+    pub busy_ns: u64,
+    /// First-request to last-completion span in nanoseconds.
+    pub wall_ns: u64,
+    /// Request latency (submit → processed) in nanoseconds.
+    pub latency: FixedHistogram,
+}
+
+impl ShardStats {
+    fn new(shard: usize) -> Self {
+        ShardStats {
+            shard,
+            batches: 0,
+            events: 0,
+            shed: 0,
+            evictions: 0,
+            resets: 0,
+            gap_events: 0,
+            peak_tenants: 0,
+            peak_footprint: 0,
+            busy_ns: 0,
+            wall_ns: 0,
+            latency: FixedHistogram::new(LATENCY_BOUNDS_NS),
+        }
+    }
+
+    /// Events per second over the shard's busy window (0 when idle).
+    pub fn throughput_eps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Everything a shard hands back at shutdown.
+pub struct ShardOutcome {
+    /// Counters and latency.
+    pub stats: ShardStats,
+    /// Closed tenant sessions: every drain-time session plus any
+    /// LRU-evicted predecessors, in eviction-then-drain order.
+    pub finals: Vec<TenantFinal>,
+}
+
+/// The shard worker body: serve requests until every sender hangs up,
+/// then drain the resident sessions.
+pub(crate) fn run_shard(
+    shard: usize,
+    cfg: Arc<ServiceConfig>,
+    rx: Receiver<BatchRequest>,
+) -> ShardOutcome {
+    let mut sessions: FxHashMap<u64, TenantSession> = FxHashMap::default();
+    let mut finals: Vec<TenantFinal> = Vec::new();
+    let mut stats = ShardStats::new(shard);
+    // Running footprint total, adjusted by deltas so pressure checks are
+    // O(1) per batch; an LRU scan only happens under actual pressure.
+    let mut total_footprint = 0usize;
+    let mut clock = 0u64;
+    let mut first: Option<Instant> = None;
+    let mut last: Option<Instant> = None;
+    while let Ok(req) = rx.recv() {
+        let t0 = Instant::now();
+        first.get_or_insert(t0);
+        let stream = &req.trace[req.base as usize..(req.base + req.len) as usize];
+        clock += 1;
+        let session = sessions.entry(req.tenant).or_insert_with(|| {
+            // First batch from this tenant (or a restart after an LRU
+            // eviction): the session resumes at the batch's own start,
+            // cold.
+            let fresh = TenantSession::new(req.tenant, req.system, &cfg, req.start as usize);
+            total_footprint += fresh.footprint();
+            fresh
+        });
+        session.touch = clock;
+        let fp_before = session.footprint();
+        session.serve(stream, req.start as usize, req.end as usize);
+        if session.footprint() > cfg.tenant_budget_bytes {
+            session.reset_metadata(&cfg);
+            stats.resets += 1;
+        }
+        total_footprint = total_footprint - fp_before + session.footprint();
+        stats.batches += 1;
+        stats.events += u64::from(req.end - req.start);
+        stats.peak_tenants = stats.peak_tenants.max(sessions.len());
+        stats.peak_footprint = stats.peak_footprint.max(total_footprint);
+        // Shard-wide pressure: evict least-recently-served sessions
+        // (never the tenant just served) until under budget.
+        while total_footprint > cfg.shard_budget_bytes && sessions.len() > 1 {
+            let victim = sessions
+                .iter()
+                .filter(|(&t, _)| t != req.tenant)
+                .min_by_key(|(_, s)| s.touch)
+                .map(|(&t, _)| t);
+            let Some(victim) = victim else { break };
+            let evicted = sessions.remove(&victim).expect("victim resident");
+            total_footprint -= evicted.footprint();
+            stats.evictions += 1;
+            finals.push(evicted.finalize(true));
+        }
+        let done = Instant::now();
+        stats.busy_ns += done.duration_since(t0).as_nanos() as u64;
+        stats
+            .latency
+            .record(done.duration_since(req.enqueued).as_nanos() as u64);
+        last = Some(done);
+    }
+    // Senders gone: orderly drain, stable by tenant id so shutdown is
+    // deterministic regardless of hash-map iteration order.
+    let mut resident: Vec<TenantSession> = sessions.into_values().collect();
+    resident.sort_by_key(TenantSession::tenant);
+    for session in resident {
+        finals.push(session.finalize(false));
+    }
+    stats.gap_events = finals.iter().map(|f| f.gap_events).sum();
+    if let (Some(f), Some(l)) = (first, last) {
+        stats.wall_ns = l.duration_since(f).as_nanos() as u64;
+    }
+    ShardOutcome { stats, finals }
+}

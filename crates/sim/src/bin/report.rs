@@ -207,6 +207,17 @@ fn delta_table(r: &RunReport) -> FigureTable {
     t
 }
 
+/// One percentile as a table cell: `-` for an empty histogram, and
+/// `>bound` when the rank lands in the overflow bucket (the shared
+/// percentile helper reports that as `u64::MAX`).
+fn pct_label(h: &domino_telemetry::FixedHistogram, p: f64) -> String {
+    match h.percentile(p) {
+        None => "-".into(),
+        Some(u64::MAX) => format!(">{}", h.bounds().last().copied().unwrap_or(0)),
+        Some(bound) => bound.to_string(),
+    }
+}
+
 /// Prints one report as a per-epoch delta table plus anomaly flags.
 fn render(r: &RunReport, csv: bool, factor: f64) {
     let t = delta_table(r);
@@ -223,9 +234,12 @@ fn render(r: &RunReport, csv: bool, factor: f64) {
                 .map(|(i, &c)| format!("{} x{}", h.label(i), c))
                 .collect();
             println!(
-                "  hist {name}: n={} mean={:.1} [{}]",
+                "  hist {name}: n={} mean={:.1} p50={} p95={} p99={} [{}]",
                 h.total(),
                 h.mean(),
+                pct_label(h, 0.50),
+                pct_label(h, 0.95),
+                pct_label(h, 0.99),
                 buckets.join(", ")
             );
         }
@@ -287,6 +301,23 @@ mod tests {
         // ...and the zero-denominator epoch reads 0, not NaN.
         assert_eq!(t.value("1", "accuracy"), Some(0.0));
         assert_eq!(t.value("1", "coverage"), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_labels_on_known_buckets() {
+        use domino_telemetry::FixedHistogram;
+        // Bounds 10/100/1000; 20 values in the first bucket, 70 in the
+        // second, 9 in the third, 1 overflow — the shared helper's
+        // canonical shape: p50 lands in bucket 100, p99 at 1000.
+        let h = FixedHistogram::from_parts(vec![10, 100, 1000], vec![20, 70, 9, 1], 0);
+        assert_eq!(pct_label(&h, 0.50), "100");
+        assert_eq!(pct_label(&h, 0.95), "1000");
+        assert_eq!(pct_label(&h, 0.99), "1000");
+        // The full-population percentile hits the overflow record.
+        assert_eq!(pct_label(&h, 1.0), ">1000");
+        // Empty histogram: no percentile at all.
+        let empty = FixedHistogram::new(&[10, 100]);
+        assert_eq!(pct_label(&empty, 0.5), "-");
     }
 
     #[test]

@@ -396,6 +396,14 @@ fn run_coverage_scalar(
     report
 }
 
+/// FNV-1a fold step for the decision digest.
+fn fold(h: &mut u64, v: u64) {
+    *h = (*h ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+}
+
+/// FNV-1a offset basis — the digest's starting value.
+const DIGEST_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// The coverage engine's [`TriggerBatch`]: one staged chunk's compacted
 /// triggering events (L1 misses only — hits never reach the prefetcher),
 /// resolved against the prefetch buffer one pull at a time.
@@ -413,6 +421,10 @@ struct CoverageDriver<'a> {
     pcs: &'a [Pc],
     reads: &'a [bool],
     cursor: usize,
+    /// When present, every metadata decision — trigger kinds, issued
+    /// prefetches, stream discards, replacement victims, metadata
+    /// traffic — folds into this FNV accumulator in replay order.
+    digest: Option<&'a mut u64>,
 }
 
 impl CoverageDriver<'_> {
@@ -421,6 +433,24 @@ impl CoverageDriver<'_> {
     /// traffic — the exact tail of the scalar event loop.
     fn apply(&mut self, k: usize, sink: &CollectSink) {
         let i = self.idx[k];
+        if let Some(h) = self.digest.as_deref_mut() {
+            for &stream in &sink.discarded_streams {
+                fold(h, 0x10);
+                fold(h, u64::from(stream));
+            }
+            for req in &sink.requests {
+                fold(h, 0x20);
+                fold(h, req.line.raw());
+                fold(h, u64::from(req.delay_trips));
+                fold(h, req.stream.map_or(u64::MAX, u64::from));
+            }
+            for &line in &sink.replaced {
+                fold(h, 0x30);
+                fold(h, line.raw());
+            }
+            fold(h, sink.meta_read_blocks);
+            fold(h, sink.meta_write_blocks);
+        }
         for &stream in &sink.discarded_streams {
             self.buffer.discard_stream(stream);
         }
@@ -482,6 +512,11 @@ impl TriggerBatch for CoverageDriver<'_> {
                 *self.run = 0;
             }
         }
+        if let Some(h) = self.digest.as_deref_mut() {
+            fold(h, u64::from(covered));
+            fold(h, self.pcs[k].raw());
+            fold(h, line.raw());
+        }
         Some(if covered {
             TriggerEvent::prefetch_hit(self.pcs[k], line)
         } else {
@@ -490,13 +525,227 @@ impl TriggerBatch for CoverageDriver<'_> {
     }
 }
 
+/// An incremental coverage run: the batched structure-of-arrays engine
+/// ([`L1Lanes::stage_coverage`] pre-pass, [`CoverageDriver`] replay,
+/// [`Prefetcher::train_predict_batch`]) packaged as a resumable session
+/// that accepts the trace in arbitrary increments.
+///
+/// Any partition of the trace into [`CoverageSession::step`] calls
+/// produces a report byte-identical to the scalar engine — the same
+/// property the `domino-check` batched-vs-scalar oracle enforces for
+/// [`run_coverage_with_batch`] — so callers that receive a stream in
+/// pieces (the `domino-service` metadata service feeds one session per
+/// tenant, one request batch at a time) never need to align their chunk
+/// boundaries with anything.
+///
+/// The session carries the per-run engine state (L1 model, prefetch
+/// buffer, staging lanes) but **not** the prefetcher, which is passed to
+/// every `step`; the prefetcher is owned by the caller so it can be
+/// probed ([`Prefetcher::knows_line`]) or sized
+/// ([`Prefetcher::footprint_bytes`]) between steps.
+pub struct CoverageSession {
+    l1: scratch::Pooled<SetAssocCache>,
+    buffer: scratch::Pooled<PrefetchBuffer>,
+    sink: scratch::Pooled<CollectSink>,
+    lanes: L1Lanes,
+    trig: TriggerLanes,
+    report: CoverageReport,
+    run: u64,
+    warmup: usize,
+    warmup_overpredictions: u64,
+    /// Accesses consumed so far — the absolute trace index the next
+    /// [`CoverageSession::step`] resumes from.
+    seen: usize,
+    /// Decision digest accumulator ([`CoverageSession::enable_digest`]).
+    digest: Option<u64>,
+}
+
+impl CoverageSession {
+    /// Creates a session for one run of `name` under `system`, with the
+    /// first `warmup` accesses excluded from metrics as in
+    /// [`run_coverage_warmed`].
+    pub fn new(system: &SystemConfig, name: &str, warmup: usize) -> Self {
+        CoverageSession {
+            l1: scratch::cache(system.l1d),
+            buffer: scratch::buffer(system.prefetch_buffer_blocks),
+            sink: scratch::sink(),
+            lanes: L1Lanes::new(),
+            trig: TriggerLanes::new(),
+            report: CoverageReport {
+                name: name.to_string(),
+                accesses: 0,
+                l1_hits: 0,
+                baseline_misses: 0,
+                covered: 0,
+                read_misses: 0,
+                read_covered: 0,
+                prefetches_issued: 0,
+                overpredictions: 0,
+                meta_read_blocks: 0,
+                meta_write_blocks: 0,
+                stream_lengths: Histogram::fig12(),
+                first_prefetch_trips: 0,
+                first_prefetch_count: 0,
+            },
+            run: 0,
+            warmup,
+            warmup_overpredictions: 0,
+            seen: 0,
+            digest: None,
+        }
+    }
+
+    /// Turns on the decision digest: an order-sensitive FNV-1a fold over
+    /// every metadata decision of the run — trigger kinds, issued
+    /// prefetches (line, delay trips, stream), stream discards,
+    /// replacement victims, and metadata traffic. Two runs that made
+    /// identical decisions in identical order have equal digests
+    /// regardless of how their traces were partitioned into steps; the
+    /// service-equivalence oracle leans on exactly that.
+    pub fn enable_digest(&mut self) {
+        self.digest = Some(DIGEST_BASIS);
+    }
+
+    /// The digest accumulated so far (the FNV basis when no decision has
+    /// folded yet; 0 if the digest was never enabled).
+    pub fn digest(&self) -> u64 {
+        self.digest.unwrap_or(0)
+    }
+
+    /// Accesses consumed so far — the next step resumes here.
+    pub fn processed(&self) -> usize {
+        self.seen
+    }
+
+    /// Metrics accumulated so far. `overpredictions` is only final after
+    /// [`CoverageSession::finish`] (leftover buffered prefetches count).
+    pub fn report(&self) -> &CoverageReport {
+        &self.report
+    }
+
+    /// Skips forward to absolute trace index `index` without processing
+    /// the events in between — the service's accounting for request
+    /// batches lost to load shedding. The skipped events are simply
+    /// never replayed (the L1 and metadata keep their pre-gap state), so
+    /// a skipping run is *not* comparable to a contiguous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` would rewind the session.
+    pub fn skip_to(&mut self, index: usize) {
+        assert!(
+            index >= self.seen,
+            "coverage session cannot rewind: at {}, asked for {}",
+            self.seen,
+            index
+        );
+        self.seen = index;
+    }
+
+    /// Processes `trace[processed()..end]` as staged chunks, splitting at
+    /// the warmup boundary so `measuring` stays constant within a chunk
+    /// (the scalar loop flips mid-stream).
+    pub fn step(&mut self, prefetcher: &mut dyn Prefetcher, trace: &[AccessEvent], end: usize) {
+        let n = end.min(trace.len());
+        while self.seen < n {
+            let s = self.seen;
+            let mut e = n;
+            if s < self.warmup && e > self.warmup {
+                e = self.warmup;
+            }
+            self.step_chunk(prefetcher, trace, s, e);
+            self.seen = e;
+        }
+    }
+
+    /// One staged chunk `[s, e)`; `measuring` is constant across it.
+    fn step_chunk(
+        &mut self,
+        prefetcher: &mut dyn Prefetcher,
+        trace: &[AccessEvent],
+        s: usize,
+        e: usize,
+    ) {
+        let measuring = s >= self.warmup;
+        if measuring && s == self.warmup && self.warmup > 0 {
+            self.warmup_overpredictions = self.buffer.stats().overpredictions();
+        }
+        let hits = self
+            .lanes
+            .stage_coverage(&mut self.l1, trace, s, e, &mut self.trig);
+        if measuring {
+            self.report.accesses += (e - s) as u64;
+            self.report.l1_hits += hits;
+        }
+        let mut driver = CoverageDriver {
+            l1: &self.l1,
+            lanes: &self.lanes,
+            buffer: &mut self.buffer,
+            report: &mut self.report,
+            run: &mut self.run,
+            measuring,
+            idx: &self.trig.idx,
+            lines: &self.trig.lines,
+            pcs: &self.trig.pcs,
+            reads: &self.trig.reads,
+            cursor: 0,
+            digest: self.digest.as_mut(),
+        };
+        prefetcher.train_predict_batch(&mut driver, &mut self.sink);
+        debug_assert_eq!(
+            driver.cursor,
+            self.trig.len(),
+            "train_predict_batch must drain the batch"
+        );
+    }
+
+    /// Closes the run: records the trailing covered-run length and
+    /// charges leftover buffered prefetches as overpredictions, exactly
+    /// like the scalar engine's epilogue.
+    pub fn finish(mut self) -> CoverageReport {
+        if self.run > 0 {
+            self.report.stream_lengths.record(self.run);
+        }
+        let stats = self.buffer.stats();
+        self.report.overpredictions =
+            (stats.overpredictions() - self.warmup_overpredictions) + self.buffer.len() as u64;
+        self.report
+    }
+}
+
+/// Runs a whole trace through a [`CoverageSession`] with the decision
+/// digest enabled, stepping in `batch`-sized increments, and returns the
+/// report plus digest — the single-tenant reference side of the
+/// service-equivalence oracle.
+pub fn run_coverage_session(
+    system: &SystemConfig,
+    trace: &[AccessEvent],
+    prefetcher: &mut dyn Prefetcher,
+    batch: usize,
+) -> (CoverageReport, u64) {
+    let mut session = CoverageSession::new(system, prefetcher.name(), 0);
+    session.enable_digest();
+    prefetcher.reserve(trace.len());
+    let step = batch.max(1);
+    let n = trace.len();
+    let mut s = 0usize;
+    while s < n {
+        let e = (s + step).min(n);
+        session.step(prefetcher, trace, e);
+        s = e;
+    }
+    let digest = session.digest();
+    (session.finish(), digest)
+}
+
 /// The batched structure-of-arrays loop: one fused pre-pass per
 /// fixed-size chunk ([`L1Lanes::stage_coverage`]) advances the L1,
 /// compacts the misses into trigger lanes, and counts the hits, then
 /// the whole chunk goes to the prefetcher via
 /// [`Prefetcher::train_predict_batch`]. Byte-identical to
 /// [`run_coverage_scalar`] by construction; the `domino-check`
-/// batched-vs-scalar oracle enforces it.
+/// batched-vs-scalar oracle enforces it. Implemented on
+/// [`CoverageSession`], which owns the chunk mechanics.
 fn run_coverage_batched(
     system: &SystemConfig,
     trace: &[AccessEvent],
@@ -504,77 +753,16 @@ fn run_coverage_batched(
     warmup: usize,
     batch: usize,
 ) -> CoverageReport {
-    let mut l1 = scratch::cache(system.l1d);
-    let mut buffer = scratch::buffer(system.prefetch_buffer_blocks);
-    let mut sink = scratch::sink();
+    let mut session = CoverageSession::new(system, prefetcher.name(), warmup);
     prefetcher.reserve(trace.len());
-    let mut report = CoverageReport {
-        name: prefetcher.name().to_string(),
-        accesses: 0,
-        l1_hits: 0,
-        baseline_misses: 0,
-        covered: 0,
-        read_misses: 0,
-        read_covered: 0,
-        prefetches_issued: 0,
-        overpredictions: 0,
-        meta_read_blocks: 0,
-        meta_write_blocks: 0,
-        stream_lengths: Histogram::fig12(),
-        first_prefetch_trips: 0,
-        first_prefetch_count: 0,
-    };
-    let mut run = 0u64;
-    let mut warmup_overpredictions = 0u64;
-    let mut lanes = L1Lanes::new();
-    // Compacted trigger lanes of the current chunk, reused across chunks.
-    let mut trig = TriggerLanes::new();
     let n = trace.len();
     let mut s = 0usize;
     while s < n {
-        // Clamp the chunk to the warmup boundary so `measuring` is
-        // constant within it (the scalar loop flips mid-stream).
-        let mut e = (s + batch).min(n);
-        if s < warmup && e > warmup {
-            e = warmup;
-        }
-        let measuring = s >= warmup;
-        if measuring && s == warmup && warmup > 0 {
-            warmup_overpredictions = buffer.stats().overpredictions();
-        }
-        let hits = lanes.stage_coverage(&mut l1, trace, s, e, &mut trig);
-        if measuring {
-            report.accesses += (e - s) as u64;
-            report.l1_hits += hits;
-        }
-        let mut driver = CoverageDriver {
-            l1: &l1,
-            lanes: &lanes,
-            buffer: &mut buffer,
-            report: &mut report,
-            run: &mut run,
-            measuring,
-            idx: &trig.idx,
-            lines: &trig.lines,
-            pcs: &trig.pcs,
-            reads: &trig.reads,
-            cursor: 0,
-        };
-        prefetcher.train_predict_batch(&mut driver, &mut sink);
-        debug_assert_eq!(
-            driver.cursor,
-            trig.len(),
-            "train_predict_batch must drain the batch"
-        );
+        let e = (s + batch).min(n);
+        session.step(prefetcher, trace, e);
         s = e;
     }
-    if run > 0 {
-        report.stream_lengths.record(run);
-    }
-    let stats = buffer.stats();
-    report.overpredictions =
-        (stats.overpredictions() - warmup_overpredictions) + buffer.len() as u64;
-    report
+    session.finish()
 }
 
 /// Convenience: the baseline miss sequence (line addresses, reads and
@@ -752,6 +940,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn session_steps_of_any_size_match_scalar() {
+        let spec = catalog::oltp();
+        let trace: Vec<_> = spec.generator(23).take(20_000).collect();
+        let mut scalar_p = Stms::new(TemporalConfig::default());
+        let scalar = run_coverage_with_batch(&system(), &trace, &mut scalar_p, 0, 1);
+        // Feed the session in ragged increments (growing, then tiny).
+        let mut p = Stms::new(TemporalConfig::default());
+        let mut session = CoverageSession::new(&system(), p.name(), 0);
+        p.reserve(trace.len());
+        let mut end = 0usize;
+        let mut stride = 1usize;
+        while end < trace.len() {
+            end = (end + stride).min(trace.len());
+            session.step(&mut p, &trace, end);
+            assert_eq!(session.processed(), end);
+            stride = (stride * 3 + 1) % 977 + 1;
+        }
+        let report = session.finish();
+        assert_eq!(format!("{scalar:?}"), format!("{report:?}"));
+    }
+
+    #[test]
+    fn session_digest_is_partition_invariant() {
+        let spec = catalog::web_search();
+        let trace: Vec<_> = spec.generator(13).take(15_000).collect();
+        let mut digests = Vec::new();
+        let mut reports = Vec::new();
+        for batch in [1usize, 7, 64, 4096] {
+            let mut p = Stms::new(TemporalConfig::default());
+            let (report, digest) = run_coverage_session(&system(), &trace, &mut p, batch);
+            digests.push(digest);
+            reports.push(format!("{report:?}"));
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "digests diverge across partitions: {digests:?}"
+        );
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
+        // The digest actually covers decisions: a different trace (or a
+        // truncated one) must not collide.
+        let mut p = Stms::new(TemporalConfig::default());
+        let (_, shorter) = run_coverage_session(&system(), &trace[..14_000], &mut p, 64);
+        assert_ne!(shorter, digests[0]);
+    }
+
+    #[test]
+    fn session_skip_to_jumps_forward() {
+        let spec = catalog::oltp();
+        let trace: Vec<_> = spec.generator(2).take(4_000).collect();
+        let mut p = NoPrefetcher;
+        let mut session = CoverageSession::new(&system(), p.name(), 0);
+        session.step(&mut p, &trace, 1_000);
+        session.skip_to(3_000);
+        session.step(&mut p, &trace, trace.len());
+        assert_eq!(session.processed(), 4_000);
+        let report = session.finish();
+        // Only the non-skipped 2000 events were measured.
+        assert_eq!(report.accesses, 2_000);
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub mod trace_cache;
 
 pub use config::SystemConfig;
 pub use engine::{
-    baseline_miss_sequence, run_coverage, run_coverage_observed, run_coverage_with_batch,
-    CoverageReport,
+    baseline_miss_sequence, run_coverage, run_coverage_observed, run_coverage_session,
+    run_coverage_with_batch, CoverageReport, CoverageSession,
 };
 pub use figures::Scale;
 pub use multicore::{run_homogeneous, run_multicore, run_multicore_with_batch, MulticoreReport};

@@ -67,12 +67,16 @@ impl System {
 
     /// Inverse of [`System::label`]: resolves a figure label back to the
     /// system, so reproducer files can name the system they were shrunk
-    /// under. Returns `None` for unknown labels.
+    /// under. Matching ignores ASCII case (`domino` and `Domino` both
+    /// resolve) so CLI flags stay forgiving. Returns `None` for unknown
+    /// labels.
     pub fn from_label(label: &str) -> Option<System> {
-        if let Some(depth) = label.strip_prefix("Lookup-") {
+        if let Some(depth) = strip_prefix_ignore_case(label, "Lookup-") {
             return depth.parse().ok().map(System::MultiDepth);
         }
-        System::all().into_iter().find(|sys| sys.label() == label)
+        System::all()
+            .into_iter()
+            .find(|sys| sys.label().eq_ignore_ascii_case(label))
     }
 
     /// The systems compared in Figures 11, 13 and 14.
@@ -144,6 +148,13 @@ impl System {
     }
 }
 
+/// `label.strip_prefix(prefix)` ignoring ASCII case on the prefix part.
+fn strip_prefix_ignore_case<'a>(label: &'a str, prefix: &str) -> Option<&'a str> {
+    let head = label.get(..prefix.len())?;
+    head.eq_ignore_ascii_case(prefix)
+        .then(|| &label[prefix.len()..])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +182,10 @@ mod tests {
         }
         assert_eq!(System::from_label("Lookup-7"), Some(System::MultiDepth(7)));
         assert_eq!(System::from_label("NoSuchSystem"), None);
+        // CLI flags resolve labels case-insensitively.
+        assert_eq!(System::from_label("domino"), Some(System::Domino));
+        assert_eq!(System::from_label("stms"), Some(System::Stms));
+        assert_eq!(System::from_label("lookup-5"), Some(System::MultiDepth(5)));
     }
 
     #[test]

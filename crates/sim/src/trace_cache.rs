@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use domino_trace::event::AccessEvent;
+use domino_trace::rng::SimRng;
 use domino_trace::workload::WorkloadSpec;
 
 use crate::config::SystemConfig;
@@ -55,6 +56,56 @@ pub fn shared_trace(spec: &WorkloadSpec, events: usize, seed: u64) -> Arc<[Acces
     };
     cell.get_or_init(|| spec.generator(seed).take(events).collect::<Vec<_>>().into())
         .clone()
+}
+
+/// A tenant's view into a shared base trace: a contiguous window of a
+/// cached `Arc<[AccessEvent]>`. Thousands of tenant streams share one
+/// base allocation per `(spec, seed)` instead of generating thousands of
+/// private traces — the memory model behind the metadata service's load
+/// generator.
+#[derive(Debug, Clone)]
+pub struct TenantSlice {
+    /// The shared base trace the window points into.
+    pub trace: Arc<[AccessEvent]>,
+    /// Window start within `trace`.
+    pub start: usize,
+    /// Window length in events.
+    pub len: usize,
+}
+
+impl TenantSlice {
+    /// The window's events.
+    pub fn events(&self) -> &[AccessEvent] {
+        &self.trace[self.start..self.start + self.len]
+    }
+}
+
+/// Derives tenant `tenant`'s miss-stream window: `events` consecutive
+/// events of the shared `(spec, seed)` base trace of `base_events`
+/// events, at an offset drawn deterministically from `(seed, tenant)`.
+/// Same inputs → byte-identical window, across processes and thread
+/// schedules, so a service run and its single-tenant reference replay
+/// exactly the same stream.
+///
+/// `base_events` is clamped up to `events` so the window always fits;
+/// distinct tenants overlap freely (their sessions are independent).
+pub fn shared_tenant_slice(
+    spec: &WorkloadSpec,
+    base_events: usize,
+    seed: u64,
+    tenant: u64,
+    events: usize,
+) -> TenantSlice {
+    let base_events = base_events.max(events);
+    let trace = shared_trace(spec, base_events, seed);
+    let mut rng = SimRng::seed(seed ^ 0x7e6a_5d4c_3b2a_1908);
+    let mut rng = rng.fork(tenant);
+    let start = rng.index(base_events - events + 1);
+    TenantSlice {
+        trace,
+        start,
+        len: events,
+    }
 }
 
 /// The L1-filtered baseline miss sequence of `spec`'s trace under
@@ -123,6 +174,30 @@ mod tests {
         let cached = shared_trace(&spec, 800, 9);
         let direct: Vec<_> = spec.generator(9).take(800).collect();
         assert_eq!(&cached[..], &direct[..]);
+    }
+
+    #[test]
+    fn tenant_slices_share_the_base_allocation() {
+        let spec = catalog::web_search();
+        let a = shared_tenant_slice(&spec, 5_000, 77, 0, 400);
+        let b = shared_tenant_slice(&spec, 5_000, 77, 1, 400);
+        assert!(Arc::ptr_eq(&a.trace, &b.trace));
+        assert_eq!(a.events().len(), 400);
+        // Same tenant → same window; the derivation is deterministic.
+        let a2 = shared_tenant_slice(&spec, 5_000, 77, 0, 400);
+        assert_eq!(a.start, a2.start);
+        // Windows land inside the base trace.
+        assert!(a.start + a.len <= a.trace.len());
+        assert!(b.start + b.len <= b.trace.len());
+    }
+
+    #[test]
+    fn tenant_slice_clamps_short_base() {
+        let spec = catalog::oltp();
+        let s = shared_tenant_slice(&spec, 10, 3, 9, 250);
+        assert_eq!(s.len, 250);
+        assert_eq!(s.start, 0);
+        assert_eq!(s.trace.len(), 250);
     }
 
     #[test]

@@ -104,6 +104,34 @@ impl FixedHistogram {
         self.sum
     }
 
+    /// The `p`-quantile as a bucket upper bound: the bound of the bucket
+    /// holding the `ceil(p · n)`-th smallest sample (`p` clamped to
+    /// `(0, 1]`). Returns `None` when the histogram is empty and
+    /// `Some(u64::MAX)` when the quantile lands in the unbounded
+    /// overflow bucket — render that as `>last_bound`.
+    ///
+    /// Because samples are bucketed, this is an upper bound on the true
+    /// quantile, exact when the bounds are dense around it. It is the
+    /// shared p50/p95/p99 helper behind the `report` binary's histogram
+    /// columns and the metadata service's latency SLO report.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let n = self.total();
+        if n == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // ceil(p * n) clamped to [1, n]: the rank of the target sample.
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        unreachable!("rank <= total")
+    }
+
     /// Human label of bucket `i`: `≤b`, or `>b_last` for the overflow
     /// bucket.
     pub fn label(&self, i: usize) -> String {
@@ -154,6 +182,50 @@ mod tests {
         h.record(30);
         assert_eq!(h.mean(), 20.0);
         assert_eq!(h.sum(), 40);
+    }
+
+    #[test]
+    fn percentiles_on_known_buckets() {
+        // Buckets: <=10 (20 samples), <=100 (70), <=1000 (9), >1000 (1).
+        let h = FixedHistogram::from_parts(vec![10, 100, 1000], vec![20, 70, 9, 1], 0);
+        assert_eq!(h.total(), 100);
+        // Rank 50 falls in the second bucket (cumulative 20 → 90).
+        assert_eq!(h.percentile(0.50), Some(100));
+        // Rank 20 is exactly the last sample of the first bucket.
+        assert_eq!(h.percentile(0.20), Some(10));
+        assert_eq!(h.percentile(0.21), Some(100));
+        // Rank 95 falls in the third bucket (cumulative 90 → 99).
+        assert_eq!(h.percentile(0.95), Some(1000));
+        // Rank 100 is the overflow sample.
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        // p99 → rank 99, still the third bucket.
+        assert_eq!(h.percentile(0.99), Some(1000));
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let h = FixedHistogram::new(&[10]);
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentile_clamps_degenerate_p() {
+        let mut h = FixedHistogram::new(&[10, 20]);
+        h.record(5);
+        h.record(15);
+        // p = 0 clamps to rank 1 (the smallest sample's bucket).
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.percentile(-1.0), Some(10));
+        assert_eq!(h.percentile(2.0), Some(20));
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut h = FixedHistogram::new(&[8, 16]);
+        h.record(12);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Some(16), "p={p}");
+        }
     }
 
     #[test]

@@ -122,6 +122,24 @@ if [ "${1:-}" != "--fast" ]; then
         cargo run --release -q -p domino-check -- --batch-parity \
             --events 1200 --out check-failures
     fi
+
+    mark service-smoke
+    echo "==> metadata service smoke (DOMINO_SKIP_SERVICE=1 to skip)"
+    if [ "${DOMINO_SKIP_SERVICE:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_SERVICE=1)"
+    else
+        # 1,000 concurrent Domino tenant streams through the sharded
+        # service; the schema-versioned SLO report must validate.
+        service_dir=$(mktemp -d)
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "${check_dir:-}" "$service_dir"' EXIT
+        cargo run --release -q -p domino-service --bin domino-serve -- \
+            --smoke "$service_dir"
+        if command -v python3 >/dev/null 2>&1; then
+            python3 tools/validate_service.py "$service_dir/SERVICE_report.json"
+        else
+            echo "    (python3 not found; skipping service report validation)"
+        fi
+    fi
 fi
 
 echo "check.sh: all clean"
