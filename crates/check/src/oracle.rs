@@ -32,6 +32,14 @@
 //! single-tenant runs — same coverage report bytes, same decision
 //! digest, same final metadata membership. This is the isolation and
 //! linearity anchor for the metadata service.
+//!
+//! Tier 5 (**observability audit**, inside [`check_system_trace`]): an
+//! *armed* service run (metrics rings + span tracing on) audited
+//! against the plane's own invariants — span chronology (submit ≤
+//! enqueue ≤ dequeue ≤ step ≤ reply), deterministic-sampler membership
+//! and exact sampled-count prediction, interval-counter conservation
+//! (ring totals == final shard stats), and serialization round-trips
+//! of both record formats.
 
 use std::fmt;
 use std::sync::Arc;
@@ -41,7 +49,7 @@ use domino::eit::{Eit, EitConfig};
 use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
 use domino_mem::mshr::MshrFile;
 use domino_mem::prefetch_buffer::PrefetchBuffer;
-use domino_service::{BatchRequest, MetadataService, OverloadPolicy, ServiceConfig};
+use domino_service::{BatchRequest, MetadataService, ObsConfig, OverloadPolicy, ServiceConfig};
 use domino_sim::config::SystemConfig;
 use domino_sim::engine::{
     run_coverage, run_coverage_observed, run_coverage_session, run_coverage_with_batch,
@@ -50,7 +58,7 @@ use domino_sim::multicore::{run_multicore, run_multicore_with_batch};
 use domino_sim::roster::System;
 use domino_sim::timing::{run_timing, run_timing_with_batch};
 use domino_telemetry::trace::{TraceFile, TraceMeta};
-use domino_telemetry::Telemetry;
+use domino_telemetry::{RingFile, SpanFile, SpanSampler, Telemetry};
 use domino_trace::addr::{LineAddr, LINE_BYTES};
 use domino_trace::event::AccessEvent;
 
@@ -122,7 +130,8 @@ pub fn check_system_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Viol
     cross_engine(sys, trace)?;
     multicore_equivalence(sys, trace)?;
     invariant_audit(sys, trace)?;
-    service_equivalence(sys, trace)
+    service_equivalence(sys, trace)?;
+    observability_audit(sys, trace)
 }
 
 /// Runs the system-independent reference-model differentials on the op
@@ -553,6 +562,7 @@ fn service_equivalence(sys: System, trace: &[AccessEvent]) -> Result<(), Violati
                     start: start as u32,
                     end: end as u32,
                     enqueued: Instant::now(),
+                    span: None,
                 });
             }
         }
@@ -596,6 +606,195 @@ fn service_equivalence(sys: System, trace: &[AccessEvent]) -> Result<(), Violati
                 line.raw()
             );
         }
+    }
+    Ok(())
+}
+
+/// Tier 5: the observability plane audited against its own invariants.
+///
+/// One *armed* service run (2 shards, blocking policy, span rate 2,
+/// deliberately tiny rings so long traces wrap them) over rotated
+/// tenant streams, then:
+///
+/// - **Span chronology**: every stored span satisfies
+///   submit ≤ enqueue ≤ dequeue ≤ step ≤ reply.
+/// - **Sampler determinism**: the number of recorded spans equals the
+///   count predicted by replaying the pure sampling function over the
+///   exact (tenant, batch-start) pairs the load submitted, and every
+///   stored span is a member the sampler would have selected.
+/// - **Interval-counter conservation**: the metrics ring's unwrapped
+///   totals equal the shard's final stats for every shared counter —
+///   sampling on a cadence must lose nothing by shutdown.
+/// - **Round-trips**: both serialized forms (`DMNOMTR1`, `DMNOSPN1`)
+///   parse back and pass their own `verify()`.
+fn observability_audit(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "observability_audit";
+    if trace.is_empty() {
+        return Ok(());
+    }
+    const TENANTS: usize = 3;
+    const REQUEST_BATCH: usize = 13;
+    const SPAN_RATE: u32 = 2;
+    const SPAN_SEED: u64 = 0x0B5E7;
+    let label = sys.label();
+    let len = trace.len();
+    let streams: Vec<Arc<[AccessEvent]>> = (0..TENANTS)
+        .map(|t| {
+            let cut = t * len / TENANTS;
+            let mut v = Vec::with_capacity(len);
+            v.extend_from_slice(&trace[cut..]);
+            v.extend_from_slice(&trace[..cut]);
+            v.into()
+        })
+        .collect();
+    let sampler = SpanSampler::new(SPAN_RATE, SPAN_SEED);
+    let service = MetadataService::start(ServiceConfig {
+        shards: 2,
+        queue_depth: 4,
+        policy: OverloadPolicy::Block,
+        degree: DEGREE,
+        system: SystemConfig::paper(),
+        obs: Some(ObsConfig {
+            interval_events: 32,
+            ring_rows: 8,
+            span_rate: SPAN_RATE,
+            span_seed: SPAN_SEED,
+            span_capacity: 1024,
+            live_dir: None,
+        }),
+        ..ServiceConfig::default()
+    });
+    // Predicted sampled-span count per shard, from the pure sampling
+    // function over the exact (tenant, batch-start) pairs submitted.
+    let mut predicted = [0u64; 2];
+    {
+        let client = service.client();
+        let mut cursor = [0usize; TENANTS];
+        let mut live = TENANTS;
+        while live > 0 {
+            live = 0;
+            for (t, cursor) in cursor.iter_mut().enumerate() {
+                if *cursor >= len {
+                    continue;
+                }
+                let start = *cursor;
+                let end = (start + REQUEST_BATCH).min(len);
+                *cursor = end;
+                if end < len {
+                    live += 1;
+                }
+                if sampler.sampled(t as u64, start as u64) {
+                    predicted[client.shard_of(t as u64)] += 1;
+                }
+                client.submit(BatchRequest {
+                    tenant: t as u64,
+                    system: sys,
+                    trace: Arc::clone(&streams[t]),
+                    base: 0,
+                    len: len as u32,
+                    start: start as u32,
+                    end: end as u32,
+                    enqueued: Instant::now(),
+                    span: None,
+                });
+            }
+        }
+    }
+    let result = service.shutdown();
+    for shard in &result.shards {
+        let stats = &shard.stats;
+        let Some(obs) = &shard.obs else {
+            return Err(violation(
+                O,
+                format!(
+                    "{label}: shard {} armed run produced no obs outcome",
+                    stats.shard
+                ),
+            ));
+        };
+        // Span chronology and sampler membership, pre-serialization.
+        for span in obs.spans.spans() {
+            if !span.chronological() {
+                return Err(violation(
+                    O,
+                    format!(
+                        "{label}: shard {} span tenant {} seq {} out of order: \
+                         submit {} enqueue {} dequeue {} step {} reply {}",
+                        stats.shard,
+                        span.tenant,
+                        span.seq,
+                        span.submit_ns,
+                        span.enqueue_ns,
+                        span.dequeue_ns,
+                        span.step_ns,
+                        span.reply_ns
+                    ),
+                ));
+            }
+            if !sampler.sampled(span.tenant, span.seq) {
+                return Err(violation(
+                    O,
+                    format!(
+                        "{label}: shard {} stored span (tenant {}, seq {}) the \
+                         deterministic sampler would not have selected",
+                        stats.shard, span.tenant, span.seq
+                    ),
+                ));
+            }
+        }
+        ensure_eq!(
+            O,
+            obs.spans.recorded(),
+            predicted[stats.shard],
+            "{label}: shard {} recorded spans vs pure-sampler prediction",
+            stats.shard
+        );
+        // Interval-counter conservation: cadence sampling plus the
+        // drain-time tail sample must conserve every shared counter.
+        let total = |name: &str| obs.ring.column(name).map(|c| obs.ring.totals()[c]);
+        for (name, expect) in [
+            ("events", stats.events),
+            ("batches", stats.batches),
+            ("shed", stats.shed),
+            ("gap_events", stats.gap_events),
+            ("evictions", stats.evictions),
+            ("resets", stats.resets),
+        ] {
+            ensure_eq!(
+                O,
+                total(name),
+                Some(expect),
+                "{label}: shard {} ring total {name} vs final stats",
+                stats.shard
+            );
+        }
+        // Serialization round-trips: both record formats parse back and
+        // pass their own verifiers, and the ring file conserves totals.
+        let source = format!("shard-{}", stats.shard);
+        let ring_file = RingFile::from_bytes(&obs.ring.to_bytes(&source, 32))
+            .map_err(|e| violation(O, format!("{label}: ring round-trip: {e}")))?;
+        ring_file
+            .verify()
+            .map_err(|e| violation(O, format!("{label}: ring verify: {e}")))?;
+        ensure_eq!(
+            O,
+            ring_file.totals,
+            obs.ring.totals().to_vec(),
+            "{label}: shard {} serialized ring totals",
+            stats.shard
+        );
+        let span_file = SpanFile::from_bytes(&obs.spans.to_bytes(&source, sampler))
+            .map_err(|e| violation(O, format!("{label}: span round-trip: {e}")))?;
+        span_file
+            .verify()
+            .map_err(|e| violation(O, format!("{label}: span verify: {e}")))?;
+        ensure_eq!(
+            O,
+            span_file.recorded,
+            obs.spans.recorded(),
+            "{label}: shard {} serialized span count",
+            stats.shard
+        );
     }
     Ok(())
 }

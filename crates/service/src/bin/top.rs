@@ -1,0 +1,322 @@
+//! `domino-top`: live per-shard dashboard over the serialized
+//! observability rings.
+//!
+//! ```text
+//! domino-top DIR [--once] [--csv] [--interval-ms N] [--window N]
+//! ```
+//!
+//! Tails the `metrics_shard*.bin` / `spans_shard*.bin` files an armed
+//! `domino-serve --obs DIR` run flushes (atomic renames, so a read
+//! never sees a torn file) and renders one row per shard: throughput
+//! over the last `--window` intervals, p50/p95/p99 batch latency from
+//! the ring's self-describing `lat_le_*` columns, queue depth, resident
+//! tenants, footprint, evictions/resets, and sampled-span counts. When
+//! `DIR/OBS_report.json` exists its SLO verdict is shown too.
+//!
+//! The binary is simulator-independent on purpose: it only understands
+//! the `domino_telemetry` file formats, so it can watch a run from
+//! another machine given the directory — nothing here can perturb the
+//! service. `--once` renders a single frame (CI); `--csv` emits the
+//! same table as machine-readable rows.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use domino_telemetry::json;
+use domino_telemetry::{FixedHistogram, RingFile, SpanFile};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: domino-top DIR [--once] [--csv] [--interval-ms N] [--window N]");
+    ExitCode::FAILURE
+}
+
+/// One shard's parsed state for a frame.
+struct ShardRow {
+    source: String,
+    intervals: u64,
+    events: u64,
+    eps: f64,
+    p50: Option<u64>,
+    p95: Option<u64>,
+    p99: Option<u64>,
+    queue_depth: u64,
+    tenants: u64,
+    footprint: u64,
+    evictions: u64,
+    resets: u64,
+    spans: u64,
+}
+
+/// Rebuilds the latency histogram from the ring's self-describing
+/// `lat_le_{bound}` / `lat_over` counter columns.
+fn latency_hist(file: &RingFile, values: &[u64]) -> Option<FixedHistogram> {
+    let mut bounds = Vec::new();
+    let mut counts = Vec::new();
+    for (i, spec) in file.specs.iter().enumerate() {
+        if let Some(b) = spec.name.strip_prefix("lat_le_") {
+            bounds.push(b.parse::<u64>().ok()?);
+            counts.push(values[i]);
+        }
+    }
+    counts.push(values[file.column("lat_over")?]);
+    if bounds.is_empty() {
+        return None;
+    }
+    Some(FixedHistogram::from_parts(bounds, counts, 0))
+}
+
+/// Throughput over the last `window` stored rows: summed event deltas
+/// against the `wall_ns` gauge span. A single row (or a missing gauge)
+/// falls back to the whole-run rate.
+fn throughput(file: &RingFile, window: usize) -> f64 {
+    let events_col = match file.column("events") {
+        Some(c) => c,
+        None => return 0.0,
+    };
+    let wall_col = file.column("wall_ns");
+    let skip = file.rows.len().saturating_sub(window.max(2));
+    let rows = &file.rows[skip..];
+    if let (Some(wall_col), true) = (wall_col, rows.len() >= 2) {
+        let events: u64 = rows[1..].iter().map(|(_, v)| v[events_col]).sum();
+        let span = rows[rows.len() - 1].1[wall_col].saturating_sub(rows[0].1[wall_col]);
+        if span > 0 {
+            return events as f64 / (span as f64 / 1e9);
+        }
+    }
+    // Whole run: total events over the final wall offset.
+    let wall = wall_col.map(|c| file.totals[c]).unwrap_or(0);
+    if wall == 0 {
+        0.0
+    } else {
+        file.totals[events_col] as f64 / (wall as f64 / 1e9)
+    }
+}
+
+fn read_shard(metrics: &Path, spans: &Path, window: usize) -> Result<ShardRow, String> {
+    let bytes = std::fs::read(metrics).map_err(|e| format!("read {}: {e}", metrics.display()))?;
+    let file = RingFile::from_bytes(&bytes).map_err(|e| format!("{}: {e}", metrics.display()))?;
+    file.verify()
+        .map_err(|e| format!("{}: {e}", metrics.display()))?;
+    let hist = latency_hist(&file, &file.totals);
+    let gauge = |name: &str| {
+        file.column(name)
+            .and_then(|c| file.rows.last().map(|(_, v)| v[c]))
+            .unwrap_or(0)
+    };
+    let spans = std::fs::read(spans)
+        .ok()
+        .and_then(|b| SpanFile::from_bytes(&b).ok())
+        .map(|f| f.recorded)
+        .unwrap_or(0);
+    Ok(ShardRow {
+        source: file.source.clone(),
+        intervals: file.sampled,
+        events: file.total("events").unwrap_or(0),
+        eps: throughput(&file, window),
+        p50: hist.as_ref().and_then(|h| h.percentile(0.50)),
+        p95: hist.as_ref().and_then(|h| h.percentile(0.95)),
+        p99: hist.as_ref().and_then(|h| h.percentile(0.99)),
+        queue_depth: gauge("queue_depth"),
+        tenants: gauge("tenants"),
+        footprint: gauge("footprint_bytes"),
+        evictions: file.total("evictions").unwrap_or(0),
+        resets: file.total("resets").unwrap_or(0),
+        spans,
+    })
+}
+
+/// The SLO verdict from `OBS_report.json`, when present:
+/// `Some((breached, names-of-breached-objectives))`.
+fn slo_status(dir: &Path) -> Option<(bool, Vec<String>)> {
+    let doc = std::fs::read_to_string(dir.join("OBS_report.json")).ok()?;
+    let parsed = json::parse(&doc).ok()?;
+    let slo = parsed.get("slo")?;
+    let overall = as_bool(slo.get("breached")?)?;
+    let mut names = Vec::new();
+    if let Some(objectives) = slo.get("objectives").and_then(|v| v.as_arr()) {
+        for o in objectives {
+            if o.get("breached").and_then(as_bool) == Some(true) {
+                if let Some(name) = o.get("name").and_then(|v| v.as_str()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    Some((overall, names))
+}
+
+fn as_bool(v: &json::Json) -> Option<bool> {
+    match v {
+        json::Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn human_ns(v: Option<u64>) -> String {
+    match v {
+        None => "-".into(),
+        Some(u64::MAX) => ">max".into(),
+        Some(ns) if ns >= 10_000_000 => format!("{}ms", ns / 1_000_000),
+        Some(ns) if ns >= 10_000 => format!("{}us", ns / 1_000),
+        Some(ns) => format!("{ns}ns"),
+    }
+}
+
+fn human_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{}M", v / 1_000_000)
+    } else if v >= 10_000 {
+        format!("{}k", v / 1_000)
+    } else {
+        v.to_string()
+    }
+}
+
+fn render_table(rows: &[ShardRow], slo: Option<&(bool, Vec<String>)>) {
+    println!(
+        "{:<9} {:>6} {:>8} {:>10} {:>7} {:>7} {:>7} {:>6} {:>6} {:>9} {:>6} {:>6} {:>6}",
+        "SHARD",
+        "INTVL",
+        "EVENTS",
+        "EV/S",
+        "P50",
+        "P95",
+        "P99",
+        "QLEN",
+        "TNTS",
+        "FOOT",
+        "EVICT",
+        "RESET",
+        "SPANS"
+    );
+    for r in rows {
+        println!(
+            "{:<9} {:>6} {:>8} {:>10.0} {:>7} {:>7} {:>7} {:>6} {:>6} {:>9} {:>6} {:>6} {:>6}",
+            r.source,
+            r.intervals,
+            human_count(r.events),
+            r.eps,
+            human_ns(r.p50),
+            human_ns(r.p95),
+            human_ns(r.p99),
+            r.queue_depth,
+            r.tenants,
+            human_count(r.footprint),
+            r.evictions,
+            r.resets,
+            r.spans,
+        );
+    }
+    match slo {
+        Some((false, _)) => println!("SLO: OK"),
+        Some((true, names)) => println!("SLO: BREACH ({})", names.join(", ")),
+        None => println!("SLO: - (no OBS_report.json yet)"),
+    }
+}
+
+fn render_csv(rows: &[ShardRow]) {
+    println!(
+        "shard,intervals,events,eps,p50_ns,p95_ns,p99_ns,queue_depth,tenants,\
+         footprint_bytes,evictions,resets,spans"
+    );
+    for r in rows {
+        println!(
+            "{},{},{},{:.3},{},{},{},{},{},{},{},{},{}",
+            r.source,
+            r.intervals,
+            r.events,
+            r.eps,
+            r.p50.unwrap_or(0),
+            r.p95.unwrap_or(0),
+            r.p99.unwrap_or(0),
+            r.queue_depth,
+            r.tenants,
+            r.footprint,
+            r.evictions,
+            r.resets,
+            r.spans,
+        );
+    }
+}
+
+/// The shard files currently present, ordered by shard index.
+fn shard_files(dir: &Path) -> Vec<(PathBuf, PathBuf)> {
+    let mut found: Vec<(u64, PathBuf, PathBuf)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(idx) = name
+            .strip_prefix("metrics_shard")
+            .and_then(|r| r.strip_suffix(".bin"))
+            .and_then(|r| r.parse::<u64>().ok())
+        {
+            found.push((idx, entry.path(), dir.join(format!("spans_shard{idx}.bin"))));
+        }
+    }
+    found.sort_by_key(|(idx, _, _)| *idx);
+    found.into_iter().map(|(_, m, s)| (m, s)).collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut once = false;
+    let mut csv = false;
+    let mut interval_ms: u64 = 1_000;
+    let mut window: usize = 8;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--csv" => csv = true,
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => interval_ms = v,
+                _ => return usage(),
+            },
+            "--window" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => window = v,
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
+    loop {
+        let files = shard_files(&dir);
+        let mut rows = Vec::with_capacity(files.len());
+        for (metrics, spans) in &files {
+            match read_shard(metrics, spans, window) {
+                Ok(row) => rows.push(row),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if once {
+            if rows.is_empty() {
+                eprintln!("error: no metrics_shard*.bin under {}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        } else {
+            // Watch mode: clear and home between frames.
+            print!("\x1b[2J\x1b[H");
+            println!("domino-top — {} ({} shards)", dir.display(), rows.len());
+        }
+        if csv {
+            render_csv(&rows);
+        } else {
+            render_table(&rows, slo_status(&dir).as_ref());
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}

@@ -143,6 +143,7 @@ pub fn run_load(client: &ServiceClient, plan: &LoadPlan) -> LoadReport {
                             start: start as u32,
                             end: end as u32,
                             enqueued: Instant::now(),
+                            span: None,
                         };
                         if client.submit(req) {
                             accepted += 1;

@@ -6,7 +6,9 @@
 //!              [--queue N] [--clients N] [--policy block|shed]
 //!              [--system LABEL] [--seed N] [--degree N]
 //!              [--tenant-budget BYTES] [--shard-budget BYTES]
-//!              [--base-events N] [--out FILE]
+//!              [--base-events N] [--out FILE] [--fail-on-shed]
+//!              [--obs DIR] [--obs-interval EVENTS] [--obs-ring ROWS]
+//!              [--span-rate N] [--span-seed N] [--slo SPEC]
 //! domino-serve --smoke DIR
 //! ```
 //!
@@ -14,14 +16,23 @@
 //! tenant streams over 4 shards under the blocking policy, report
 //! written to `DIR/SERVICE_report.json` and validated by
 //! `tools/validate_service.py`.
+//!
+//! `--obs DIR` arms the live observability plane: shards flush their
+//! serialized metrics/span rings into `DIR` while the run is live
+//! (tail them with `domino-top DIR`), and the run ends with
+//! `DIR/OBS_report.json`. `--slo SPEC` (requires `--obs`) evaluates
+//! declarative thresholds with burn-rate windows and exits nonzero on
+//! breach; `--fail-on-shed` exits nonzero when any request was shed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use domino_service::{
-    render_report, run_load, LoadPlan, MetadataService, OverloadPolicy, ServiceConfig,
+    render_obs_report, render_report, run_failed, run_load, LoadPlan, MetadataService, ObsConfig,
+    OverloadPolicy, ServiceConfig, SloReport, SloSpec,
 };
 use domino_sim::roster::System;
+use domino_telemetry::RingFile;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -29,7 +40,9 @@ fn usage() -> ExitCode {
          \x20                   [--queue N] [--clients N] [--policy block|shed]\n\
          \x20                   [--system LABEL] [--seed N] [--degree N]\n\
          \x20                   [--tenant-budget BYTES] [--shard-budget BYTES]\n\
-         \x20                   [--base-events N] [--out FILE]\n\
+         \x20                   [--base-events N] [--out FILE] [--fail-on-shed]\n\
+         \x20                   [--obs DIR] [--obs-interval EVENTS] [--obs-ring ROWS]\n\
+         \x20                   [--span-rate N] [--span-seed N] [--slo SPEC]\n\
          \x20      domino-serve --smoke DIR"
     );
     ExitCode::FAILURE
@@ -56,6 +69,10 @@ fn main() -> ExitCode {
     let mut plan = LoadPlan::default();
     let mut cfg = ServiceConfig::default();
     let mut out: Option<PathBuf> = None;
+    let mut obs_dir: Option<PathBuf> = None;
+    let mut obs_cfg = ObsConfig::default();
+    let mut slo: Option<SloSpec> = None;
+    let mut fail_on_shed = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -131,8 +148,51 @@ fn main() -> ExitCode {
                 Some(f) => out = Some(PathBuf::from(f)),
                 None => return usage(),
             },
+            "--obs" => match it.next() {
+                Some(dir) => obs_dir = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--obs-interval" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) if v > 0 => obs_cfg.interval_events = v,
+                _ => return usage(),
+            },
+            "--obs-ring" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => obs_cfg.ring_rows = v,
+                _ => return usage(),
+            },
+            "--span-rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => obs_cfg.span_rate = v,
+                None => return usage(),
+            },
+            "--span-seed" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) => obs_cfg.span_seed = v,
+                None => return usage(),
+            },
+            "--slo" => match it.next() {
+                Some(spec) => match SloSpec::parse(spec) {
+                    Ok(parsed) => slo = Some(parsed),
+                    Err(e) => {
+                        eprintln!("error: --slo: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return usage(),
+            },
+            "--fail-on-shed" => fail_on_shed = true,
             _ => return usage(),
         }
+    }
+    if slo.is_some() && obs_dir.is_none() {
+        eprintln!("error: --slo needs the metrics rings; pass --obs DIR too");
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &obs_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: mkdir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        obs_cfg.live_dir = Some(dir.clone());
+        cfg.obs = Some(obs_cfg.clone());
     }
     println!(
         "domino-serve: {} tenants x {} events (batch {}), {} shards (queue {}, {}), \
@@ -186,6 +246,61 @@ fn main() -> ExitCode {
             println!("report: {}", path.display());
         }
         None => print!("{report}"),
+    }
+    // The observability epilogue: parse the per-shard rings back from
+    // their serialized form (exactly what domino-top reads), evaluate
+    // the SLOs, and write the schema-versioned OBS_report.json.
+    let mut slo_report = SloReport::none();
+    if let Some(dir) = &obs_dir {
+        let mut rings = Vec::new();
+        let mut spans = Vec::new();
+        for shard in &result.shards {
+            let Some(obs) = &shard.obs else { continue };
+            let source = format!("shard-{}", shard.stats.shard);
+            let bytes = obs.ring.to_bytes(&source, obs_cfg.interval_events);
+            match RingFile::from_bytes(&bytes) {
+                Ok(f) => rings.push(f),
+                Err(e) => {
+                    eprintln!("error: shard {} ring: {e}", shard.stats.shard);
+                    return ExitCode::FAILURE;
+                }
+            }
+            let chronological = obs.spans.spans().all(|s| s.chronological());
+            spans.push((obs.spans.recorded(), obs.spans.len() as u64, chronological));
+        }
+        if let Some(spec) = &slo {
+            slo_report = spec.evaluate(&rings);
+            for o in &slo_report.objectives {
+                println!(
+                    "slo {}: value {:.3} vs {:.3} — fast burn {:.2}, slow burn {:.2}{}",
+                    o.name,
+                    o.value,
+                    o.threshold,
+                    o.fast_burn,
+                    o.slow_burn,
+                    if o.breached { " [BREACH]" } else { "" }
+                );
+            }
+        }
+        let obs_doc = render_obs_report(&obs_cfg, &rings, &spans, &slo_report);
+        let obs_path = dir.join("OBS_report.json");
+        if let Err(e) = std::fs::write(&obs_path, &obs_doc) {
+            eprintln!("error: write {}: {e}", obs_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("obs report: {}", obs_path.display());
+    }
+    if run_failed(result.total_shed(), fail_on_shed, slo_report.breached) {
+        if fail_on_shed && result.total_shed() > 0 {
+            eprintln!(
+                "domino-serve: FAIL — {} requests shed (--fail-on-shed)",
+                result.total_shed()
+            );
+        }
+        if slo_report.breached {
+            eprintln!("domino-serve: FAIL — SLO breached ({})", slo_report.spec);
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

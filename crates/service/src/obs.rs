@@ -1,0 +1,414 @@
+//! The live observability plane: per-shard metrics rings, sampled
+//! request spans, and the `OBS_report.json` renderer.
+//!
+//! Everything here is **opt-in**: [`crate::ServiceConfig::obs`] defaults
+//! to `None`, and the disarmed service runs the exact pre-observability
+//! code — one `Option` branch per batch on the shard side, one on the
+//! client side — so disarmed output stays byte-identical (proven by
+//! `tests/obs_offpath.rs`).
+//!
+//! Armed, each shard worker owns one [`MetricsRing`] and one
+//! [`SpanRing`] (both preallocated; the hot path is slab writes) and
+//! samples a metrics row every [`ObsConfig::interval_events`] replayed
+//! events. When [`ObsConfig::live_dir`] is set the worker also flushes
+//! the serialized rings to `metrics_shard{K}.bin` / `spans_shard{K}.bin`
+//! on every sample via write-to-temp-then-rename, so `domino-top` can
+//! tail a consistent snapshot while the run is live.
+//!
+//! The client front shares one [`ObsFront`] across every
+//! [`crate::ServiceClient`]: the run-wide origin instant (all span
+//! stamps are offsets from it), the deterministic [`SpanSampler`], and
+//! per-shard queue-depth / blocked-submission atomics.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use domino_telemetry::json::quote;
+use domino_telemetry::{
+    FixedHistogram, MetricSpec, MetricsRing, RingFile, SpanRecord, SpanRing, SpanSampler,
+};
+
+use crate::report::LATENCY_BOUNDS_NS;
+use crate::shard::ShardStats;
+use crate::slo::SloReport;
+
+/// Schema tag of `OBS_report.json`; bump on any breaking field change.
+pub const OBS_SCHEMA: &str = "domino-obs/1";
+
+/// Observability configuration, armed by setting
+/// [`crate::ServiceConfig::obs`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Replayed events between metrics samples on each shard.
+    pub interval_events: u64,
+    /// Metrics-ring capacity in rows (the last N intervals are kept).
+    pub ring_rows: usize,
+    /// Span sampling: 1-in-N (0 disables spans, 1 samples everything).
+    pub span_rate: u32,
+    /// Span-sampler seed (which requests are sampled is a pure function
+    /// of seed/tenant/seq — byte-identical selection across runs).
+    pub span_seed: u64,
+    /// Span-ring capacity per shard.
+    pub span_capacity: usize,
+    /// When set, shards flush serialized rings here on every sample
+    /// (atomic rename), for `domino-top` to tail.
+    pub live_dir: Option<PathBuf>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            interval_events: 1024,
+            ring_rows: 64,
+            span_rate: 8,
+            span_seed: 0,
+            span_capacity: 4096,
+            live_dir: None,
+        }
+    }
+}
+
+/// Client-side shared state, one per service, behind an `Arc`.
+pub struct ObsFront {
+    origin: Instant,
+    /// Which requests carry spans.
+    pub sampler: SpanSampler,
+    /// Requests submitted but not yet dequeued, per shard (includes a
+    /// submitter currently blocking on a full queue) — the queue-depth
+    /// gauge.
+    pub depth: Vec<AtomicU64>,
+    /// Submissions that found the queue full and blocked (Block
+    /// policy); the shed counters cover the Shed policy.
+    pub blocked: Vec<AtomicU64>,
+    /// The service's per-shard shed counters (shared with the clients),
+    /// so shard workers can sample the live shed count before it is
+    /// folded into the stats at shutdown.
+    pub shed: Vec<Arc<AtomicU64>>,
+}
+
+impl ObsFront {
+    pub(crate) fn new(shards: usize, cfg: &ObsConfig, shed: Vec<Arc<AtomicU64>>) -> Self {
+        ObsFront {
+            origin: Instant::now(),
+            sampler: SpanSampler::new(cfg.span_rate, cfg.span_seed),
+            depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            blocked: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shed,
+        }
+    }
+
+    /// Nanoseconds since the service's origin instant — the time base
+    /// of every span stamp.
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// The span stamps a client attaches to a sampled request; the shard
+/// worker fills in the rest of the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart {
+    /// Client stamped the request (offset from the run origin).
+    pub submit_ns: u64,
+    /// Client handed the request to the shard queue.
+    pub enqueue_ns: u64,
+}
+
+/// The metrics every shard registers, in column order. Latency bucket
+/// columns are self-describing (`lat_le_{bound}` per
+/// [`LATENCY_BOUNDS_NS`] bound, then `lat_over`), so consumers can
+/// rebuild the histogram from names alone.
+pub fn shard_metric_specs() -> Vec<MetricSpec> {
+    let mut specs = vec![
+        MetricSpec::counter("events"),
+        MetricSpec::counter("batches"),
+        MetricSpec::counter("shed"),
+        MetricSpec::counter("blocked"),
+        MetricSpec::counter("gap_events"),
+        MetricSpec::counter("evictions"),
+        MetricSpec::counter("resets"),
+        MetricSpec::counter("covered"),
+        MetricSpec::counter("issued"),
+        MetricSpec::counter("meta_blocks"),
+    ];
+    for &b in LATENCY_BOUNDS_NS {
+        specs.push(MetricSpec::counter(format!("lat_le_{b}")));
+    }
+    specs.push(MetricSpec::counter("lat_over"));
+    specs.push(MetricSpec::gauge("queue_depth"));
+    specs.push(MetricSpec::gauge("tenants"));
+    specs.push(MetricSpec::gauge("footprint_bytes"));
+    specs.push(MetricSpec::gauge("wall_ns"));
+    specs
+}
+
+/// Rebuilds the latency histogram from a ring's `lat_le_*` / `lat_over`
+/// totals (or any row-shaped slice of the same columns). Returns `None`
+/// when the ring lacks the latency columns.
+pub fn latency_from_columns(file: &RingFile, values: &[u64]) -> Option<FixedHistogram> {
+    let mut bounds = Vec::new();
+    let mut counts = Vec::new();
+    for (i, spec) in file.specs.iter().enumerate() {
+        if let Some(b) = spec.name.strip_prefix("lat_le_") {
+            bounds.push(b.parse::<u64>().ok()?);
+            counts.push(values[i]);
+        }
+    }
+    let over = file.column("lat_over")?;
+    counts.push(values[over]);
+    if bounds.is_empty() {
+        return None;
+    }
+    Some(FixedHistogram::from_parts(bounds, counts, 0))
+}
+
+/// Per-shard worker-side observability state. Owned by `run_shard`;
+/// every member is preallocated at construction, so the per-batch path
+/// (counter bumps, occasional `sample`) allocates nothing. Only the
+/// flush points (serialize + write) allocate.
+pub(crate) struct ShardObs {
+    shard: usize,
+    interval_events: u64,
+    /// Events replayed since the last sample.
+    since_last: u64,
+    /// Cumulative shed-gap events observed at serve time (the shard's
+    /// own `gap_events` stat only materializes at drain).
+    gaps: u64,
+    /// Cumulative engine-step counters, summed over batches.
+    covered: u64,
+    issued: u64,
+    meta_blocks: u64,
+    /// Scratch row, reused every sample.
+    row: Vec<u64>,
+    pub(crate) ring: MetricsRing,
+    pub(crate) spans: SpanRing,
+    live_dir: Option<PathBuf>,
+}
+
+impl ShardObs {
+    pub(crate) fn new(shard: usize, cfg: &ObsConfig) -> Self {
+        let specs = shard_metric_specs();
+        let width = specs.len();
+        ShardObs {
+            shard,
+            interval_events: cfg.interval_events.max(1),
+            since_last: 0,
+            gaps: 0,
+            covered: 0,
+            issued: 0,
+            meta_blocks: 0,
+            row: vec![0; width],
+            ring: MetricsRing::new(cfg.ring_rows.max(1), specs),
+            spans: SpanRing::new(cfg.span_capacity.max(1)),
+            live_dir: cfg.live_dir.clone(),
+        }
+    }
+
+    /// Accumulates one batch's engine-step deltas and decides whether
+    /// this batch crosses the sampling cadence.
+    pub(crate) fn after_batch(
+        &mut self,
+        events: u64,
+        gap: u64,
+        covered: u64,
+        issued: u64,
+        meta: u64,
+    ) -> bool {
+        self.gaps += gap;
+        self.covered += covered;
+        self.issued += issued;
+        self.meta_blocks += meta;
+        self.since_last += events;
+        self.since_last >= self.interval_events
+    }
+
+    /// Whether a final tail sample is needed at drain so ring totals
+    /// match the shard's end-of-run stats.
+    pub(crate) fn needs_tail_sample(&self) -> bool {
+        self.since_last > 0 || self.ring.is_empty()
+    }
+
+    /// Records one interval row from the shard's cumulative state and,
+    /// when live, flushes the serialized rings. `front` supplies the
+    /// queue-depth gauge and the run clock.
+    pub(crate) fn sample(
+        &mut self,
+        front: &ObsFront,
+        stats: &ShardStats,
+        tenants: usize,
+        footprint: usize,
+    ) {
+        self.since_last = 0;
+        self.row[0] = stats.events;
+        self.row[1] = stats.batches;
+        self.row[2] = front.shed[self.shard].load(Ordering::Relaxed);
+        self.row[3] = front.blocked[self.shard].load(Ordering::Relaxed);
+        self.row[4] = self.gaps;
+        self.row[5] = stats.evictions;
+        self.row[6] = stats.resets;
+        self.row[7] = self.covered;
+        self.row[8] = self.issued;
+        self.row[9] = self.meta_blocks;
+        let lat = stats.latency.counts();
+        self.row[10..10 + lat.len()].copy_from_slice(lat);
+        let g = 10 + lat.len();
+        self.row[g] = front.depth[self.shard].load(Ordering::Relaxed);
+        self.row[g + 1] = tenants as u64;
+        self.row[g + 2] = footprint as u64;
+        self.row[g + 3] = front.now_ns();
+        let stamp = stats.events;
+        self.ring.sample(stamp, &self.row);
+        if self.live_dir.is_some() {
+            self.flush(front);
+        }
+    }
+
+    /// Serializes both rings to the live directory, atomically
+    /// (temp + rename) so a concurrent `domino-top` never reads a torn
+    /// file. IO errors are swallowed: observability must never take the
+    /// service down.
+    pub(crate) fn flush(&self, front: &ObsFront) {
+        let Some(dir) = &self.live_dir else { return };
+        let source = format!("shard-{}", self.shard);
+        let _ = write_atomic(
+            &dir.join(format!("metrics_shard{}.bin", self.shard)),
+            &self.ring.to_bytes(&source, self.interval_events),
+        );
+        let _ = write_atomic(
+            &dir.join(format!("spans_shard{}.bin", self.shard)),
+            &self.spans.to_bytes(&source, front.sampler),
+        );
+    }
+
+    /// Records a completed span.
+    pub(crate) fn record_span(&mut self, span: SpanRecord) {
+        self.spans.record(span);
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// What an armed shard hands back at shutdown, alongside its stats.
+pub struct ShardObsOutcome {
+    /// The shard's metrics ring (totals cover the whole run; the rows
+    /// cover the last `ring_rows` intervals).
+    pub ring: MetricsRing,
+    /// The shard's sampled spans.
+    pub spans: SpanRing,
+    /// Blocked-submission count folded in from the front at shutdown.
+    pub blocked: u64,
+}
+
+/// Renders the schema-versioned `OBS_report.json` document from the
+/// parsed per-shard rings, the span summaries, and the SLO evaluation.
+pub fn render_obs_report(
+    cfg: &ObsConfig,
+    rings: &[RingFile],
+    spans: &[(u64, u64, bool)],
+    slo: &SloReport,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", quote(OBS_SCHEMA)));
+    out.push_str(&format!(
+        "  \"interval_events\": {},\n",
+        cfg.interval_events
+    ));
+    out.push_str(&format!("  \"ring_rows\": {},\n", cfg.ring_rows));
+    out.push_str(&format!("  \"span_rate\": {},\n", cfg.span_rate));
+    out.push_str(&format!("  \"span_seed\": {},\n", cfg.span_seed));
+    out.push_str("  \"per_shard\": [\n");
+    for (i, ring) in rings.iter().enumerate() {
+        let (recorded, stored, chronological) = spans.get(i).copied().unwrap_or((0, 0, true));
+        let total = |name: &str| ring.total(name).unwrap_or(0);
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"source\": {},\n", quote(&ring.source)));
+        out.push_str(&format!("      \"intervals\": {},\n", ring.sampled));
+        out.push_str(&format!("      \"wrapped\": {},\n", ring.wrapped()));
+        out.push_str(&format!("      \"events\": {},\n", total("events")));
+        out.push_str(&format!("      \"batches\": {},\n", total("batches")));
+        out.push_str(&format!("      \"shed\": {},\n", total("shed")));
+        out.push_str(&format!("      \"blocked\": {},\n", total("blocked")));
+        out.push_str(&format!("      \"evictions\": {},\n", total("evictions")));
+        out.push_str(&format!("      \"resets\": {},\n", total("resets")));
+        out.push_str(&format!("      \"spans_recorded\": {recorded},\n"));
+        out.push_str(&format!("      \"spans_stored\": {stored},\n"));
+        out.push_str(&format!("      \"spans_chronological\": {chronological}\n"));
+        out.push_str(if i + 1 < rings.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&slo.render("  "));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloSpec;
+    use domino_telemetry::json::parse;
+
+    #[test]
+    fn shard_specs_are_well_formed_and_self_describing() {
+        let specs = shard_metric_specs();
+        // 10 counters + 15 bounds + overflow + 4 gauges.
+        assert_eq!(specs.len(), 10 + LATENCY_BOUNDS_NS.len() + 1 + 4);
+        // MetricsRing::new asserts name uniqueness.
+        let ring = MetricsRing::new(4, specs);
+        assert_eq!(ring.column("events"), Some(0));
+        assert!(ring.column("lat_le_1000").is_some());
+        assert!(ring.column("lat_over").is_some());
+        assert!(ring.column("wall_ns").is_some());
+    }
+
+    #[test]
+    fn latency_histogram_rebuilds_from_column_names() {
+        let mut ring = MetricsRing::new(4, shard_metric_specs());
+        let mut row = vec![0u64; ring.width()];
+        let c = ring.column("lat_le_1000").unwrap();
+        row[c] = 3;
+        row[ring.column("lat_over").unwrap()] = 1;
+        ring.sample(0, &row);
+        let file = RingFile::from_bytes(&ring.to_bytes("shard-0", 0)).unwrap();
+        let hist = latency_from_columns(&file, &file.totals).expect("columns present");
+        assert_eq!(hist.bounds(), LATENCY_BOUNDS_NS);
+        assert_eq!(hist.total(), 4);
+        assert_eq!(hist.percentile(0.5), Some(1_000));
+        assert_eq!(hist.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn obs_report_parses_and_carries_the_slo_block() {
+        let cfg = ObsConfig::default();
+        let mut ring = MetricsRing::new(4, shard_metric_specs());
+        let row = vec![0u64; ring.width()];
+        ring.sample(0, &row);
+        let file = RingFile::from_bytes(&ring.to_bytes("shard-0", 1024)).unwrap();
+        let slo = SloSpec::parse("shed_ratio<=0.5")
+            .unwrap()
+            .evaluate(std::slice::from_ref(&file));
+        let doc = render_obs_report(&cfg, &[file], &[(5, 5, true)], &slo);
+        let json = parse(&doc).expect("valid JSON");
+        assert_eq!(
+            json.get("schema").and_then(|v| v.as_str()),
+            Some(OBS_SCHEMA)
+        );
+        let shards = json.get("per_shard").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(
+            shards[0].get("spans_recorded").and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        assert!(json.get("slo").is_some());
+    }
+}

@@ -187,6 +187,7 @@ mod tests {
             shards: vec![ShardOutcome {
                 stats,
                 finals: Vec::new(),
+                obs: None,
             }],
         }
     }

@@ -10,6 +10,7 @@ use std::thread::JoinHandle;
 use domino_sim::SystemConfig;
 use domino_trace::hash::FxBuildHasher;
 
+use crate::obs::{ObsConfig, ObsFront, SpanStart};
 use crate::session::TenantFinal;
 use crate::shard::{run_shard, BatchRequest, ShardOutcome};
 
@@ -68,6 +69,9 @@ pub struct ServiceConfig {
     /// Whether tenant sessions fold the decision digest (cheap; the
     /// equivalence oracle and the scale tests rely on it).
     pub digest: bool,
+    /// The live observability plane — `None` (the default) keeps the
+    /// service on the exact pre-observability path.
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +85,7 @@ impl Default for ServiceConfig {
             tenant_budget_bytes: usize::MAX,
             shard_budget_bytes: usize::MAX,
             digest: true,
+            obs: None,
         }
     }
 }
@@ -91,6 +96,7 @@ pub struct MetadataService {
     handles: Vec<JoinHandle<ShardOutcome>>,
     shed: Vec<Arc<AtomicU64>>,
     policy: OverloadPolicy,
+    front: Option<Arc<ObsFront>>,
 }
 
 /// A cheap per-submitter handle: cloned queue senders plus the shed
@@ -101,6 +107,7 @@ pub struct ServiceClient {
     senders: Vec<SyncSender<BatchRequest>>,
     shed: Vec<Arc<AtomicU64>>,
     policy: OverloadPolicy,
+    front: Option<Arc<ObsFront>>,
 }
 
 impl ServiceClient {
@@ -117,6 +124,9 @@ impl ServiceClient {
     /// Panics if the shard worker has terminated (service bug).
     pub fn submit(&self, req: BatchRequest) -> bool {
         let s = self.shard_of(req.tenant);
+        if let Some(front) = &self.front {
+            return self.submit_observed(front, s, req);
+        }
         match self.policy {
             OverloadPolicy::Block => {
                 self.senders[s].send(req).expect("shard worker alive");
@@ -130,6 +140,55 @@ impl ServiceClient {
                 }
                 Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
             },
+        }
+    }
+
+    /// The armed submit path: stamps spans for sampled requests and
+    /// maintains the queue-depth / blocked-submission counters. The
+    /// depth gauge is incremented *before* the send so the worker's
+    /// decrement can never observe it at zero.
+    fn submit_observed(&self, front: &Arc<ObsFront>, s: usize, mut req: BatchRequest) -> bool {
+        if front.sampler.sampled(req.tenant, u64::from(req.start)) {
+            let submit_ns = front.now_ns();
+            req.span = Some(SpanStart {
+                submit_ns,
+                enqueue_ns: submit_ns,
+            });
+        }
+        match self.policy {
+            OverloadPolicy::Block => {
+                front.depth[s].fetch_add(1, Ordering::Relaxed);
+                if let Some(sp) = req.span.as_mut() {
+                    sp.enqueue_ns = front.now_ns();
+                }
+                // try_send first so a full queue is visible as a blocked
+                // submission; falling through to the blocking send on
+                // this same thread preserves per-tenant FIFO order.
+                match self.senders[s].try_send(req) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(req)) => {
+                        front.blocked[s].fetch_add(1, Ordering::Relaxed);
+                        self.senders[s].send(req).expect("shard worker alive");
+                        true
+                    }
+                    Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
+                }
+            }
+            OverloadPolicy::Shed => {
+                front.depth[s].fetch_add(1, Ordering::Relaxed);
+                if let Some(sp) = req.span.as_mut() {
+                    sp.enqueue_ns = front.now_ns();
+                }
+                match self.senders[s].try_send(req) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_)) => {
+                        front.depth[s].fetch_sub(1, Ordering::Relaxed);
+                        self.shed[s].fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                    Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
+                }
+            }
         }
     }
 }
@@ -185,25 +244,32 @@ impl MetadataService {
         assert!(cfg.queue_depth > 0, "queues must hold at least one request");
         let policy = cfg.policy;
         let cfg = Arc::new(cfg);
+        let shed: Vec<Arc<AtomicU64>> = (0..cfg.shards)
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        let front = cfg
+            .obs
+            .as_ref()
+            .map(|ocfg| Arc::new(ObsFront::new(cfg.shards, ocfg, shed.clone())));
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
-        let mut shed = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let (tx, rx) = sync_channel::<BatchRequest>(cfg.queue_depth);
             let cfg = Arc::clone(&cfg);
+            let front = front.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("svc-shard-{shard}"))
-                .spawn(move || run_shard(shard, cfg, rx))
+                .spawn(move || run_shard(shard, cfg, rx, front))
                 .expect("spawn shard worker");
             senders.push(tx);
             handles.push(handle);
-            shed.push(Arc::new(AtomicU64::new(0)));
         }
         MetadataService {
             senders,
             handles,
             shed,
             policy,
+            front,
         }
     }
 
@@ -223,6 +289,7 @@ impl MetadataService {
             senders: self.senders.clone(),
             shed: self.shed.clone(),
             policy: self.policy,
+            front: self.front.clone(),
         }
     }
 

@@ -118,6 +118,18 @@ impl TenantSession {
         self.footprint
     }
 
+    /// Running engine counters `(covered, prefetches_issued,
+    /// metadata_blocks)` — the per-engine-step metrics the observability
+    /// plane diffs around each batch. Reads the live report; cheap.
+    pub fn engine_counters(&self) -> (u64, u64, u64) {
+        let r = self.engine.report();
+        (
+            r.covered,
+            r.prefetches_issued,
+            r.meta_read_blocks + r.meta_write_blocks,
+        )
+    }
+
     /// Serves one request batch: `stream[start..end]` of this tenant's
     /// miss stream. A `start` past the session's cursor is a shed gap —
     /// the missing events are skipped (counted), never replayed.

@@ -20,15 +20,17 @@
 //!   (counted in [`ShardStats::evictions`]); an evicted tenant that
 //!   sends again restarts cold at its current stream position.
 
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Instant;
 
 use domino_sim::System;
-use domino_telemetry::FixedHistogram;
+use domino_telemetry::{FixedHistogram, SpanRecord};
 use domino_trace::event::AccessEvent;
 use domino_trace::FxHashMap;
 
+use crate::obs::{ObsFront, ShardObs, ShardObsOutcome, SpanStart};
 use crate::report::LATENCY_BOUNDS_NS;
 use crate::service::ServiceConfig;
 use crate::session::{TenantFinal, TenantSession};
@@ -53,6 +55,10 @@ pub struct BatchRequest {
     /// Submission stamp; request latency is measured from here to the
     /// end of processing.
     pub enqueued: Instant,
+    /// Client-side span stamps, present only when the observability
+    /// plane is armed *and* the deterministic sampler selected this
+    /// request; the shard worker completes the timeline.
+    pub span: Option<SpanStart>,
 }
 
 /// Per-shard counters and the request-latency histogram.
@@ -120,18 +126,28 @@ pub struct ShardOutcome {
     /// Closed tenant sessions: every drain-time session plus any
     /// LRU-evicted predecessors, in eviction-then-drain order.
     pub finals: Vec<TenantFinal>,
+    /// Metrics ring and sampled spans — `None` when the observability
+    /// plane is disarmed.
+    pub obs: Option<ShardObsOutcome>,
 }
 
 /// The shard worker body: serve requests until every sender hangs up,
-/// then drain the resident sessions.
+/// then drain the resident sessions. `front` is the shared
+/// observability front — `Some` only when the plane is armed; the
+/// disarmed loop pays one `Option` branch per batch and nothing else.
 pub(crate) fn run_shard(
     shard: usize,
     cfg: Arc<ServiceConfig>,
     rx: Receiver<BatchRequest>,
+    front: Option<Arc<ObsFront>>,
 ) -> ShardOutcome {
     let mut sessions: FxHashMap<u64, TenantSession> = FxHashMap::default();
     let mut finals: Vec<TenantFinal> = Vec::new();
     let mut stats = ShardStats::new(shard);
+    let mut obs: Option<ShardObs> = match (&front, &cfg.obs) {
+        (Some(_), Some(ocfg)) => Some(ShardObs::new(shard, ocfg)),
+        _ => None,
+    };
     // Running footprint total, adjusted by deltas so pressure checks are
     // O(1) per batch; an LRU scan only happens under actual pressure.
     let mut total_footprint = 0usize;
@@ -141,6 +157,12 @@ pub(crate) fn run_shard(
     while let Ok(req) = rx.recv() {
         let t0 = Instant::now();
         first.get_or_insert(t0);
+        // Armed: settle the queue-depth gauge and, for sampled
+        // requests, stamp the dequeue point.
+        let dequeue_ns = front.as_ref().map(|f| {
+            f.depth[shard].fetch_sub(1, Ordering::Relaxed);
+            f.now_ns()
+        });
         let stream = &req.trace[req.base as usize..(req.base + req.len) as usize];
         clock += 1;
         let session = sessions.entry(req.tenant).or_insert_with(|| {
@@ -153,7 +175,17 @@ pub(crate) fn run_shard(
         });
         session.touch = clock;
         let fp_before = session.footprint();
+        // Armed: engine counters before the batch, plus the shed gap
+        // this batch is about to skip (mirrors the session's own count).
+        let pre = obs.as_ref().map(|_| {
+            (
+                session.engine_counters(),
+                (req.start as usize).saturating_sub(session.processed()) as u64,
+            )
+        });
         session.serve(stream, req.start as usize, req.end as usize);
+        let step_ns = front.as_ref().map(|f| f.now_ns());
+        let post = obs.as_ref().map(|_| session.engine_counters());
         if session.footprint() > cfg.tenant_budget_bytes {
             session.reset_metadata(&cfg);
             stats.resets += 1;
@@ -183,6 +215,33 @@ pub(crate) fn run_shard(
             .latency
             .record(done.duration_since(req.enqueued).as_nanos() as u64);
         last = Some(done);
+        if let Some(sobs) = &mut obs {
+            let f = front.as_ref().expect("armed shard has a front");
+            if let Some(span) = req.span {
+                sobs.record_span(SpanRecord {
+                    tenant: req.tenant,
+                    seq: u64::from(req.start),
+                    shard: shard as u32,
+                    events: req.end - req.start,
+                    submit_ns: span.submit_ns,
+                    enqueue_ns: span.enqueue_ns,
+                    dequeue_ns: dequeue_ns.expect("armed shard stamped dequeue"),
+                    step_ns: step_ns.expect("armed shard stamped step"),
+                    reply_ns: f.now_ns(),
+                });
+            }
+            let ((c0, i0, m0), gap) = pre.expect("captured before serve");
+            let (c1, i1, m1) = post.expect("captured after serve");
+            if sobs.after_batch(
+                u64::from(req.end - req.start),
+                gap,
+                c1 - c0,
+                i1 - i0,
+                m1 - m0,
+            ) {
+                sobs.sample(f, &stats, sessions.len(), total_footprint);
+            }
+        }
     }
     // Senders gone: orderly drain, stable by tenant id so shutdown is
     // deterministic regardless of hash-map iteration order.
@@ -195,5 +254,22 @@ pub(crate) fn run_shard(
     if let (Some(f), Some(l)) = (first, last) {
         stats.wall_ns = l.duration_since(f).as_nanos() as u64;
     }
-    ShardOutcome { stats, finals }
+    // Armed: one tail sample so the ring totals equal the end-of-run
+    // stats (the conservation invariant the oracle audits), then the
+    // final flush. Every sender is gone, so the front counters are
+    // settled.
+    let obs = obs.map(|mut sobs| {
+        let f = front.as_ref().expect("armed shard has a front");
+        if sobs.needs_tail_sample() {
+            sobs.sample(f, &stats, 0, 0);
+        } else {
+            sobs.flush(f);
+        }
+        ShardObsOutcome {
+            ring: sobs.ring,
+            spans: sobs.spans,
+            blocked: f.blocked[shard].load(Ordering::Relaxed),
+        }
+    });
+    ShardOutcome { stats, finals, obs }
 }

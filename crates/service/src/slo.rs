@@ -1,0 +1,544 @@
+//! Declarative SLOs with multi-window burn-rate evaluation over the
+//! per-shard metrics rings.
+//!
+//! A spec is a comma-separated list of threshold terms plus optional
+//! window tuning, e.g.
+//!
+//! ```text
+//! p99_ns<=250000,shed_ratio<=0.05,evictions_per_interval<=2,fast=6,slow=24,burn=1.0
+//! ```
+//!
+//! Objectives:
+//!
+//! * `p99_ns` — p99 batch latency (ns), reconstructed from the rings'
+//!   `lat_le_*` bucket counters;
+//! * `shed_ratio` — shed requests / (served + shed) batches;
+//! * `evictions_per_interval` — LRU evictions per sampled interval.
+//!
+//! Each objective is evaluated three ways: over the run **totals**
+//! (the reported `value`), over the last `fast` intervals, and over the
+//! last `slow` intervals. The *burn rate* of a window is its value
+//! divided by the threshold — burn 1.0 consumes the error budget
+//! exactly at the allowed rate. Following the SRE multi-window rule, an
+//! objective **breaches** only when *both* windows burn at or above
+//! `burn`: the fast window makes the alert responsive, the slow window
+//! keeps a single spiky interval from paging. Windows are clamped to
+//! the rows the rings still hold.
+
+use domino_telemetry::json::quote;
+use domino_telemetry::{FixedHistogram, RingFile};
+
+use crate::obs::latency_from_columns;
+
+/// Default fast (alerting) window, in intervals.
+const DEFAULT_FAST: usize = 6;
+/// Default slow (confirmation) window, in intervals.
+const DEFAULT_SLOW: usize = 24;
+/// Default burn-rate threshold.
+const DEFAULT_BURN: f64 = 1.0;
+
+/// A parsed SLO specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// p99 batch latency ceiling in nanoseconds.
+    pub p99_ns: Option<u64>,
+    /// Shed-ratio ceiling (0..=1).
+    pub shed_ratio: Option<f64>,
+    /// Evictions-per-interval ceiling.
+    pub evictions_per_interval: Option<f64>,
+    /// Fast window in intervals.
+    pub fast: usize,
+    /// Slow window in intervals.
+    pub slow: usize,
+    /// Burn-rate threshold both windows must reach to breach.
+    pub burn: f64,
+    /// The original spec string (echoed into the report).
+    pub raw: String,
+}
+
+impl SloSpec {
+    /// Parses a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown term.
+    pub fn parse(raw: &str) -> Result<SloSpec, String> {
+        let mut spec = SloSpec {
+            p99_ns: None,
+            shed_ratio: None,
+            evictions_per_interval: None,
+            fast: DEFAULT_FAST,
+            slow: DEFAULT_SLOW,
+            burn: DEFAULT_BURN,
+            raw: raw.to_string(),
+        };
+        for term in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some((name, value)) = term.split_once("<=") {
+                match name.trim() {
+                    "p99_ns" => {
+                        spec.p99_ns = Some(
+                            value
+                                .trim()
+                                .parse()
+                                .map_err(|_| bad(term, "a u64 ns value"))?,
+                        );
+                    }
+                    "shed_ratio" => {
+                        let v: f64 = value.trim().parse().map_err(|_| bad(term, "a ratio"))?;
+                        if !(0.0..=1.0).contains(&v) {
+                            return Err(bad(term, "a ratio in [0, 1]"));
+                        }
+                        spec.shed_ratio = Some(v);
+                    }
+                    "evictions_per_interval" => {
+                        spec.evictions_per_interval =
+                            Some(value.trim().parse().map_err(|_| bad(term, "a rate"))?);
+                    }
+                    other => return Err(format!("unknown SLO objective {other:?}")),
+                }
+            } else if let Some((name, value)) = term.split_once('=') {
+                match name.trim() {
+                    "fast" => {
+                        spec.fast = parse_window(value, term)?;
+                    }
+                    "slow" => {
+                        spec.slow = parse_window(value, term)?;
+                    }
+                    "burn" => {
+                        let v: f64 = value.trim().parse().map_err(|_| bad(term, "a rate"))?;
+                        if v <= 0.0 {
+                            return Err(bad(term, "a positive rate"));
+                        }
+                        spec.burn = v;
+                    }
+                    other => return Err(format!("unknown SLO option {other:?}")),
+                }
+            } else {
+                return Err(format!("malformed SLO term {term:?}: expected name<=value"));
+            }
+        }
+        if spec.p99_ns.is_none()
+            && spec.shed_ratio.is_none()
+            && spec.evictions_per_interval.is_none()
+        {
+            return Err("SLO spec declares no objectives".into());
+        }
+        if spec.fast > spec.slow {
+            return Err(format!(
+                "fast window ({}) exceeds slow window ({})",
+                spec.fast, spec.slow
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Evaluates the spec over the parsed per-shard rings.
+    pub fn evaluate(&self, rings: &[RingFile]) -> SloReport {
+        let mut objectives = Vec::new();
+        if let Some(limit) = self.p99_ns {
+            let value = |w: Window| p99_over(rings, w).unwrap_or(0) as f64;
+            objectives.push(self.objective("p99_ns", limit as f64, rings, value));
+        }
+        if let Some(limit) = self.shed_ratio {
+            let value = |w: Window| {
+                let shed = sum_over(rings, "shed", w) as f64;
+                let batches = sum_over(rings, "batches", w) as f64;
+                ratio(shed, shed + batches)
+            };
+            objectives.push(self.objective("shed_ratio", limit, rings, value));
+        }
+        if let Some(limit) = self.evictions_per_interval {
+            let value = |w: Window| {
+                let evictions = sum_over(rings, "evictions", w) as f64;
+                ratio(evictions, intervals_over(rings, w) as f64)
+            };
+            objectives.push(self.objective("evictions_per_interval", limit, rings, value));
+        }
+        let breached = objectives.iter().any(|o| o.breached);
+        SloReport {
+            spec: self.raw.clone(),
+            fast: self.fast,
+            slow: self.slow,
+            burn: self.burn,
+            objectives,
+            breached,
+        }
+    }
+
+    fn objective(
+        &self,
+        name: &str,
+        threshold: f64,
+        _rings: &[RingFile],
+        value: impl Fn(Window) -> f64,
+    ) -> Objective {
+        let overall = value(Window::Totals);
+        let fast_burn = burn_rate(value(Window::Last(self.fast)), threshold);
+        let slow_burn = burn_rate(value(Window::Last(self.slow)), threshold);
+        Objective {
+            name: name.to_string(),
+            threshold,
+            value: overall,
+            fast_burn,
+            slow_burn,
+            breached: fast_burn >= self.burn && slow_burn >= self.burn,
+        }
+    }
+}
+
+fn bad(term: &str, expected: &str) -> String {
+    format!("malformed SLO term {term:?}: expected {expected}")
+}
+
+fn parse_window(value: &str, term: &str) -> Result<usize, String> {
+    let v: usize = value
+        .trim()
+        .parse()
+        .map_err(|_| bad(term, "a window size"))?;
+    if v == 0 {
+        return Err(bad(term, "a nonzero window"));
+    }
+    Ok(v)
+}
+
+/// Evaluation scope: the run totals or the last N stored intervals.
+#[derive(Clone, Copy)]
+enum Window {
+    Totals,
+    Last(usize),
+}
+
+/// Burn rate of `value` against `threshold`. A zero threshold means
+/// zero tolerance: any nonzero value burns infinitely.
+fn burn_rate(value: f64, threshold: f64) -> f64 {
+    if threshold <= 0.0 {
+        if value > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        value / threshold
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Sums counter `name` across all shards over the window.
+fn sum_over(rings: &[RingFile], name: &str, w: Window) -> u64 {
+    rings
+        .iter()
+        .filter_map(|r| {
+            let col = r.column(name)?;
+            Some(match w {
+                Window::Totals => r.totals[col],
+                Window::Last(n) => {
+                    let skip = r.rows.len().saturating_sub(n);
+                    r.rows[skip..].iter().map(|(_, v)| v[col]).sum()
+                }
+            })
+        })
+        .sum()
+}
+
+/// Total intervals covered by the window across all shards.
+fn intervals_over(rings: &[RingFile], w: Window) -> u64 {
+    rings
+        .iter()
+        .map(|r| match w {
+            Window::Totals => r.sampled,
+            Window::Last(n) => r.rows.len().min(n) as u64,
+        })
+        .sum()
+}
+
+/// The p99 batch latency over the window, from the summed latency
+/// buckets of every shard.
+fn p99_over(rings: &[RingFile], w: Window) -> Option<u64> {
+    let mut merged: Option<FixedHistogram> = None;
+    for r in rings {
+        let values: Vec<u64> = match w {
+            Window::Totals => r.totals.clone(),
+            Window::Last(n) => {
+                let skip = r.rows.len().saturating_sub(n);
+                let mut acc = vec![0u64; r.specs.len()];
+                for (_, row) in &r.rows[skip..] {
+                    for (a, v) in acc.iter_mut().zip(row) {
+                        *a += v;
+                    }
+                }
+                acc
+            }
+        };
+        let hist = latency_from_columns(r, &values)?;
+        merged = Some(match merged {
+            None => hist,
+            Some(m) => FixedHistogram::from_parts(
+                m.bounds().to_vec(),
+                m.counts()
+                    .iter()
+                    .zip(hist.counts())
+                    .map(|(a, b)| a + b)
+                    .collect(),
+                0,
+            ),
+        });
+    }
+    merged.and_then(|h| h.percentile(0.99))
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Objective name (`p99_ns`, `shed_ratio`, `evictions_per_interval`).
+    pub name: String,
+    /// Declared ceiling.
+    pub threshold: f64,
+    /// Whole-run value (from ring totals).
+    pub value: f64,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Whether both windows burned at or above the burn threshold.
+    pub breached: bool,
+}
+
+/// The full SLO evaluation, rendered into `OBS_report.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The spec string evaluated.
+    pub spec: String,
+    /// Fast window in intervals.
+    pub fast: usize,
+    /// Slow window in intervals.
+    pub slow: usize,
+    /// Burn-rate threshold.
+    pub burn: f64,
+    /// Per-objective results.
+    pub objectives: Vec<Objective>,
+    /// Whether any objective breached.
+    pub breached: bool,
+}
+
+impl SloReport {
+    /// An empty evaluation (no `--slo` given): nothing breached.
+    pub fn none() -> SloReport {
+        SloReport {
+            spec: String::new(),
+            fast: DEFAULT_FAST,
+            slow: DEFAULT_SLOW,
+            burn: DEFAULT_BURN,
+            objectives: Vec::new(),
+            breached: false,
+        }
+    }
+
+    /// Renders the `"slo": {...}` member (no trailing comma) at
+    /// `indent`, terminated by a newline.
+    pub fn render(&self, indent: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{indent}\"slo\": {{\n"));
+        out.push_str(&format!("{indent}  \"spec\": {},\n", quote(&self.spec)));
+        out.push_str(&format!("{indent}  \"fast_window\": {},\n", self.fast));
+        out.push_str(&format!("{indent}  \"slow_window\": {},\n", self.slow));
+        out.push_str(&format!(
+            "{indent}  \"burn_threshold\": {},\n",
+            f64_field(self.burn)
+        ));
+        out.push_str(&format!("{indent}  \"objectives\": [\n"));
+        for (i, o) in self.objectives.iter().enumerate() {
+            out.push_str(&format!("{indent}    {{\n"));
+            out.push_str(&format!("{indent}      \"name\": {},\n", quote(&o.name)));
+            out.push_str(&format!(
+                "{indent}      \"threshold\": {},\n",
+                f64_field(o.threshold)
+            ));
+            out.push_str(&format!(
+                "{indent}      \"value\": {},\n",
+                f64_field(o.value)
+            ));
+            out.push_str(&format!(
+                "{indent}      \"fast_burn\": {},\n",
+                f64_field(o.fast_burn)
+            ));
+            out.push_str(&format!(
+                "{indent}      \"slow_burn\": {},\n",
+                f64_field(o.slow_burn)
+            ));
+            out.push_str(&format!("{indent}      \"breached\": {}\n", o.breached));
+            out.push_str(&format!(
+                "{indent}    }}{}\n",
+                if i + 1 < self.objectives.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str(&format!("{indent}  ],\n"));
+        out.push_str(&format!("{indent}  \"breached\": {}\n", self.breached));
+        out.push_str(&format!("{indent}}}\n"));
+        out
+    }
+}
+
+/// Plain decimal, parseable by the in-repo JSON parser (no exponents,
+/// no inf/nan — burns are capped for rendering).
+fn f64_field(v: f64) -> String {
+    if v.is_infinite() || v.is_nan() {
+        return format!("{:.3}", 1e15);
+    }
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::shard_metric_specs;
+    use domino_telemetry::MetricsRing;
+
+    fn ring_with(rows: &[(u64, &[(&str, u64)])]) -> RingFile {
+        let mut ring = MetricsRing::new(64, shard_metric_specs());
+        let mut values = vec![0u64; ring.width()];
+        for (stamp, sets) in rows {
+            for (name, v) in *sets {
+                values[ring.column(name).expect(name)] = *v;
+            }
+            ring.sample(*stamp, &values);
+        }
+        RingFile::from_bytes(&ring.to_bytes("shard-0", 100)).unwrap()
+    }
+
+    #[test]
+    fn parse_full_spec_round_trips() {
+        let spec = SloSpec::parse(
+            "p99_ns<=250000, shed_ratio<=0.05,evictions_per_interval<=2,fast=3,slow=9,burn=2.0",
+        )
+        .unwrap();
+        assert_eq!(spec.p99_ns, Some(250_000));
+        assert_eq!(spec.shed_ratio, Some(0.05));
+        assert_eq!(spec.evictions_per_interval, Some(2.0));
+        assert_eq!((spec.fast, spec.slow), (3, 9));
+        assert_eq!(spec.burn, 2.0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "p99_ns<=abc",
+            "p99<=5",
+            "shed_ratio<=1.5",
+            "fast=0",
+            "burn=-1",
+            "fast=10,slow=2,p99_ns<=5",
+            "fast=3", // windows only, no objective
+            "p99_ns=5",
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn healthy_run_passes() {
+        // shed stays 0, latency under 2.5 µs, no evictions.
+        let f = ring_with(&[
+            (100, &[("events", 100), ("batches", 4), ("lat_le_2500", 4)]),
+            (200, &[("events", 200), ("batches", 8), ("lat_le_2500", 8)]),
+        ]);
+        let spec =
+            SloSpec::parse("p99_ns<=10000,shed_ratio<=0.1,evictions_per_interval<=1").unwrap();
+        let report = spec.evaluate(&[f]);
+        assert!(!report.breached, "{report:?}");
+        assert_eq!(report.objectives.len(), 3);
+        let p99 = &report.objectives[0];
+        assert_eq!(p99.value, 2500.0);
+        assert!(p99.fast_burn < 1.0);
+    }
+
+    #[test]
+    fn sustained_shedding_breaches_both_windows() {
+        let f = ring_with(&[
+            (100, &[("batches", 2), ("shed", 2), ("lat_le_2500", 2)]),
+            (200, &[("batches", 4), ("shed", 4), ("lat_le_2500", 4)]),
+            (300, &[("batches", 6), ("shed", 6), ("lat_le_2500", 6)]),
+        ]);
+        let spec = SloSpec::parse("shed_ratio<=0.1,fast=2,slow=3").unwrap();
+        let report = spec.evaluate(&[f]);
+        assert!(report.breached);
+        let o = &report.objectives[0];
+        assert_eq!(o.value, 0.5, "6 shed vs 6 served overall");
+        assert!(o.fast_burn >= 1.0 && o.slow_burn >= 1.0);
+    }
+
+    #[test]
+    fn recovered_spike_does_not_breach_the_fast_window() {
+        // All shedding happened early; the recent (fast) window is clean,
+        // so the multi-window rule holds fire even though the slow
+        // window still burns.
+        let f = ring_with(&[
+            (100, &[("batches", 1), ("shed", 9), ("lat_le_2500", 1)]),
+            (200, &[("batches", 11), ("shed", 9), ("lat_le_2500", 11)]),
+            (300, &[("batches", 21), ("shed", 9), ("lat_le_2500", 21)]),
+        ]);
+        let spec = SloSpec::parse("shed_ratio<=0.2,fast=1,slow=3").unwrap();
+        let report = spec.evaluate(&[f]);
+        let o = &report.objectives[0];
+        assert!(o.fast_burn < 1.0, "recent interval is clean: {o:?}");
+        assert!(o.slow_burn >= 1.0, "history still burns: {o:?}");
+        assert!(!report.breached, "needs both windows");
+    }
+
+    #[test]
+    fn p99_breach_detected_from_latency_buckets() {
+        // Every batch lands past 50 ms.
+        let f = ring_with(&[
+            (100, &[("batches", 8), ("lat_le_200000000", 8)]),
+            (200, &[("batches", 16), ("lat_le_200000000", 16)]),
+        ]);
+        let spec = SloSpec::parse("p99_ns<=1000000,fast=1,slow=2").unwrap();
+        let report = spec.evaluate(&[f]);
+        assert!(report.breached);
+        assert_eq!(report.objectives[0].value, 200_000_000.0);
+    }
+
+    #[test]
+    fn empty_rings_pass_every_objective() {
+        let spec = SloSpec::parse("p99_ns<=1,shed_ratio<=0.0,evictions_per_interval<=0.0").unwrap();
+        let report = spec.evaluate(&[]);
+        assert!(!report.breached);
+    }
+
+    #[test]
+    fn zero_threshold_means_zero_tolerance() {
+        let f = ring_with(&[(100, &[("batches", 1), ("shed", 1), ("lat_le_2500", 1)])]);
+        let spec = SloSpec::parse("shed_ratio<=0.0,fast=1,slow=1").unwrap();
+        let report = spec.evaluate(&[f]);
+        assert!(report.breached, "any shed at zero tolerance breaches");
+        assert!(report.objectives[0].fast_burn.is_infinite());
+    }
+
+    #[test]
+    fn report_renders_parseable_json() {
+        let f = ring_with(&[(100, &[("batches", 2), ("shed", 2), ("lat_le_2500", 2)])]);
+        let spec = SloSpec::parse("shed_ratio<=0.1,fast=1,slow=1").unwrap();
+        let report = spec.evaluate(&[f]);
+        let doc = format!("{{\n{}}}\n", report.render("  "));
+        let json = domino_telemetry::json::parse(&doc).expect("valid JSON");
+        let slo = json.get("slo").unwrap();
+        assert_eq!(slo.get("breached").and_then(|v| v.as_str()), None);
+        let objectives = slo.get("objectives").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(objectives.len(), 1);
+        assert_eq!(
+            objectives[0].get("name").and_then(|v| v.as_str()),
+            Some("shed_ratio")
+        );
+    }
+}

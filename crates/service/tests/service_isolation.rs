@@ -75,6 +75,7 @@ fn submit_interleaved(
                 start: start as u32,
                 end: end as u32,
                 enqueued: Instant::now(),
+                span: None,
             });
         }
     }

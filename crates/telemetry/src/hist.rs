@@ -110,10 +110,19 @@ impl FixedHistogram {
     /// `Some(u64::MAX)` when the quantile lands in the unbounded
     /// overflow bucket — render that as `>last_bound`.
     ///
-    /// Because samples are bucketed, this is an upper bound on the true
-    /// quantile, exact when the bounds are dense around it. It is the
-    /// shared p50/p95/p99 helper behind the `report` binary's histogram
-    /// columns and the metadata service's latency SLO report.
+    /// **Interpolation rule: there is none.** The result is always one
+    /// of the registered inclusive upper bounds (or `u64::MAX` for the
+    /// overflow bucket), never a value interpolated within a bucket —
+    /// values inside a bucket are not retained, so any interpolation
+    /// would manufacture precision the data does not have. Because
+    /// samples are bucketed, the result is an *upper bound* on the true
+    /// quantile, exact when the bounds are dense around it, and
+    /// monotone in `p` by construction. A single-sample histogram
+    /// therefore reports that sample's bucket bound for every `p`, and
+    /// a histogram with all mass past the last bound reports
+    /// `Some(u64::MAX)` for every `p`. This is the shared p50/p95/p99
+    /// helper behind the `report` binary's histogram columns and the
+    /// metadata service's latency SLO report.
     pub fn percentile(&self, p: f64) -> Option<u64> {
         let n = self.total();
         if n == 0 {
@@ -217,6 +226,19 @@ mod tests {
         assert_eq!(h.percentile(0.0), Some(10));
         assert_eq!(h.percentile(-1.0), Some(10));
         assert_eq!(h.percentile(2.0), Some(20));
+    }
+
+    #[test]
+    fn percentile_all_mass_in_overflow_bucket() {
+        // Every sample past the last bound: all quantiles are the
+        // overflow sentinel, never a finite bound.
+        let mut h = FixedHistogram::new(&[10, 100]);
+        for _ in 0..5 {
+            h.record(101);
+        }
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Some(u64::MAX), "p={p}");
+        }
     }
 
     #[test]

@@ -52,10 +52,14 @@ pub(crate) fn mutate_active(name: &str) -> bool {
 pub mod hist;
 pub mod json;
 pub mod report;
+pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::FixedHistogram;
 pub use report::{EpochDelta, RunReport, SCHEMA};
+pub use span::{SpanFile, SpanRecord, SpanRing, SpanSampler};
+pub use timeseries::{MetricKind, MetricSpec, MetricsRing, RingFile};
 pub use trace::{Attribution, FlightRecorder, TraceFile, TraceMeta, DEFAULT_TRACE_CAPACITY};
 
 /// Receiver for named counters.

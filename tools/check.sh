@@ -140,6 +140,43 @@ if [ "${1:-}" != "--fast" ]; then
             echo "    (python3 not found; skipping service report validation)"
         fi
     fi
+
+    mark obs-smoke
+    echo "==> observability plane smoke (DOMINO_SKIP_OBS=1 to skip)"
+    if [ "${DOMINO_SKIP_OBS:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_OBS=1)"
+    else
+        # An armed run: metrics rings + spans flushed to obs_dir, SLO
+        # evaluated (shed_ratio only — the blocking policy never sheds,
+        # so this passes on arbitrarily slow hosts where wall-clock p99
+        # would not be stable), dashboard rendered once, artifacts
+        # re-parsed by the independent Python implementation.
+        obs_dir=$(mktemp -d)
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "${check_dir:-}" "${service_dir:-}" "$obs_dir"' EXIT
+        cargo run --release -q -p domino-service --bin domino-serve -- \
+            --tenants 64 --events 120 --batch 32 --shards 2 --clients 2 \
+            --obs "$obs_dir" --obs-interval 256 --span-rate 4 \
+            --slo "shed_ratio<=0.5" --fail-on-shed \
+            --out "$obs_dir/SERVICE_report.json"
+        cargo run --release -q -p domino-service --bin domino-top -- \
+            "$obs_dir" --once
+        cargo run --release -q -p domino-service --bin domino-top -- \
+            "$obs_dir" --once --csv >/dev/null
+        if command -v python3 >/dev/null 2>&1; then
+            python3 tools/validate_obs.py "$obs_dir"
+        else
+            echo "    (python3 not found; skipping obs artifact validation)"
+        fi
+        # The breach path: an unmeetable SLO must flip the exit status.
+        if cargo run --release -q -p domino-service --bin domino-serve -- \
+            --tenants 8 --events 64 --batch 32 --shards 2 \
+            --obs "$obs_dir/breach" --slo "p99_ns<=1" \
+            --out "$obs_dir/breach/SERVICE_report.json" >/dev/null 2>&1; then
+            echo "    ERROR: --slo 'p99_ns<=1' did not exit nonzero"
+            exit 1
+        fi
+        echo "    breach exit verified (--slo 'p99_ns<=1' failed as required)"
+    fi
 fi
 
 echo "check.sh: all clean"
