@@ -5,6 +5,7 @@
 //! domino-check --list-systems
 //! domino-check --smoke [--out DIR]
 //! domino-check --batch-parity [--seed N] [--events N] [--out DIR] [--systems A,B]
+//! domino-check --stream-parity [--seed N] [--events N] [--out DIR] [--systems A,B]
 //! domino-check --replay <file.events>
 //! domino-check --force-fail [--out DIR]
 //! domino-check --self-test [--out DIR]
@@ -32,7 +33,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use domino_check::oracle::{
-    check_batched_parity, check_reference_models, check_system_trace, Violation, CHECKED_BATCHES,
+    check_batched_parity, check_reference_models, check_stream_parity, check_system_trace,
+    Violation, CHECKED_BATCHES,
 };
 use domino_check::repro::Reproducer;
 use domino_check::selftest::run_self_test;
@@ -64,6 +66,8 @@ fn usage() -> ExitCode {
          \x20      domino-check --smoke [--out DIR]\n\
          \x20      domino-check --batch-parity [--seed N] [--events N] \
          [--out DIR] [--systems A,B,..]\n\
+         \x20      domino-check --stream-parity [--seed N] [--events N] \
+         [--out DIR] [--systems A,B,..]\n\
          \x20      domino-check --replay <file.events>\n\
          \x20      domino-check --force-fail [--out DIR]\n\
          \x20      domino-check --self-test [--out DIR]"
@@ -82,6 +86,7 @@ fn main() -> ExitCode {
     };
     let mut smoke = false;
     let mut batch_parity = false;
+    let mut stream_parity = false;
     let mut force_fail = false;
     let mut self_test = false;
     let mut replay: Option<PathBuf> = None;
@@ -96,6 +101,7 @@ fn main() -> ExitCode {
             }
             "--smoke" => smoke = true,
             "--batch-parity" => batch_parity = true,
+            "--stream-parity" => stream_parity = true,
             "--force-fail" => force_fail = true,
             "--self-test" => self_test = true,
             "--replay" => match it.next() {
@@ -163,6 +169,9 @@ fn main() -> ExitCode {
     }
     if batch_parity {
         return run_batch_parity(&opts);
+    }
+    if stream_parity {
+        return run_stream_parity(&opts);
     }
     run_campaign(&opts)
 }
@@ -268,6 +277,37 @@ fn run_batch_parity(opts: &Options) -> ExitCode {
         );
     }
     println!("batch parity clean: {done} system-traces, scalar and batched byte-identical");
+    ExitCode::SUCCESS
+}
+
+/// `--stream-parity`: only the streamed-vs-cached oracle, run for every
+/// generator x selected system. Every roster system replays `DMNOTRC1`
+/// files (raw and Sequitur-compressed) through both engines and must be
+/// byte-identical to the cached-slice runs. The ingest CI stage wired
+/// into `tools/check.sh`.
+fn run_stream_parity(opts: &Options) -> ExitCode {
+    let mut done = 0u64;
+    for g in Generator::all() {
+        let trace = g.generate(opts.seed, opts.events);
+        for sys in &opts.systems {
+            if let Err(violation) = check_stream_parity(*sys, &trace) {
+                let system = sys.label();
+                eprintln!("FAIL {} seed {:#x} system {system}", g.name(), opts.seed);
+                eprintln!("  {violation}");
+                let fails = |t: &[AccessEvent]| check_stream_parity(*sys, t).is_err();
+                return fail_and_shrink(opts, g, opts.seed, &system, &violation, &trace, fails);
+            }
+            done += 1;
+        }
+        println!(
+            "ok {} ({} events, {} systems x {{raw, sequitur}} x {:?} batches)",
+            g.name(),
+            trace.len(),
+            opts.systems.len(),
+            CHECKED_BATCHES
+        );
+    }
+    println!("stream parity clean: {done} system-traces, file-backed and cached byte-identical");
     ExitCode::SUCCESS
 }
 

@@ -40,6 +40,13 @@
 //! and exact sampled-count prediction, interval-counter conservation
 //! (ring totals == final shard stats), and serialization round-trips
 //! of both record formats.
+//!
+//! Tier 6 (**stream parity**, [`check_stream_parity`]): the trace is
+//! written to `DMNOTRC1` files (raw and Sequitur-compressed) and
+//! replayed through the double-buffered file source into both engines;
+//! reports and decision digests must be byte-identical to the
+//! cached-slice runs at every checked batch size, with a file chunk
+//! size that divides neither the batch nor the trace.
 
 use std::fmt;
 use std::sync::Arc;
@@ -52,15 +59,17 @@ use domino_mem::prefetch_buffer::PrefetchBuffer;
 use domino_service::{BatchRequest, MetadataService, ObsConfig, OverloadPolicy, ServiceConfig};
 use domino_sim::config::SystemConfig;
 use domino_sim::engine::{
-    run_coverage, run_coverage_observed, run_coverage_session, run_coverage_with_batch,
+    run_coverage, run_coverage_observed, run_coverage_session, run_coverage_streamed,
+    run_coverage_streamed_session, run_coverage_with_batch,
 };
 use domino_sim::multicore::{run_multicore, run_multicore_with_batch};
 use domino_sim::roster::System;
-use domino_sim::timing::{run_timing, run_timing_with_batch};
+use domino_sim::timing::{run_timing, run_timing_streamed, run_timing_with_batch};
 use domino_telemetry::trace::{TraceFile, TraceMeta};
 use domino_telemetry::{RingFile, SpanFile, SpanSampler, Telemetry};
 use domino_trace::addr::{LineAddr, LINE_BYTES};
 use domino_trace::event::AccessEvent;
+use domino_trace::stream::{write_trace_file, Codec, FileSource};
 
 use crate::reference::{ReferenceBuffer, ReferenceCache, ReferenceEit, ReferenceMshr};
 
@@ -131,7 +140,8 @@ pub fn check_system_trace(sys: System, trace: &[AccessEvent]) -> Result<(), Viol
     multicore_equivalence(sys, trace)?;
     invariant_audit(sys, trace)?;
     service_equivalence(sys, trace)?;
-    observability_audit(sys, trace)
+    observability_audit(sys, trace)?;
+    check_stream_parity(sys, trace)
 }
 
 /// Runs the system-independent reference-model differentials on the op
@@ -231,6 +241,126 @@ pub fn check_batched_parity(
         );
         if scalar != batched {
             return Err(mismatch("multicore", 0, scalar, batched));
+        }
+    }
+    Ok(())
+}
+
+/// Chunk size the stream-parity oracle writes its trace files with:
+/// prime, so file chunks straddle every batch boundary and (for any
+/// trace longer than 37 events) never divide the trace.
+const STREAM_CHUNK_EVENTS: u32 = 37;
+
+/// Tier 6: **stream parity** — replaying the trace from a `DMNOTRC1`
+/// file through the double-buffered [`FileSource`] must be byte-for-byte
+/// identical to the cached-slice engines, for both the raw and the
+/// Sequitur-compressed codec, across the checked batch sizes and a
+/// warmup that divides neither the batch nor the file chunk. Compares
+/// the decision digest (coverage) and the full `Debug` report rendering
+/// of both engines, like the batched-vs-scalar tier.
+pub fn check_stream_parity(sys: System, trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "stream_parity";
+    let cfg = SystemConfig::paper();
+    let label = sys.label();
+    let io_err = |what: &str, e: &dyn fmt::Display| violation(O, format!("{label}: {what}: {e}"));
+    let dir = std::env::temp_dir();
+    for codec in [Codec::Raw, Codec::Sequitur] {
+        let path = dir.join(format!(
+            "domino-check-stream-{}-{}-{}.dmno",
+            std::process::id(),
+            label.replace([' ', '/'], "_"),
+            codec.label()
+        ));
+        write_trace_file(&path, trace, STREAM_CHUNK_EVENTS, codec)
+            .map_err(|e| io_err("write trace file", &e))?;
+        let result = stream_parity_one_file(sys, trace, &cfg, &path, codec);
+        std::fs::remove_file(&path).ok();
+        result?;
+    }
+    Ok(())
+}
+
+/// One codec's worth of [`check_stream_parity`]: every checked batch,
+/// coverage (digest + report) and timing (report), warmed and unwarmed.
+fn stream_parity_one_file(
+    sys: System,
+    trace: &[AccessEvent],
+    cfg: &SystemConfig,
+    path: &std::path::Path,
+    codec: Codec,
+) -> Result<(), Violation> {
+    const O: &str = "stream_parity";
+    let label = sys.label();
+    let open = || {
+        FileSource::open(path).map_err(|e| {
+            violation(
+                O,
+                format!("{label}: open {} ({codec:?}): {e}", path.display()),
+            )
+        })
+    };
+    let stream_err =
+        |e: &dyn fmt::Display| violation(O, format!("{label}: streamed run ({codec:?}): {e}"));
+    for batch in CHECKED_BATCHES {
+        let mismatch = |engine: &str, warmup: usize, cached: String, streamed: String| Violation {
+            oracle: O,
+            detail: format!(
+                "{label}: {engine} ({codec:?} codec, warmup {warmup}) diverges at batch {batch}:\n\
+                 cached:   {cached}\n\
+                 streamed: {streamed}"
+            ),
+            batch: Some(batch),
+        };
+        // Coverage with decision digest (warmup 0 — the digest session
+        // has no warmup notion, matching run_coverage_session).
+        let mut p = sys.build(DEGREE);
+        let (want_report, want_digest) =
+            run_coverage_session(cfg, trace, p.as_mut(), batch as usize);
+        let mut source = open()?;
+        let mut p = sys.build(DEGREE);
+        let (got_report, got_digest) =
+            run_coverage_streamed_session(cfg, &mut source, p.as_mut(), batch as usize)
+                .map_err(|e| stream_err(&e))?;
+        if want_digest != got_digest {
+            return Err(mismatch(
+                "coverage digest",
+                0,
+                format!("{want_digest:#018x}"),
+                format!("{got_digest:#018x}"),
+            ));
+        }
+        let (want, got) = (format!("{want_report:?}"), format!("{got_report:?}"));
+        if want != got {
+            return Err(mismatch("coverage", 0, want, got));
+        }
+        // Both engines across the warmup boundary.
+        for warmup in [0, trace.len() / 3] {
+            let mut p = sys.build(DEGREE);
+            let want = format!(
+                "{:?}",
+                run_coverage_with_batch(cfg, trace, p.as_mut(), warmup, batch)
+            );
+            let mut source = open()?;
+            let mut p = sys.build(DEGREE);
+            let got = run_coverage_streamed(cfg, &mut source, p.as_mut(), warmup, batch as usize)
+                .map_err(|e| stream_err(&e))?;
+            let got = format!("{got:?}");
+            if want != got {
+                return Err(mismatch("coverage", warmup, want, got));
+            }
+            let mut p = sys.build(DEGREE);
+            let want = format!(
+                "{:?}",
+                run_timing_with_batch(cfg, trace, p.as_mut(), warmup, batch)
+            );
+            let mut source = open()?;
+            let mut p = sys.build(DEGREE);
+            let got = run_timing_streamed(cfg, &mut source, p.as_mut(), warmup, batch as usize)
+                .map_err(|e| stream_err(&e))?;
+            let got = format!("{got:?}");
+            if want != got {
+                return Err(mismatch("timing", warmup, want, got));
+            }
         }
     }
     Ok(())

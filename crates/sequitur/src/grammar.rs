@@ -36,6 +36,20 @@ pub(crate) struct RuleInfo {
     pub live: bool,
 }
 
+/// A symbol in an exported rule body: a terminal from the input alphabet or
+/// a reference to another exported rule by its dense table index.
+///
+/// Produced by [`Sequitur::export_rules`]; consumers that serialize grammars
+/// (e.g. the compressed trace codec in `domino-trace`) work with these
+/// indices instead of the builder's internal, gappy rule ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportSym {
+    /// A terminal symbol (an input value).
+    Term(u64),
+    /// A reference to the exported rule at this index.
+    Rule(u32),
+}
+
 /// Online Sequitur grammar builder.
 ///
 /// See the [crate docs](crate) for an example; see
@@ -145,6 +159,34 @@ impl Sequitur {
             .enumerate()
             .filter(|(_, r)| r.live)
             .map(|(i, _)| i as u32)
+    }
+
+    /// Exports the grammar as a dense rule table for serialization.
+    ///
+    /// Live rules are renumbered densely in ascending-id order, so entry 0
+    /// is always the start rule and every [`ExportSym::Rule`] index refers
+    /// into the returned table. Expanding entry 0 (terminals emitted in
+    /// order, rule references expanded recursively) reconstructs the input
+    /// exactly; retired rules do not appear.
+    pub fn export_rules(&self) -> Vec<Vec<ExportSym>> {
+        let order: Vec<u32> = self.live_rules().collect();
+        let dense: HashMap<u32, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+        order
+            .iter()
+            .map(|&r| {
+                self.rule_body(r)
+                    .into_iter()
+                    .map(|sym| match sym {
+                        SymKey::Term(t) => ExportSym::Term(t),
+                        SymKey::Rule(rr) => ExportSym::Rule(dense[&rr]),
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -459,6 +501,45 @@ mod tests {
         assert_eq!(g.expand(), Vec::<u64>::new());
         assert_eq!(g.rule_count(), 0);
         g.check_invariants().unwrap();
+    }
+
+    /// Expands entry 0 of an exported rule table the way a decoder would.
+    fn expand_export(rules: &[Vec<ExportSym>]) -> Vec<u64> {
+        fn walk(rules: &[Vec<ExportSym>], idx: u32, out: &mut Vec<u64>) {
+            for sym in &rules[idx as usize] {
+                match *sym {
+                    ExportSym::Term(t) => out.push(t),
+                    ExportSym::Rule(r) => walk(rules, r, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(rules, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn export_rules_round_trips_through_dense_table() {
+        for input in [
+            vec![],
+            vec![7u64],
+            vec![1, 2, 1, 2, 3, 1, 2, 1, 2, 3, 4],
+            (0..400u64).map(|i| i % 17).collect::<Vec<_>>(),
+        ] {
+            let g = Sequitur::from_sequence(input.iter().copied());
+            let rules = g.export_rules();
+            assert!(!rules.is_empty(), "start rule always exported");
+            assert_eq!(rules.len(), g.rule_count() + 1);
+            for body in &rules {
+                for sym in body {
+                    if let ExportSym::Rule(r) = sym {
+                        assert!((*r as usize) < rules.len(), "dense index in range");
+                        assert_ne!(*r, 0, "start rule is never referenced");
+                    }
+                }
+            }
+            assert_eq!(expand_export(&rules), input);
+        }
     }
 
     #[test]

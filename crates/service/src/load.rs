@@ -14,10 +14,13 @@
 //! policy a rejected batch still advances the cursor — the events are
 //! lost, which is exactly the gap the session accounts for.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use domino_sim::trace_cache::{shared_tenant_slice, TenantSlice};
+use domino_sim::trace_cache::{
+    shared_file_trace, shared_tenant_slice, tenant_slice_of, TenantSlice,
+};
 use domino_sim::System;
 use domino_trace::rng::SimRng;
 use domino_trace::workload::catalog;
@@ -46,6 +49,12 @@ pub struct LoadPlan {
     pub system: System,
     /// Base-trace length the tenant windows are cut from.
     pub base_events: usize,
+    /// Optional `DMNOTRC1` trace file the tenants window into instead
+    /// of the synthesized catalog traces. At most `base_events` events
+    /// are decoded, once, and shared across every tenant (see
+    /// [`shared_file_trace`]); windows keep the same seeded offset
+    /// derivation as the synthetic path.
+    pub trace_file: Option<PathBuf>,
 }
 
 impl Default for LoadPlan {
@@ -58,6 +67,7 @@ impl Default for LoadPlan {
             seed: 0xD0,
             system: System::Domino,
             base_events: 50_000,
+            trace_file: None,
         }
     }
 }
@@ -81,6 +91,13 @@ pub struct LoadReport {
 /// drawn from the Table-II catalog by seeded choice, its window by
 /// [`shared_tenant_slice`]. Pure function of `(plan, tenant)`.
 pub fn tenant_stream(plan: &LoadPlan, tenant: u64) -> TenantSlice {
+    if let Some(path) = &plan.trace_file {
+        // Validated up front by the CLI; a file failing *mid-run* (e.g.
+        // deleted under us) has no stream to offer, so fail loudly.
+        let trace = shared_file_trace(path, plan.base_events)
+            .unwrap_or_else(|e| panic!("trace file {}: {e}", path.display()));
+        return tenant_slice_of(trace, plan.seed, tenant, plan.events_per_tenant);
+    }
     let specs = catalog::all();
     let mut rng = SimRng::seed(plan.seed ^ WORKLOAD_SALT);
     let mut rng = rng.fork(tenant);

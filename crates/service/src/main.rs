@@ -6,11 +6,17 @@
 //!              [--queue N] [--clients N] [--policy block|shed]
 //!              [--system LABEL] [--seed N] [--degree N]
 //!              [--tenant-budget BYTES] [--shard-budget BYTES]
-//!              [--base-events N] [--out FILE] [--fail-on-shed]
-//!              [--obs DIR] [--obs-interval EVENTS] [--obs-ring ROWS]
-//!              [--span-rate N] [--span-seed N] [--slo SPEC]
+//!              [--base-events N] [--trace-file FILE] [--out FILE]
+//!              [--fail-on-shed] [--obs DIR] [--obs-interval EVENTS]
+//!              [--obs-ring ROWS] [--span-rate N] [--span-seed N]
+//!              [--slo SPEC]
 //! domino-serve --smoke DIR
 //! ```
+//!
+//! `--trace-file FILE` replaces the synthesized catalog traces with a
+//! `DMNOTRC1` trace (written by `domino-ingest`): the first
+//! `--base-events` events are decoded once and shared, and every tenant
+//! windows into that one allocation.
 //!
 //! `--smoke` is the fixed CI preset wired into `tools/check.sh`: 1,000
 //! tenant streams over 4 shards under the blocking policy, report
@@ -40,9 +46,10 @@ fn usage() -> ExitCode {
          \x20                   [--queue N] [--clients N] [--policy block|shed]\n\
          \x20                   [--system LABEL] [--seed N] [--degree N]\n\
          \x20                   [--tenant-budget BYTES] [--shard-budget BYTES]\n\
-         \x20                   [--base-events N] [--out FILE] [--fail-on-shed]\n\
-         \x20                   [--obs DIR] [--obs-interval EVENTS] [--obs-ring ROWS]\n\
-         \x20                   [--span-rate N] [--span-seed N] [--slo SPEC]\n\
+         \x20                   [--base-events N] [--trace-file FILE] [--out FILE]\n\
+         \x20                   [--fail-on-shed] [--obs DIR] [--obs-interval EVENTS]\n\
+         \x20                   [--obs-ring ROWS] [--span-rate N] [--span-seed N]\n\
+         \x20                   [--slo SPEC]\n\
          \x20      domino-serve --smoke DIR"
     );
     ExitCode::FAILURE
@@ -144,6 +151,10 @@ fn main() -> ExitCode {
                 Some(v) => plan.base_events = v,
                 None => return usage(),
             },
+            "--trace-file" => match it.next() {
+                Some(f) => plan.trace_file = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(f) => out = Some(PathBuf::from(f)),
                 None => return usage(),
@@ -185,6 +196,29 @@ fn main() -> ExitCode {
     if slo.is_some() && obs_dir.is_none() {
         eprintln!("error: --slo needs the metrics rings; pass --obs DIR too");
         return ExitCode::FAILURE;
+    }
+    // Validate (and pre-decode) the trace file before spawning anything,
+    // so a bad file is one clear error instead of a mid-run panic. A
+    // short file clamps the per-tenant stream length: windows cannot
+    // extend past the file.
+    if let Some(path) = &plan.trace_file {
+        match domino_sim::shared_file_trace(path, plan.base_events) {
+            Ok(trace) => {
+                if trace.len() < plan.events_per_tenant {
+                    println!(
+                        "note: {} holds {} events; clamping --events {} down",
+                        path.display(),
+                        trace.len(),
+                        plan.events_per_tenant
+                    );
+                    plan.events_per_tenant = trace.len();
+                }
+            }
+            Err(e) => {
+                eprintln!("error: --trace-file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if let Some(dir) = &obs_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {

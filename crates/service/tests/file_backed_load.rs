@@ -1,0 +1,119 @@
+//! File-backed tenant streams: a `LoadPlan` pointing at a `DMNOTRC1`
+//! trace file must window every tenant into ONE shared decoded
+//! allocation, deterministically, and serve each stream bit-identically
+//! to its single-tenant reference — the same guarantee the synthetic
+//! path gives, now out-of-core.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use domino_service::{run_load, tenant_stream, LoadPlan, MetadataService, ServiceConfig};
+use domino_sim::engine::run_coverage_session;
+use domino_sim::roster::System;
+use domino_sim::SystemConfig;
+use domino_trace::stream::{Codec, TraceWriter};
+use domino_trace::workload::catalog;
+use domino_trace::AccessEvent;
+
+const FILE_EVENTS: usize = 8_000;
+
+fn write_temp_trace(tag: &str) -> (PathBuf, Vec<AccessEvent>) {
+    let events: Vec<AccessEvent> = catalog::oltp()
+        .generator(0xF11E)
+        .take(FILE_EVENTS)
+        .collect();
+    let path = std::env::temp_dir().join(format!(
+        "domino-file-backed-load-{}-{tag}.dmno",
+        std::process::id()
+    ));
+    // A chunk size that divides nothing, so tenant windows straddle
+    // chunk boundaries.
+    let mut writer = TraceWriter::create(&path, 37, Codec::Raw).expect("create temp trace");
+    writer.write_events(&events).expect("write temp trace");
+    writer.finish().expect("finish temp trace");
+    (path, events)
+}
+
+#[test]
+fn file_backed_tenants_share_one_decode_and_serve_bit_identically() {
+    let (path, events) = write_temp_trace("serve");
+    let plan = LoadPlan {
+        tenants: 64,
+        events_per_tenant: 120,
+        request_batch: 17,
+        clients: 3,
+        seed: 0xF1_1E,
+        system: System::Stms,
+        base_events: FILE_EVENTS,
+        trace_file: Some(path.clone()),
+    };
+
+    // Windows are deterministic, come from one shared allocation, and
+    // hold exactly the file's events.
+    let a = tenant_stream(&plan, 0);
+    let b = tenant_stream(&plan, 1);
+    let a2 = tenant_stream(&plan, 0);
+    assert!(
+        Arc::ptr_eq(&a.trace, &b.trace),
+        "tenants must share one decode"
+    );
+    assert_eq!(a.start, a2.start);
+    assert_eq!(a.events(), &events[a.start..a.start + a.len]);
+
+    let cfg = ServiceConfig {
+        shards: 2,
+        queue_depth: 64,
+        degree: 4,
+        ..ServiceConfig::default()
+    };
+    let degree = cfg.degree;
+    let service = MetadataService::start(cfg);
+    let load = {
+        let client = service.client();
+        run_load(&client, &plan)
+    };
+    let result = service.shutdown();
+
+    assert_eq!(load.shed_rejections, 0);
+    assert_eq!(result.total_events(), load.events_offered);
+    assert_eq!(result.finals().count(), plan.tenants as usize);
+    for tenant in 0..plan.tenants {
+        let fin = result.tenant(tenant).expect("one final per tenant");
+        assert_eq!(fin.processed, plan.events_per_tenant);
+        let slice = tenant_stream(&plan, tenant);
+        let mut reference = plan.system.build(degree);
+        let (ref_report, ref_digest) = run_coverage_session(
+            &SystemConfig::paper(),
+            slice.events(),
+            reference.as_mut(),
+            64,
+        );
+        assert_eq!(
+            fin.digest, ref_digest,
+            "tenant {tenant}: digest diverged from single-tenant file replay"
+        );
+        assert_eq!(format!("{:?}", fin.report), format!("{ref_report:?}"));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn short_file_clamps_tenant_windows() {
+    let (path, events) = write_temp_trace("clamp");
+    let plan = LoadPlan {
+        tenants: 4,
+        events_per_tenant: FILE_EVENTS * 2,
+        request_batch: 32,
+        clients: 1,
+        seed: 0xC1A4,
+        system: System::Stms,
+        base_events: FILE_EVENTS,
+        trace_file: Some(path.clone()),
+    };
+    // A window longer than the file clamps to the whole file.
+    let slice = tenant_stream(&plan, 2);
+    assert_eq!(slice.len, FILE_EVENTS);
+    assert_eq!(slice.start, 0);
+    assert_eq!(slice.events(), &events[..]);
+    std::fs::remove_file(&path).ok();
+}

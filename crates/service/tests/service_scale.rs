@@ -23,6 +23,7 @@ fn thousand_tenants_complete_bit_identically() {
         seed: 0xD0_5E,
         system: System::Stms,
         base_events: 50_000,
+        trace_file: None,
     };
     let cfg = ServiceConfig {
         shards: 4,

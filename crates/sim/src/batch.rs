@@ -107,16 +107,25 @@ impl L1Lanes {
         start: usize,
         end: usize,
     ) {
+        self.stage_at(l1, &trace[start..end], start as u32);
+    }
+
+    /// Offset-aware form of [`L1Lanes::stage`] for streamed chunks that
+    /// are not a window into a materialized trace: `chunk` holds the
+    /// events and `base` is the absolute trace index of `chunk[0]`, so
+    /// the delta map's indices stay absolute and byte-identical to a
+    /// cached-slice run over the same events.
+    pub fn stage_at(&mut self, l1: &mut SetAssocCache, chunk: &[AccessEvent], base: u32) {
         self.hits.clear();
         self.deltas.clear();
         self.by_line = false;
-        self.hits.reserve(end - start);
-        for (off, ev) in trace[start..end].iter().enumerate() {
+        self.hits.reserve(chunk.len());
+        for (off, ev) in chunk.iter().enumerate() {
             let line = ev.line();
             let (hit, victim) = l1.access_insert(line);
             self.hits.push(hit);
             if !hit {
-                let idx = (start + off) as u32;
+                let idx = base + off as u32;
                 self.deltas.push((line.raw(), idx, true));
                 if let Some(evicted) = victim {
                     self.deltas.push((evicted.raw(), idx, false));
@@ -128,17 +137,19 @@ impl L1Lanes {
         }
     }
 
-    /// The coverage engines' fused pre-pass: stages `trace[start..end]`
-    /// like [`L1Lanes::stage`] but compacts the misses straight into
+    /// The coverage engines' fused pre-pass: stages `chunk` like
+    /// [`L1Lanes::stage_at`] but compacts the misses straight into
     /// `trig` instead of filling the per-event hit lane, and returns the
     /// chunk's L1 hit count. One loop does the L1 advance, the delta
     /// map, and the trigger compaction the coverage drive loop needs.
-    pub fn stage_coverage(
+    /// `base` is the absolute trace index of `chunk[0]`, so indices are
+    /// identical whether the chunk is a slice of a materialized trace
+    /// or a streamed buffer.
+    pub fn stage_coverage_at(
         &mut self,
         l1: &mut SetAssocCache,
-        trace: &[AccessEvent],
-        start: usize,
-        end: usize,
+        chunk: &[AccessEvent],
+        base: u32,
         trig: &mut TriggerLanes,
     ) -> u64 {
         self.hits.clear();
@@ -146,14 +157,14 @@ impl L1Lanes {
         self.by_line = false;
         trig.clear();
         let mut hits = 0u64;
-        for (off, ev) in trace[start..end].iter().enumerate() {
+        for (off, ev) in chunk.iter().enumerate() {
             let line = ev.line();
             let (hit, victim) = l1.access_insert(line);
             if hit {
                 hits += 1;
                 continue;
             }
-            let idx = (start + off) as u32;
+            let idx = base + off as u32;
             trig.idx.push(idx);
             trig.lines.push(line);
             trig.pcs.push(ev.pc);
@@ -309,7 +320,7 @@ mod tests {
         while s < trace.len() {
             let e = (s + 7).min(trace.len());
             plain.stage(&mut l1_a, &trace, s, e);
-            let hits = fused.stage_coverage(&mut l1_b, &trace, s, e, &mut trig);
+            let hits = fused.stage_coverage_at(&mut l1_b, &trace[s..e], s as u32, &mut trig);
             let plain_hits = plain.hits.iter().filter(|&&h| h).count() as u64;
             assert_eq!(hits, plain_hits, "hit count at chunk {s}");
             let misses: Vec<u32> = (s..e)

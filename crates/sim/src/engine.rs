@@ -21,6 +21,7 @@ use domino_sequitur::Histogram;
 use domino_telemetry::{CounterSink, Telemetry, DISTANCE_BOUNDS};
 use domino_trace::addr::{LineAddr, Pc, LINE_BYTES};
 use domino_trace::event::AccessEvent;
+use domino_trace::stream::{EventSource, TraceFileError};
 
 use crate::batch::{L1Lanes, TriggerLanes};
 use crate::config::SystemConfig;
@@ -647,34 +648,44 @@ impl CoverageSession {
     /// (the scalar loop flips mid-stream).
     pub fn step(&mut self, prefetcher: &mut dyn Prefetcher, trace: &[AccessEvent], end: usize) {
         let n = end.min(trace.len());
-        while self.seen < n {
-            let s = self.seen;
-            let mut e = n;
-            if s < self.warmup && e > self.warmup {
-                e = self.warmup;
-            }
-            self.step_chunk(prefetcher, trace, s, e);
-            self.seen = e;
+        if self.seen < n {
+            self.feed(prefetcher, &trace[self.seen..n]);
         }
     }
 
-    /// One staged chunk `[s, e)`; `measuring` is constant across it.
-    fn step_chunk(
-        &mut self,
-        prefetcher: &mut dyn Prefetcher,
-        trace: &[AccessEvent],
-        s: usize,
-        e: usize,
-    ) {
+    /// Processes one streamed chunk whose first event sits at the
+    /// session's current absolute position ([`CoverageSession::processed`]),
+    /// splitting at the warmup boundary. This is the out-of-core twin of
+    /// [`CoverageSession::step`]: the chunk need not be a window into any
+    /// materialized trace, and because the session is partition-invariant
+    /// the result is byte-identical to a cached-slice run over the same
+    /// events no matter how the stream was chunked.
+    pub fn feed(&mut self, prefetcher: &mut dyn Prefetcher, chunk: &[AccessEvent]) {
+        let mut off = 0usize;
+        while off < chunk.len() {
+            let s = self.seen;
+            let mut len = chunk.len() - off;
+            if s < self.warmup && s + len > self.warmup {
+                len = self.warmup - s;
+            }
+            self.feed_chunk(prefetcher, &chunk[off..off + len], s);
+            off += len;
+            self.seen = s + len;
+        }
+    }
+
+    /// One staged chunk whose first event is absolute index `s`;
+    /// `measuring` is constant across it.
+    fn feed_chunk(&mut self, prefetcher: &mut dyn Prefetcher, chunk: &[AccessEvent], s: usize) {
         let measuring = s >= self.warmup;
         if measuring && s == self.warmup && self.warmup > 0 {
             self.warmup_overpredictions = self.buffer.stats().overpredictions();
         }
         let hits = self
             .lanes
-            .stage_coverage(&mut self.l1, trace, s, e, &mut self.trig);
+            .stage_coverage_at(&mut self.l1, chunk, s as u32, &mut self.trig);
         if measuring {
-            self.report.accesses += (e - s) as u64;
+            self.report.accesses += chunk.len() as u64;
             self.report.l1_hits += hits;
         }
         let mut driver = CoverageDriver {
@@ -763,6 +774,79 @@ fn run_coverage_batched(
         s = e;
     }
     session.finish()
+}
+
+/// The batched coverage loop over a streaming [`EventSource`]: identical
+/// decision sequence to [`run_coverage_with_batch`] on the materialized
+/// trace (the session is partition-invariant, and staging is offset-aware
+/// via [`L1Lanes::stage_coverage_at`]), but only one source chunk of
+/// events is resident at a time. The streaming parity oracle in
+/// `domino-check` holds this byte-identical to the cached path for every
+/// roster system.
+///
+/// # Errors
+///
+/// Propagates decode/I/O errors from the source.
+pub fn run_coverage_streamed(
+    system: &SystemConfig,
+    source: &mut dyn EventSource,
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    batch: usize,
+) -> Result<CoverageReport, TraceFileError> {
+    let mut session = CoverageSession::new(system, prefetcher.name(), warmup);
+    prefetcher.reserve(source.total_events() as usize);
+    let step = batch.max(1);
+    let mut chunk = Vec::new();
+    loop {
+        let n = source.next_chunk(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        // Re-split at batch granularity so the staged chunk size matches
+        // the cached batched run exactly (any split is byte-identical;
+        // matching sizes keeps the performance profile comparable too).
+        let mut off = 0usize;
+        while off < n {
+            let e = (off + step).min(n);
+            session.feed(prefetcher, &chunk[off..e]);
+            off = e;
+        }
+    }
+    Ok(session.finish())
+}
+
+/// Streamed twin of [`run_coverage_session`]: digest-enabled, no warmup,
+/// `batch`-sized steps — the streaming side of the parity oracle.
+///
+/// # Errors
+///
+/// Propagates decode/I/O errors from the source.
+pub fn run_coverage_streamed_session(
+    system: &SystemConfig,
+    source: &mut dyn EventSource,
+    prefetcher: &mut dyn Prefetcher,
+    batch: usize,
+) -> Result<(CoverageReport, u64), TraceFileError> {
+    let mut session = CoverageSession::new(system, prefetcher.name(), 0);
+    session.enable_digest();
+    prefetcher.reserve(source.total_events() as usize);
+    let step = batch.max(1);
+    let mut chunk = Vec::new();
+    loop {
+        let n = source.next_chunk(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        let mut off = 0usize;
+        while off < n {
+            let e = (off + step).min(n);
+            session.feed(prefetcher, &chunk[off..e]);
+            off = e;
+        }
+    }
+    let digest = session.digest();
+    Ok((session.finish(), digest))
 }
 
 /// Convenience: the baseline miss sequence (line addresses, reads and

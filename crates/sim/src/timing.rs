@@ -46,6 +46,7 @@ use domino_mem::prefetch_buffer::{InsertOutcome, PrefetchBuffer};
 use domino_telemetry::{CounterSink, HistId, Telemetry, LATENCY_BOUNDS, MSHR_BOUNDS};
 use domino_trace::addr::LINE_BYTES;
 use domino_trace::event::AccessEvent;
+use domino_trace::stream::{EventSource, TraceFileError};
 
 use crate::batch::L1Lanes;
 use crate::config::SystemConfig;
@@ -654,35 +655,120 @@ fn run_timing_batched(
         if s == warmup && warmup > 0 {
             engine.mark_measurement_start();
         }
-        pollute_lines.clear();
-        for _ in 0..(e - s) * pollute_per_event {
-            pollute_state ^= pollute_state << 13;
-            pollute_state ^= pollute_state >> 7;
-            pollute_state ^= pollute_state << 17;
-            pollute_lines.push(domino_trace::addr::LineAddr::new(
-                0x0F00_0000_0000 | (pollute_state & 0xFFFF_FFFF),
-            ));
-        }
-        for l in pollute_lines.iter().take(POLLUTE_PREFETCH_AHEAD) {
-            l2.prefetch_set(*l);
-        }
-        for (off, ev) in trace[s..e].iter().enumerate() {
-            let base = off * pollute_per_event;
-            for (k, &line) in pollute_lines[base..base + pollute_per_event]
-                .iter()
-                .enumerate()
-            {
-                if let Some(&ahead) = pollute_lines.get(base + k + POLLUTE_PREFETCH_AHEAD) {
-                    l2.prefetch_set(ahead);
-                }
-                l2.insert(line);
-            }
-            engine.step(ev, L1View::Fused, &mut l2, &mut dram);
-        }
+        step_timing_span(
+            &mut engine,
+            &mut l2,
+            &mut dram,
+            &mut pollute_state,
+            &mut pollute_lines,
+            pollute_per_event,
+            &trace[s..e],
+        );
         s = e;
     }
     let traffic = dram.traffic();
     engine.finish(traffic)
+}
+
+/// One batched-timing span: extend the pollution chain for
+/// `events.len()` events, host-prefetch the touched LLC sets, then step
+/// each event in exact scalar order. Shared by the cached-slice and
+/// streamed batched loops — the chain state carries across spans, so
+/// span boundaries are unobservable in the simulated state.
+fn step_timing_span(
+    engine: &mut CoreEngine<'_>,
+    l2: &mut SetAssocCache,
+    dram: &mut Dram,
+    pollute_state: &mut u64,
+    pollute_lines: &mut Vec<domino_trace::addr::LineAddr>,
+    pollute_per_event: usize,
+    events: &[AccessEvent],
+) {
+    pollute_lines.clear();
+    for _ in 0..events.len() * pollute_per_event {
+        *pollute_state ^= *pollute_state << 13;
+        *pollute_state ^= *pollute_state >> 7;
+        *pollute_state ^= *pollute_state << 17;
+        pollute_lines.push(domino_trace::addr::LineAddr::new(
+            0x0F00_0000_0000 | (*pollute_state & 0xFFFF_FFFF),
+        ));
+    }
+    for l in pollute_lines.iter().take(POLLUTE_PREFETCH_AHEAD) {
+        l2.prefetch_set(*l);
+    }
+    for (off, ev) in events.iter().enumerate() {
+        let base = off * pollute_per_event;
+        for (k, &line) in pollute_lines[base..base + pollute_per_event]
+            .iter()
+            .enumerate()
+        {
+            if let Some(&ahead) = pollute_lines.get(base + k + POLLUTE_PREFETCH_AHEAD) {
+                l2.prefetch_set(ahead);
+            }
+            l2.insert(line);
+        }
+        engine.step(ev, L1View::Fused, l2, dram);
+    }
+}
+
+/// [`run_timing_with_batch`] over an [`EventSource`]: pulls fixed-size
+/// chunks from the source and re-splits them at the batch size and the
+/// absolute warmup boundary. Every simulated state transition (the
+/// pollution chain, cache fills, DRAM, the prefetcher) happens in exact
+/// scalar order with state carried across chunks, so the report is
+/// byte-identical to the cached-slice loops — only the source's chunk
+/// buffers and the current span are ever resident.
+pub fn run_timing_streamed(
+    system: &SystemConfig,
+    source: &mut dyn EventSource,
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    batch: usize,
+) -> Result<TimingReport, TraceFileError> {
+    let batch = batch.max(1);
+    let mut l2 = scratch::cache(system.l2);
+    let mut dram = Dram::new(system.memory);
+    prefetcher.reserve(usize::try_from(source.total_events()).unwrap_or(usize::MAX));
+    let mut pollute_state: u64 = 0x1234_5678_9abc_def1;
+    let pollute_per_event = 2 * (system.cores - 1) as usize;
+    let mut tel = Telemetry::off();
+    let mut engine = CoreEngine::new(system, prefetcher, &mut tel);
+    let mut pollute_lines: Vec<domino_trace::addr::LineAddr> = Vec::new();
+    let mut chunk: Vec<AccessEvent> = Vec::new();
+    // Absolute index of the first event of the current chunk.
+    let mut seen = 0usize;
+    loop {
+        let n = source.next_chunk(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        let mut off = 0usize;
+        while off < n {
+            let s = seen + off;
+            // Spans break at the warmup boundary so the measurement
+            // mark lands exactly where the scalar loop places it.
+            let mut e = (off + batch).min(n);
+            if s < warmup && seen + e > warmup {
+                e = warmup - seen;
+            }
+            if s == warmup && warmup > 0 {
+                engine.mark_measurement_start();
+            }
+            step_timing_span(
+                &mut engine,
+                &mut l2,
+                &mut dram,
+                &mut pollute_state,
+                &mut pollute_lines,
+                pollute_per_event,
+                &chunk[off..e],
+            );
+            off = e;
+        }
+        seen += n;
+    }
+    let traffic = dram.traffic();
+    Ok(engine.finish(traffic))
 }
 
 /// The scalar one-event-at-a-time timing loop (and the only loop that

@@ -12,12 +12,24 @@
 //! config structs whose debug output covers every field, so two specs
 //! key equal exactly when they generate identical traces (this also
 //! distinguishes the mutated specs of e.g. the MLP-sensitivity study).
+//!
+//! # Byte budget
+//!
+//! `DOMINO_TRACE_CACHE_BYTES=N` caps the resident bytes of cached
+//! traces (generated and file-backed alike). When a lookup pushes the
+//! total over the cap, whole least-recently-used entries are dropped —
+//! never partial traces — until the rest fit. Callers already holding
+//! an `Arc` keep their trace; eviction only stops *new* lookups from
+//! sharing it, so the cap bounds what the cache itself keeps alive.
 
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use domino_trace::event::AccessEvent;
 use domino_trace::rng::SimRng;
+use domino_trace::stream::{TraceFileError, TraceReader};
 use domino_trace::workload::WorkloadSpec;
 
 use crate::config::SystemConfig;
@@ -27,8 +39,25 @@ type Key = (String, u64, usize);
 type Cell<T> = Arc<OnceLock<T>>;
 type CellMap<T> = OnceLock<Mutex<HashMap<Key, Cell<T>>>>;
 
-static TRACES: CellMap<Arc<[AccessEvent]>> = OnceLock::new();
+/// One trace entry plus its LRU stamp (the global tick at last lookup).
+struct TraceSlot {
+    cell: Cell<Arc<[AccessEvent]>>,
+    stamp: u64,
+}
+
+/// The trace map with its LRU clock.
+#[derive(Default)]
+struct TraceLru {
+    map: HashMap<Key, TraceSlot>,
+    tick: u64,
+}
+
+static TRACES: OnceLock<Mutex<TraceLru>> = OnceLock::new();
 static MISS_SEQS: CellMap<Arc<Vec<u64>>> = OnceLock::new();
+
+fn traces() -> &'static Mutex<TraceLru> {
+    TRACES.get_or_init(Mutex::default)
+}
 
 fn key_of(spec: &WorkloadSpec, events: usize, seed: u64) -> Key {
     (format!("{spec:?}"), seed, events)
@@ -41,6 +70,104 @@ fn enabled() -> bool {
     *ENABLED.get_or_init(|| std::env::var("DOMINO_TRACE_CACHE").map_or(true, |v| v.trim() != "0"))
 }
 
+/// Sentinel for "no test override in place" in [`BUDGET_OVERRIDE`].
+const NO_OVERRIDE: u64 = u64::MAX;
+
+/// Test override for the byte budget (tests can't safely mutate the
+/// environment of a threaded process).
+static BUDGET_OVERRIDE: AtomicU64 = AtomicU64::new(NO_OVERRIDE);
+
+/// The resident-byte cap on cached traces, if any: the test override
+/// when set, else `DOMINO_TRACE_CACHE_BYTES`.
+fn cache_budget() -> Option<u64> {
+    let over = BUDGET_OVERRIDE.load(Ordering::Relaxed);
+    if over != NO_OVERRIDE {
+        return Some(over);
+    }
+    static ENV: OnceLock<Option<u64>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("DOMINO_TRACE_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Forces the trace-cache byte budget regardless of the environment.
+/// Test hook — the budget tests run in their own integration-test
+/// process so this cannot race the figure runners.
+#[doc(hidden)]
+pub fn set_cache_budget_for_tests(bytes: Option<u64>) {
+    BUDGET_OVERRIDE.store(bytes.unwrap_or(NO_OVERRIDE), Ordering::Relaxed);
+}
+
+fn trace_bytes(trace: &Arc<[AccessEvent]>) -> u64 {
+    (trace.len() * std::mem::size_of::<AccessEvent>()) as u64
+}
+
+/// Total bytes of materialized traces the cache currently keeps alive.
+pub fn resident_trace_bytes() -> u64 {
+    let lru = traces().lock().expect("unpoisoned");
+    lru.map
+        .values()
+        .filter_map(|slot| slot.cell.get().map(trace_bytes))
+        .sum()
+}
+
+/// Number of materialized trace entries currently cached.
+pub fn resident_trace_entries() -> usize {
+    let lru = traces().lock().expect("unpoisoned");
+    lru.map.values().filter(|s| s.cell.get().is_some()).count()
+}
+
+/// Fetches (or inserts) `key`'s cell and stamps it most-recently-used.
+fn touch(key: Key) -> Cell<Arc<[AccessEvent]>> {
+    let mut lru = traces().lock().expect("unpoisoned");
+    lru.tick += 1;
+    let tick = lru.tick;
+    let slot = lru.map.entry(key).or_insert_with(|| TraceSlot {
+        cell: Cell::default(),
+        stamp: 0,
+    });
+    slot.stamp = tick;
+    Arc::clone(&slot.cell)
+}
+
+/// Drops least-recently-used materialized entries (whole traces, never
+/// partial) until the cache fits the byte budget. `keep` — the entry
+/// the caller just materialized — is never dropped: evicting the trace
+/// being handed out would defeat the sharing the cache exists for.
+fn enforce_budget(keep: &Key) {
+    let Some(budget) = cache_budget() else {
+        return;
+    };
+    let mut lru = traces().lock().expect("unpoisoned");
+    loop {
+        let total: u64 = lru
+            .map
+            .values()
+            .filter_map(|slot| slot.cell.get().map(trace_bytes))
+            .sum();
+        if total <= budget {
+            return;
+        }
+        // Oldest materialized entry other than `keep`. Cells still
+        // generating are skipped: their size is unknown and their
+        // generating thread holds the cell regardless.
+        let victim = lru
+            .map
+            .iter()
+            .filter(|(k, slot)| slot.cell.get().is_some() && *k != keep)
+            .min_by_key(|(_, slot)| slot.stamp)
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(k) => {
+                lru.map.remove(&k);
+            }
+            None => return,
+        }
+    }
+}
+
 /// Returns the `events`-long trace of `spec` at `seed`, generating it at
 /// most once per process. Concurrent callers for the *same* key block
 /// only on that key's generation (the map lock is held just to fetch the
@@ -49,13 +176,62 @@ pub fn shared_trace(spec: &WorkloadSpec, events: usize, seed: u64) -> Arc<[Acces
     if !enabled() {
         return spec.generator(seed).take(events).collect::<Vec<_>>().into();
     }
-    let cell = {
-        let map = TRACES.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = map.lock().expect("unpoisoned");
-        Arc::clone(map.entry(key_of(spec, events, seed)).or_default())
+    let key = key_of(spec, events, seed);
+    let cell = touch(key.clone());
+    let out = cell
+        .get_or_init(|| spec.generator(seed).take(events).collect::<Vec<_>>().into())
+        .clone();
+    enforce_budget(&key);
+    out
+}
+
+/// Returns up to `max_events` events of the `DMNOTRC1` file at `path`,
+/// decoded at most once per process and shared as an `Arc` slice — the
+/// file-backed analogue of [`shared_trace`], letting thousands of
+/// service tenants window one decoded trace. Counts against the same
+/// byte budget (and LRU) as generated traces.
+///
+/// `max_events = 0` means the whole file. Keyed by `(path, max_events)`;
+/// a file that changes on disk mid-process is not re-read.
+pub fn shared_file_trace(
+    path: &Path,
+    max_events: usize,
+) -> Result<Arc<[AccessEvent]>, TraceFileError> {
+    let load = || -> Result<Arc<[AccessEvent]>, TraceFileError> {
+        let mut reader = TraceReader::open(path)?;
+        let want = if max_events == 0 {
+            usize::try_from(reader.events()).unwrap_or(usize::MAX)
+        } else {
+            max_events
+        };
+        let mut events: Vec<AccessEvent> = Vec::new();
+        let mut chunk = Vec::new();
+        for idx in 0..reader.chunk_count() {
+            if events.len() >= want {
+                break;
+            }
+            reader.read_chunk_into(idx, &mut chunk)?;
+            let take = chunk.len().min(want - events.len());
+            events.extend_from_slice(&chunk[..take]);
+        }
+        Ok(events.into())
     };
-    cell.get_or_init(|| spec.generator(seed).take(events).collect::<Vec<_>>().into())
-        .clone()
+    if !enabled() {
+        return load();
+    }
+    let key = (format!("file:{}", path.display()), 0, max_events);
+    let cell = touch(key.clone());
+    // `OnceLock::get_or_init` cannot fail out, so decode before filling:
+    // a read error is returned (and retried next call), never cached.
+    let out = match cell.get() {
+        Some(t) => t.clone(),
+        None => {
+            let fresh = load()?;
+            cell.get_or_init(|| fresh).clone()
+        }
+    };
+    enforce_budget(&key);
+    Ok(out)
 }
 
 /// A tenant's view into a shared base trace: a contiguous window of a
@@ -98,9 +274,24 @@ pub fn shared_tenant_slice(
 ) -> TenantSlice {
     let base_events = base_events.max(events);
     let trace = shared_trace(spec, base_events, seed);
+    tenant_slice_of(trace, seed, tenant, events)
+}
+
+/// Derives tenant `tenant`'s window of an arbitrary shared trace — the
+/// same seeded offset derivation as [`shared_tenant_slice`], for base
+/// traces that are not generated from a spec (e.g. a file-backed trace
+/// from [`shared_file_trace`]). A file cannot be extended, so `events`
+/// is clamped down to the trace length.
+pub fn tenant_slice_of(
+    trace: Arc<[AccessEvent]>,
+    seed: u64,
+    tenant: u64,
+    events: usize,
+) -> TenantSlice {
+    let events = events.min(trace.len());
     let mut rng = SimRng::seed(seed ^ 0x7e6a_5d4c_3b2a_1908);
     let mut rng = rng.fork(tenant);
-    let start = rng.index(base_events - events + 1);
+    let start = rng.index(trace.len() - events + 1);
     TenantSlice {
         trace,
         start,

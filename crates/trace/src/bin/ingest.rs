@@ -1,0 +1,331 @@
+//! `domino-ingest`: create, convert, compress, and verify `DMNOTRC1`
+//! trace files (see `domino_trace::stream` and DESIGN.md §12).
+//!
+//! ```text
+//! domino-ingest synth WORKLOAD --events N [--seed N] [--chunk-events N]
+//!               [--compress] --out FILE
+//! domino-ingest champsim IN.champsim OUT.dmno [--chunk-events N] [--compress]
+//! domino-ingest export-champsim IN.dmno OUT.champsim
+//! domino-ingest compress IN.dmno OUT.dmno
+//! domino-ingest inspect FILE
+//! domino-ingest verify FILE [FILE2]
+//! domino-ingest list-workloads
+//! ```
+//!
+//! `verify` decodes every chunk (digest-checked) and, given a second file,
+//! additionally requires both to decode to the identical event sequence —
+//! the raw-vs-compressed cross-check the ingest smoke stage runs.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use domino_trace::stream::{
+    format::write_trace_file, read_champsim, write_champsim, ChampSimRecord, Codec, TraceReader,
+    TraceWriter, DEFAULT_CHUNK_EVENTS, RECORD_BYTES,
+};
+use domino_trace::workload::{catalog, WorkloadSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: domino-ingest synth WORKLOAD --events N [--seed N] [--chunk-events N]\n\
+         \x20                    [--compress] --out FILE\n\
+         \x20      domino-ingest champsim IN.champsim OUT.dmno [--chunk-events N] [--compress]\n\
+         \x20      domino-ingest export-champsim IN.dmno OUT.champsim\n\
+         \x20      domino-ingest compress IN.dmno OUT.dmno\n\
+         \x20      domino-ingest inspect FILE\n\
+         \x20      domino-ingest verify FILE [FILE2]\n\
+         \x20      domino-ingest list-workloads"
+    );
+    ExitCode::FAILURE
+}
+
+/// Case/spacing-insensitive workload lookup: `oltp`, `web-search`,
+/// `"Web Search"` all resolve.
+fn find_workload(name: &str) -> Option<WorkloadSpec> {
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect::<String>()
+    };
+    let want = norm(name);
+    catalog::all().into_iter().find(|w| norm(&w.name) == want)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("domino-ingest: error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn synth(args: &[String]) -> ExitCode {
+    let mut it = args.iter();
+    let Some(workload) = it.next() else {
+        return usage();
+    };
+    let Some(spec) = find_workload(workload) else {
+        let names = catalog::all()
+            .iter()
+            .map(|w| w.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ");
+        return fail(format!("unknown workload {workload:?}; one of: {names}"));
+    };
+    let mut events: Option<u64> = None;
+    let mut seed = 42u64;
+    let mut chunk_events = DEFAULT_CHUNK_EVENTS;
+    let mut codec = Codec::Raw;
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => events = Some(v),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--chunk-events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => chunk_events = v,
+                _ => return usage(),
+            },
+            "--compress" => codec = Codec::Sequitur,
+            "--out" => match it.next() {
+                Some(f) => out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(events), Some(out)) = (events, out) else {
+        return usage();
+    };
+    let mut writer = match TraceWriter::create(&out, chunk_events, codec) {
+        Ok(w) => w,
+        Err(e) => return fail(e),
+    };
+    let mut gen = spec.generator(seed);
+    for _ in 0..events {
+        let ev = gen.next().expect("workload generators are infinite");
+        if let Err(e) = writer.push(ev) {
+            return fail(e);
+        }
+    }
+    match writer.finish() {
+        Ok(summary) => {
+            println!(
+                "wrote {}: {} events, {} chunks, {} bytes ({} codec, {:.2} bytes/event)",
+                out.display(),
+                summary.events,
+                summary.chunks,
+                summary.file_bytes,
+                codec.label(),
+                summary.file_bytes as f64 / summary.events.max(1) as f64,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn reencode(input: &Path, output: &Path, chunk_events: Option<u32>, codec: Codec) -> ExitCode {
+    let mut reader = match TraceReader::open(input) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let chunk_events = chunk_events.unwrap_or_else(|| reader.chunk_events());
+    let mut writer = match TraceWriter::create(output, chunk_events, codec) {
+        Ok(w) => w,
+        Err(e) => return fail(e),
+    };
+    let mut chunk = Vec::new();
+    for idx in 0..reader.chunk_count() {
+        if let Err(e) = reader.read_chunk_into(idx, &mut chunk) {
+            return fail(e);
+        }
+        if let Err(e) = writer.write_events(&chunk) {
+            return fail(e);
+        }
+    }
+    match writer.finish() {
+        Ok(summary) => {
+            let raw_bytes = summary.events * RECORD_BYTES as u64;
+            println!(
+                "wrote {}: {} events, {} chunks, {} bytes ({} codec, {:.1}% of raw)",
+                output.display(),
+                summary.events,
+                summary.chunks,
+                summary.file_bytes,
+                codec.label(),
+                100.0 * summary.file_bytes as f64 / raw_bytes.max(1) as f64,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn champsim_import(args: &[String]) -> ExitCode {
+    let mut it = args.iter();
+    let (Some(input), Some(output)) = (it.next(), it.next()) else {
+        return usage();
+    };
+    let mut chunk_events = DEFAULT_CHUNK_EVENTS;
+    let mut codec = Codec::Raw;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chunk-events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => chunk_events = v,
+                _ => return usage(),
+            },
+            "--compress" => codec = Codec::Sequitur,
+            _ => return usage(),
+        }
+    }
+    let file = match File::open(input) {
+        Ok(f) => f,
+        Err(e) => return fail(format!("{input}: {e}")),
+    };
+    let records = match read_champsim(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let events: Vec<_> = records.iter().map(|r| r.to_event()).collect();
+    match write_trace_file(Path::new(output.as_str()), &events, chunk_events, codec) {
+        Ok(summary) => {
+            println!(
+                "imported {} champsim records -> {}: {} chunks, {} bytes",
+                records.len(),
+                output,
+                summary.chunks,
+                summary.file_bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn champsim_export(input: &str, output: &str) -> ExitCode {
+    let mut reader = match TraceReader::open(Path::new(input)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let sink = match File::create(output) {
+        Ok(f) => BufWriter::new(f),
+        Err(e) => return fail(format!("{output}: {e}")),
+    };
+    let mut sink = sink;
+    let mut chunk = Vec::new();
+    let mut records = Vec::new();
+    let mut total = 0u64;
+    for idx in 0..reader.chunk_count() {
+        if let Err(e) = reader.read_chunk_into(idx, &mut chunk) {
+            return fail(e);
+        }
+        records.clear();
+        records.extend(chunk.iter().map(ChampSimRecord::from_event));
+        if let Err(e) = write_champsim(&mut sink, &records) {
+            return fail(e);
+        }
+        total += records.len() as u64;
+    }
+    println!("exported {total} champsim records -> {output}");
+    ExitCode::SUCCESS
+}
+
+fn inspect(path: &str) -> ExitCode {
+    let reader = match TraceReader::open(Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let raw_bytes = reader.events() * RECORD_BYTES as u64;
+    let payload = reader.payload_bytes();
+    println!("{path}:");
+    println!("  codec          {}", reader.codec().label());
+    println!("  events         {}", reader.events());
+    println!("  chunk_events   {}", reader.chunk_events());
+    println!("  chunks         {}", reader.chunk_count());
+    println!("  payload bytes  {payload}");
+    println!(
+        "  vs raw         {:.1}%",
+        100.0 * payload as f64 / raw_bytes.max(1) as f64
+    );
+    let show = reader.chunk_count().min(4);
+    for idx in 0..show {
+        println!(
+            "  chunk {idx}: {} events, {} bytes",
+            reader.chunk_len(idx),
+            reader.chunk_bytes(idx)
+        );
+    }
+    if reader.chunk_count() > show {
+        println!("  ... {} more chunks", reader.chunk_count() - show);
+    }
+    ExitCode::SUCCESS
+}
+
+fn verify(paths: &[String]) -> ExitCode {
+    let mut decoded: Vec<Vec<domino_trace::AccessEvent>> = Vec::new();
+    for path in paths {
+        let mut reader = match TraceReader::open(Path::new(path)) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("{path}: {e}")),
+        };
+        match reader.read_all() {
+            Ok(events) => {
+                println!(
+                    "{path}: OK — {} events in {} chunks, all digests verified",
+                    events.len(),
+                    reader.chunk_count()
+                );
+                decoded.push(events);
+            }
+            Err(e) => return fail(format!("{path}: {e}")),
+        }
+    }
+    if decoded.len() == 2 {
+        if decoded[0] != decoded[1] {
+            return fail("files decode to different event sequences");
+        }
+        println!("both files decode to the identical event sequence");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "synth" => synth(rest),
+        "champsim" => champsim_import(rest),
+        "export-champsim" => match rest {
+            [input, output] => champsim_export(input, output),
+            _ => usage(),
+        },
+        "compress" => match rest {
+            [input, output] => reencode(Path::new(input), Path::new(output), None, Codec::Sequitur),
+            _ => usage(),
+        },
+        "inspect" => match rest {
+            [path] => inspect(path),
+            _ => usage(),
+        },
+        "verify" => match rest {
+            paths @ ([_] | [_, _]) => verify(paths),
+            _ => usage(),
+        },
+        "list-workloads" => {
+            for w in catalog::all() {
+                println!("{}", w.name);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -38,6 +38,7 @@ pub mod io;
 pub mod reuse;
 pub mod rng;
 pub mod stats;
+pub mod stream;
 pub mod workload;
 
 pub use addr::{Addr, LineAddr, Pc, LINE_BYTES};
@@ -46,4 +47,5 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use reuse::ReuseProfile;
 pub use rng::SimRng;
 pub use stats::TraceStats;
+pub use stream::{Codec, EventSource, FileSource, SliceSource, TraceFileError};
 pub use workload::{WorkloadGenerator, WorkloadSpec};

@@ -188,3 +188,201 @@ fn empty_trace_reports_zeros() {
         assert_eq!(tim.instructions, 0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Malformed `DMNOTRC1` inputs: every way a trace file can be broken —
+// empty, truncated mid-header, wrong magic, torn final record,
+// misaligned chunk index, flipped payload bytes, an unfinished writer —
+// must surface as a clear `TraceFileError`, never a panic, through both
+// the validating reader and the streaming file source.
+
+use std::io::Cursor;
+
+use domino_trace::stream::{
+    Codec, EventSource, FileSource, TraceFileError, TraceReader, TraceWriter,
+};
+use domino_trace::workload::catalog;
+
+/// A sealed in-memory trace: 100 events in 7-event chunks (the last
+/// chunk short), as raw bytes ready for surgery.
+fn sealed_trace_bytes(codec: Codec) -> Vec<u8> {
+    let events: Vec<AccessEvent> = catalog::oltp().generator(0xDE6E).take(100).collect();
+    let path = std::env::temp_dir().join(format!(
+        "domino-degenerate-{}-{}.dmno",
+        std::process::id(),
+        codec.label()
+    ));
+    let mut writer = TraceWriter::create(&path, 7, codec).expect("create");
+    writer.write_events(&events).expect("write");
+    writer.finish().expect("finish");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn open_err(bytes: Vec<u8>) -> TraceFileError {
+    match TraceReader::new(Cursor::new(bytes)) {
+        Ok(_) => panic!("malformed trace bytes validated cleanly"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn empty_file_is_a_truncated_header() {
+    let err = open_err(Vec::new());
+    assert!(
+        matches!(err, TraceFileError::TruncatedHeader { len: 0 }),
+        "{err}"
+    );
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn truncated_header_is_reported_at_every_cut() {
+    let good = sealed_trace_bytes(Codec::Raw);
+    for cut in [1usize, 7, 8, 16, 39] {
+        let err = open_err(good[..cut].to_vec());
+        match err {
+            TraceFileError::TruncatedHeader { len } => assert_eq!(len, cut as u64),
+            // Cuts shorter than the magic may also legitimately read as
+            // a bad magic; anything else is wrong.
+            TraceFileError::BadMagic { .. } => assert!(cut < 8, "cut {cut}: {err}"),
+            other => panic!("cut {cut}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_with_the_found_bytes() {
+    let mut bytes = sealed_trace_bytes(Codec::Raw);
+    bytes[0..8].copy_from_slice(b"NOTADMNO");
+    let err = open_err(bytes);
+    match err {
+        TraceFileError::BadMagic { found } => assert_eq!(&found, b"NOTADMNO"),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn torn_final_record_is_detected_from_the_index() {
+    let mut bytes = sealed_trace_bytes(Codec::Raw);
+    // Shrink the last index entry's byte_len by one byte: the chunk no
+    // longer holds a whole number of 24-byte records for its indexed
+    // event count.
+    let index_offset = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")) as usize;
+    let entries = (bytes.len() - index_offset) / 32;
+    let last = index_offset + (entries - 1) * 32;
+    let byte_len = u64::from_le_bytes(bytes[last + 8..last + 16].try_into().expect("8 bytes"));
+    bytes[last + 8..last + 16].copy_from_slice(&(byte_len - 1).to_le_bytes());
+    let err = open_err(bytes);
+    match err {
+        TraceFileError::TornRecord {
+            chunk,
+            byte_len: torn,
+        } => {
+            assert_eq!(chunk, entries - 1);
+            assert_eq!(torn, byte_len - 1);
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn misaligned_index_offset_is_rejected_in_both_directions() {
+    for (codec, delta) in [(Codec::Raw, 1i64), (Codec::Raw, -1), (Codec::Sequitur, 1)] {
+        let mut bytes = sealed_trace_bytes(codec);
+        let index_offset = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+        let skewed = index_offset.wrapping_add_signed(delta);
+        bytes[32..40].copy_from_slice(&skewed.to_le_bytes());
+        let err = open_err(bytes);
+        assert!(
+            matches!(err, TraceFileError::BadIndex { .. }),
+            "{} offset {delta:+}: unexpected error {err}",
+            codec.label()
+        );
+    }
+}
+
+#[test]
+fn unfinished_writer_leaves_a_rejected_file() {
+    // A crashed writer never rewrites the header, so index_offset is 0.
+    let mut bytes = sealed_trace_bytes(Codec::Raw);
+    bytes[16..40].copy_from_slice(&[0u8; 24][..]);
+    bytes[24..28].copy_from_slice(&7u32.to_le_bytes()); // chunk_events stays valid
+    let err = open_err(bytes);
+    assert!(matches!(err, TraceFileError::BadIndex { .. }), "{err}");
+}
+
+#[test]
+fn flipped_payload_bytes_fail_the_chunk_digest() {
+    for codec in [Codec::Raw, Codec::Sequitur] {
+        let mut bytes = sealed_trace_bytes(codec);
+        // Flip one bit inside the first chunk's first record image (a
+        // pc byte, so the record still decodes) and stream the file:
+        // the digest check must catch it.
+        bytes[41] ^= 0x01;
+        let mut reader = TraceReader::new(Cursor::new(bytes)).expect("header/index intact");
+        let mut out = Vec::new();
+        let mut saw_error = false;
+        for idx in 0..reader.chunk_count() {
+            if let Err(err) = reader.read_chunk_into(idx, &mut out) {
+                assert!(
+                    matches!(
+                        err,
+                        TraceFileError::DigestMismatch { chunk: 0, .. }
+                            | TraceFileError::BadGrammar { chunk: 0, .. }
+                            | TraceFileError::BadRecord { chunk: 0, .. }
+                    ),
+                    "{}: unexpected error {err}",
+                    codec.label()
+                );
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(
+            saw_error,
+            "{}: corrupted chunk decoded cleanly",
+            codec.label()
+        );
+    }
+}
+
+#[test]
+fn file_source_propagates_malformed_files_without_panicking() {
+    let path = std::env::temp_dir().join(format!(
+        "domino-degenerate-source-{}.dmno",
+        std::process::id()
+    ));
+    // Not a trace at all.
+    std::fs::write(&path, b"NOTADMNO-and-then-some-garbage-bytes").expect("write junk");
+    match FileSource::open(&path) {
+        Ok(_) => panic!("junk file opened as a trace"),
+        Err(TraceFileError::BadMagic { .. }) => {}
+        Err(other) => panic!("unexpected error {other}"),
+    }
+    // Valid header/index but a corrupted payload: the error must arrive
+    // through next_chunk, from the read-ahead thread, not a panic.
+    let mut bytes = sealed_trace_bytes(Codec::Raw);
+    bytes[41] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corrupted trace");
+    let mut source = FileSource::open(&path).expect("header and index are intact");
+    let mut chunk = Vec::new();
+    let mut saw_error = false;
+    loop {
+        match source.next_chunk(&mut chunk) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(err) => {
+                assert!(
+                    matches!(err, TraceFileError::DigestMismatch { .. }),
+                    "unexpected error {err}"
+                );
+                saw_error = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_error, "corrupted payload streamed cleanly");
+    std::fs::remove_file(&path).ok();
+}

@@ -4,7 +4,7 @@ the committed baseline.
 
 Usage: bench_guard.py BASELINE_JSON FRESH_JSON
 
-Both files must be `domino-bench-sweep/2` documents (written by
+Both files must be `domino-bench-sweep/3` documents (written by
 `cargo run --release --example figures`). The guard refuses to compare
 runs from different configurations (events per workload or batch size
 mismatch) — a cross-config ratio is meaningless, not merely noisy. It
@@ -12,9 +12,16 @@ fails (exit 1) if any figure's replay throughput (`events_per_sec`) in
 the fresh run drops more than the threshold below the committed
 baseline, and applies the same rule to each point of the jobs-scaling
 curve that the fresh host can actually drive (fresh `host_cores` >=
-the point's job count; oversubscribed points are reported but skipped).
-Failure messages carry both throughput numbers so a regression is
-diagnosable from the log alone. Skip the guard entirely with
+the point's job count; oversubscribed points are reported but skipped)
+and to each streaming-throughput source. The streaming section is also
+held to two absolute invariants measured on the fresh run itself: the
+raw file-backed stream must reach at least STREAM_RATIO of the
+cached-slice throughput (the out-of-core acceptance bound — skipped on
+single-core hosts, where the read-ahead thread cannot overlap the
+simulation and the ratio would measure the scheduler), and every
+source's peak resident trace bytes must stay within its declared
+budget. Failure messages carry both throughput numbers so a regression
+is diagnosable from the log alone. Skip the guard entirely with
 DOMINO_SKIP_BENCH_GUARD=1 in `tools/check.sh` (e.g. on loaded CI
 machines or foreign hardware where the committed numbers do not apply).
 """
@@ -26,7 +33,12 @@ import sys
 # tight enough to catch a real regression in the event loop.
 THRESHOLD = 0.25
 
-SCHEMA = "domino-bench-sweep/2"
+# Minimum file-streamed/cached throughput ratio on the fresh run: the
+# double-buffered read-ahead must keep out-of-core replay within 10% of
+# the in-memory slice.
+STREAM_RATIO = 0.90
+
+SCHEMA = "domino-bench-sweep/3"
 
 
 def load(path):
@@ -47,6 +59,51 @@ def scaling_map(data):
         (p["figure"], int(p["jobs"])): float(p["events_per_sec"])
         for p in data.get("scaling", [])
     }
+
+
+def streaming_map(data):
+    return {s["source"]: s for s in data.get("streaming", [])}
+
+
+def check_streaming_invariants(fresh):
+    """Absolute bounds on the fresh run's streaming section, independent
+    of the committed baseline: streamed/cached ratio and memory budget."""
+    streaming = streaming_map(fresh)
+    failed = []
+    for source, s in sorted(streaming.items()):
+        peak, budget = int(s["peak_resident_bytes"]), int(s["budget_bytes"])
+        if peak > budget:
+            failed.append(
+                f"streaming {source}: peak resident {peak} bytes exceeds the "
+                f"declared budget {budget}"
+            )
+    ratio = fresh.get("stream_file_vs_cached_ratio")
+    if ratio is not None:
+        # Measured by the sweep itself from temporally adjacent passes,
+        # so host frequency drift between runs cancels out. The floor
+        # presumes the read-ahead thread can actually run beside the
+        # consumer; on a single-core host decode time-slices with the
+        # simulation and the ratio measures the scheduler (same policy
+        # as oversubscribed scaling points).
+        ratio = float(ratio)
+        if int(fresh.get("host_cores", 1)) < 2:
+            print(
+                f"    streamed/cached ratio {ratio:.2f}x  "
+                f"skipped (single-core host cannot overlap decode)"
+            )
+        else:
+            verdict = "ok" if ratio >= STREAM_RATIO else "REGRESSED"
+            print(
+                f"    streamed/cached ratio {ratio:.2f}x "
+                f"(floor {STREAM_RATIO:.2f}x)  {verdict}"
+            )
+            if ratio < STREAM_RATIO:
+                failed.append(
+                    f"streaming file: out-of-core replay reached only "
+                    f"{ratio:.2f}x of the cached-slice throughput "
+                    f"(floor {STREAM_RATIO:.2f}x)"
+                )
+    return failed
 
 
 def check_same_config(baseline, fresh):
@@ -130,6 +187,26 @@ def main():
                 pairs.append((name, eps, fresh_scaling.get((figure, jobs)), None))
         print()
         failed += compare("scaling point", pairs)
+
+    base_streaming = streaming_map(baseline)
+    if base_streaming:
+        fresh_streaming = streaming_map(fresh)
+        pairs = [
+            (
+                f"stream:{source}",
+                float(s["events_per_sec"]),
+                (
+                    float(fresh_streaming[source]["events_per_sec"])
+                    if source in fresh_streaming
+                    else None
+                ),
+                None,
+            )
+            for source, s in sorted(base_streaming.items())
+        ]
+        print()
+        failed += compare("streaming", pairs)
+    failed += check_streaming_invariants(fresh)
 
     if failed:
         print()

@@ -123,6 +123,18 @@ if [ "${1:-}" != "--fast" ]; then
             --events 1200 --out check-failures
     fi
 
+    mark stream-parity
+    echo "==> streamed-vs-cached parity (DOMINO_SKIP_CHECK=1 to skip)"
+    if [ "${DOMINO_SKIP_CHECK:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_CHECK=1)"
+    else
+        # Every roster system, both engines, raw and Sequitur-compressed
+        # DMNOTRC1 files: replay through the double-buffered file source
+        # must be byte-identical to the cached-slice runs.
+        cargo run --release -q -p domino-check -- --stream-parity \
+            --events 800 --out check-failures
+    fi
+
     mark service-smoke
     echo "==> metadata service smoke (DOMINO_SKIP_SERVICE=1 to skip)"
     if [ "${DOMINO_SKIP_SERVICE:-0}" = "1" ]; then
@@ -176,6 +188,40 @@ if [ "${1:-}" != "--fast" ]; then
             exit 1
         fi
         echo "    breach exit verified (--slo 'p99_ns<=1' failed as required)"
+    fi
+
+    mark ingest-smoke
+    echo "==> trace ingestion smoke (DOMINO_SKIP_INGEST=1 to skip)"
+    if [ "${DOMINO_SKIP_INGEST:-0}" = "1" ]; then
+        echo "    skipped (DOMINO_SKIP_INGEST=1)"
+    else
+        # Synthesize a DMNOTRC1 trace, re-encode it under the Sequitur
+        # codec, digest-verify both files decode identically, round-trip
+        # through the ChampSim adapter, replay the file through the
+        # service load generator, and cross-check the format with the
+        # independent stdlib-Python reimplementation.
+        ingest_dir=$(mktemp -d)
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "${check_dir:-}" "${service_dir:-}" "${obs_dir:-}" "$ingest_dir"' EXIT
+        ingest() { cargo run --release -q -p domino-trace --bin domino-ingest -- "$@"; }
+        ingest synth oltp --events 30000 --chunk-events 1000 \
+            --out "$ingest_dir/oltp.dmno"
+        ingest compress "$ingest_dir/oltp.dmno" "$ingest_dir/oltp.seq.dmno"
+        ingest verify "$ingest_dir/oltp.dmno" "$ingest_dir/oltp.seq.dmno"
+        ingest export-champsim "$ingest_dir/oltp.dmno" "$ingest_dir/oltp.champsim"
+        ingest champsim "$ingest_dir/oltp.champsim" "$ingest_dir/oltp2.dmno"
+        ingest export-champsim "$ingest_dir/oltp2.dmno" "$ingest_dir/oltp2.champsim"
+        cmp "$ingest_dir/oltp.champsim" "$ingest_dir/oltp2.champsim"
+        cargo run --release -q -p domino-service --bin domino-serve -- \
+            --tenants 64 --events 120 --batch 32 --shards 2 --clients 2 \
+            --trace-file "$ingest_dir/oltp.seq.dmno" --base-events 30000 \
+            --out "$ingest_dir/SERVICE_report.json"
+        if command -v python3 >/dev/null 2>&1; then
+            python3 tools/validate_ingest.py \
+                "$ingest_dir/oltp.dmno" "$ingest_dir/oltp.seq.dmno"
+            python3 tools/validate_service.py "$ingest_dir/SERVICE_report.json"
+        else
+            echo "    (python3 not found; skipping ingest format validation)"
+        fi
     fi
 fi
 
