@@ -150,6 +150,8 @@ fn main() -> ExitCode {
             System::Digram,
             System::Domino,
             System::VldpPlusDomino,
+            System::Pangloss,
+            System::Triangel,
         ];
     }
     if self_test {

@@ -17,7 +17,11 @@
 //! structure and its [`crate::reference`] model side by side, comparing
 //! every return value. Op choice and operands come only from the event
 //! index and line address, so shrinking the trace shrinks the op
-//! stream.
+//! stream. Beyond the memory-system structures, this tier also steps
+//! the optimized rival prefetchers (Pangloss, Triangel) against their
+//! obviously-correct reference models over tiny folded configurations,
+//! comparing every trigger's predictions, replacements, metadata
+//! membership, and the final counters.
 //!
 //! Tier 3 (**invariant audit**, inside [`check_system_trace`]): one
 //! telemetry-observed coverage run checks flight-recorder bucket
@@ -54,8 +58,10 @@ use std::time::Instant;
 
 use domino::eit::{Eit, EitConfig};
 use domino_mem::cache::{CacheConfig, Replacement, SetAssocCache};
+use domino_mem::interface::{CollectSink, Prefetcher, TriggerEvent};
 use domino_mem::mshr::MshrFile;
 use domino_mem::prefetch_buffer::PrefetchBuffer;
+use domino_prefetchers::{Pangloss, PanglossConfig, Triangel, TriangelConfig};
 use domino_service::{BatchRequest, MetadataService, ObsConfig, OverloadPolicy, ServiceConfig};
 use domino_sim::config::SystemConfig;
 use domino_sim::engine::{
@@ -71,7 +77,10 @@ use domino_trace::addr::{LineAddr, LINE_BYTES};
 use domino_trace::event::AccessEvent;
 use domino_trace::stream::{write_trace_file, Codec, FileSource};
 
-use crate::reference::{ReferenceBuffer, ReferenceCache, ReferenceEit, ReferenceMshr};
+use crate::reference::{
+    RefTriangelParams, ReferenceBuffer, ReferenceCache, ReferenceEit, ReferenceMshr,
+    ReferencePangloss, ReferenceTriangel,
+};
 
 /// Prefetch degree used for every checked system.
 pub const DEGREE: usize = 4;
@@ -150,7 +159,9 @@ pub fn check_reference_models(trace: &[AccessEvent]) -> Result<(), Violation> {
     eit_model(trace)?;
     mshr_model(trace)?;
     buffer_model(trace)?;
-    cache_model(trace)
+    cache_model(trace)?;
+    pangloss_model(trace)?;
+    triangel_model(trace)
 }
 
 /// Every oracle: tier 1 and 3 for `sys`, then the tier-2 models.
@@ -1171,6 +1182,187 @@ fn cache_model(trace: &[AccessEvent]) -> Result<(), Violation> {
             "{replacement:?}: final hit/miss counters"
         );
     }
+    Ok(())
+}
+
+/// Compares one trigger's production sink against a reference step:
+/// same predicted lines, same replacements, all-immediate requests, and
+/// zero off-chip metadata traffic (both rivals are on-chip designs).
+fn check_rival_step(
+    oracle: &'static str,
+    i: usize,
+    line: LineAddr,
+    sink: &CollectSink,
+    predicted: &[LineAddr],
+    replaced: &[LineAddr],
+) -> Result<(), Violation> {
+    let issued: Vec<LineAddr> = sink.requests.iter().map(|r| r.line).collect();
+    ensure_eq!(
+        oracle,
+        issued,
+        predicted,
+        "op {i}: predictions for {}",
+        line.raw()
+    );
+    ensure_eq!(
+        oracle,
+        sink.replaced,
+        replaced,
+        "op {i}: replacements for {}",
+        line.raw()
+    );
+    if let Some(r) = sink
+        .requests
+        .iter()
+        .find(|r| r.delay_trips != 0 || r.stream.is_some())
+    {
+        return Err(violation(
+            oracle,
+            format!("op {i}: on-chip rival issued a delayed or stream-tagged request: {r:?}"),
+        ));
+    }
+    ensure_eq!(
+        oracle,
+        (sink.meta_read_blocks, sink.meta_write_blocks),
+        (0u64, 0u64),
+        "op {i}: off-chip metadata traffic from an on-chip rival"
+    );
+    Ok(())
+}
+
+/// Collects a prefetcher's counters into an ordered name/value list.
+fn collect_counters(p: &dyn Prefetcher) -> Vec<(String, u64)> {
+    let mut counters = Vec::new();
+    let mut sink = |name: &str, value: u64| counters.push((name.to_string(), value));
+    p.emit_counters(&mut sink);
+    counters
+}
+
+/// Tier 2: the slab-backed Pangloss vs the positional-`Vec` reference.
+///
+/// A tiny table (2 × 2, fan-out 2) over lines folded into a 13-line pool
+/// keeps every set full and frequency ties constant, so edge and entry
+/// victim selection are exercised on every generator family at smoke
+/// scale. Every trigger compares predictions, replacements, and
+/// `knows_line`; the run ends on a full counter comparison.
+fn pangloss_model(trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "pangloss_model";
+    let mut prod = Pangloss::new(PanglossConfig {
+        sets: 2,
+        ways: 2,
+        fanout: 2,
+        degree: 2,
+    });
+    let mut model = ReferencePangloss::new(2, 2, 2, 2);
+    let mut sink = CollectSink::new();
+    for (i, ev) in trace.iter().enumerate() {
+        let line = LineAddr::new(ev.line().raw() % 13);
+        let event = if i % 5 == 3 {
+            TriggerEvent::prefetch_hit(ev.pc, line)
+        } else {
+            TriggerEvent::miss(ev.pc, line)
+        };
+        sink.clear();
+        prod.on_trigger(&event, &mut sink);
+        let out = model.step(&event);
+        check_rival_step(O, i, line, &sink, &out.predicted, &out.replaced)?;
+        ensure_eq!(
+            O,
+            prod.knows_line(line),
+            model.knows_line(line),
+            "op {i}: knows_line({})",
+            line.raw()
+        );
+        if i % 7 == 0 {
+            let probe = LineAddr::new((ev.line().raw() + i as u64) % 13);
+            ensure_eq!(
+                O,
+                prod.knows_line(probe),
+                model.knows_line(probe),
+                "op {i}: probe knows_line({})",
+                probe.raw()
+            );
+        }
+    }
+    let expected: Vec<(String, u64)> = model
+        .counters()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    ensure_eq!(O, collect_counters(&prod), expected, "final counters");
+    Ok(())
+}
+
+/// Tier 2: the slab-backed Triangel vs the positional-`Vec` reference.
+///
+/// Lines fold into an 11-line pool and PCs into 3, with sample-everything
+/// and a usefulness threshold of 1, so sampler reuse, the train gate, the
+/// timeliness deepening, and history eviction all trip within a smoke
+/// trace. Every fifth trigger is a prefetch hit, exercising the
+/// miss-only sampler gate.
+fn triangel_model(trace: &[AccessEvent]) -> Result<(), Violation> {
+    const O: &str = "triangel_model";
+    let mut prod = Triangel::new(TriangelConfig {
+        hist_sets: 2,
+        hist_ways: 2,
+        sampler_sets: 2,
+        sampler_ways: 2,
+        max_pcs: 4,
+        train_threshold: 1,
+        deep_threshold: 2,
+        timely_distance: 4,
+        degree: 2,
+        sample_shift: 0,
+    });
+    let mut model = ReferenceTriangel::new(RefTriangelParams {
+        hist_sets: 2,
+        hist_ways: 2,
+        sampler_sets: 2,
+        sampler_ways: 2,
+        max_pcs: 4,
+        train_threshold: 1,
+        deep_threshold: 2,
+        timely_distance: 4,
+        degree: 2,
+        sample_shift: 0,
+    });
+    let mut sink = CollectSink::new();
+    for (i, ev) in trace.iter().enumerate() {
+        let line = LineAddr::new(ev.line().raw() % 11);
+        let pc = domino_trace::addr::Pc::new(ev.pc.raw() % 3);
+        let event = if i % 5 == 3 {
+            TriggerEvent::prefetch_hit(pc, line)
+        } else {
+            TriggerEvent::miss(pc, line)
+        };
+        sink.clear();
+        prod.on_trigger(&event, &mut sink);
+        let out = model.step(&event);
+        check_rival_step(O, i, line, &sink, &out.predicted, &out.replaced)?;
+        ensure_eq!(
+            O,
+            prod.knows_line(line),
+            model.knows_line(line),
+            "op {i}: knows_line({})",
+            line.raw()
+        );
+        if i % 7 == 0 {
+            let probe = LineAddr::new((ev.line().raw() + i as u64) % 11);
+            ensure_eq!(
+                O,
+                prod.knows_line(probe),
+                model.knows_line(probe),
+                "op {i}: probe knows_line({})",
+                probe.raw()
+            );
+        }
+    }
+    let expected: Vec<(String, u64)> = model
+        .counters()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    ensure_eq!(O, collect_counters(&prod), expected, "final counters");
     Ok(())
 }
 

@@ -1,6 +1,6 @@
 //! Proof that the oracles have teeth: known bugs, injected and caught.
 //!
-//! Seven mutations live in the production crates behind
+//! Nine mutations live in the production crates behind
 //! `#[cfg(domino_mutate)]`, each selected at runtime by the
 //! `DOMINO_MUTATE` environment variable. The self-test re-executes the
 //! current binary in `--smoke` mode once per mutation (plus one clean
@@ -26,7 +26,7 @@ pub struct Mutation {
 }
 
 /// Every injected mutation, with its catching oracle.
-pub const MUTATIONS: [Mutation; 7] = [
+pub const MUTATIONS: [Mutation; 9] = [
     Mutation {
         name: "eit_skip_promotion",
         oracle: "eit_model",
@@ -61,6 +61,16 @@ pub const MUTATIONS: [Mutation; 7] = [
         name: "batch_stale_contains",
         oracle: "batched_vs_scalar",
         what: "batched L1 membership probes read stale chunk-end state",
+    },
+    Mutation {
+        name: "pangloss_victim_tiebreak",
+        oracle: "pangloss_model",
+        what: "Pangloss edge victim ties break to the newest edge instead of the oldest",
+    },
+    Mutation {
+        name: "triangel_sampler_off_by_one",
+        oracle: "triangel_model",
+        what: "Triangel usefulness gate is off by one (> instead of >=)",
     },
 ];
 
@@ -158,6 +168,8 @@ mod tests {
             "mshr_model",
             "buffer_model",
             "cache_model",
+            "pangloss_model",
+            "triangel_model",
         ];
         for m in MUTATIONS {
             assert!(known.contains(&m.oracle), "unknown oracle {}", m.oracle);

@@ -30,9 +30,30 @@
 //!   beyond the paper, motivated by its Figure-13 overprediction
 //!   analysis).
 //!
+//! Beyond the paper's own comparison set, two *post-Domino* rivals
+//! (ROADMAP item 1) make the evaluation a modern head-to-head:
+//!
+//! * [`pangloss`] — Pangloss (DPC-3 2019): an on-chip Markov chain with
+//!   compressed per-entry transition tables, bounded fan-out, and
+//!   frequency-based victim selection;
+//! * [`triangel`] — Triangel (ISCA 2024): on-chip temporal prefetching
+//!   with a PC-indexed sampler whose reuse/timeliness measurements gate
+//!   training and pick the prefetch depth per PC.
+//!
 //! All of them implement [`domino_mem::Prefetcher`], as does the Domino
 //! prefetcher in the `domino` crate, so the evaluation engine treats them
 //! uniformly.
+
+/// Whether the named checker self-test mutation is active. The hooks are
+/// compiled in only under `--cfg domino_mutate`; the selected mutation
+/// comes from the `DOMINO_MUTATE` environment variable, so one mutant
+/// binary can replay every known bug.
+#[cfg(domino_mutate)]
+pub(crate) fn mutate_active(name: &str) -> bool {
+    std::env::var("DOMINO_MUTATE")
+        .map(|v| v == name)
+        .unwrap_or(false)
+}
 
 pub mod adaptive;
 pub mod composite;
@@ -43,9 +64,11 @@ pub mod isb;
 pub mod markov;
 pub mod nextline;
 pub mod ngram;
+pub mod pangloss;
 pub mod sms;
 pub mod stms;
 pub mod stride;
+pub mod triangel;
 pub mod vldp;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveDegree};
@@ -57,7 +80,9 @@ pub use isb::Isb;
 pub use markov::{Markov, MarkovConfig};
 pub use nextline::NextLine;
 pub use ngram::{LookupAnalyzer, LookupDepthStats, MultiDepthPrefetcher};
+pub use pangloss::{Pangloss, PanglossConfig};
 pub use sms::{Sms, SmsConfig};
 pub use stms::Stms;
 pub use stride::StridePrefetcher;
+pub use triangel::{Triangel, TriangelConfig};
 pub use vldp::{Vldp, VldpConfig};

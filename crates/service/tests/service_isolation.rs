@@ -44,12 +44,15 @@ fn tenant_trace(base: &[AccessEvent], t: u64) -> Arc<[AccessEvent]> {
 
 /// Interleaves every tenant's stream through `service` in small
 /// non-divisor batches, round-robin, preserving per-tenant order.
-fn submit_interleaved(
+/// `systems[t]` is tenant `t`'s prefetcher, so heterogeneous rosters
+/// can share a shard.
+fn submit_interleaved_mixed(
     service: &MetadataService,
-    system: System,
+    systems: &[System],
     streams: &[Arc<[AccessEvent]>],
     batch: usize,
 ) {
+    assert_eq!(systems.len(), streams.len());
     let client = service.client();
     let mut cursors = vec![0usize; streams.len()];
     let mut live = streams.len();
@@ -68,7 +71,7 @@ fn submit_interleaved(
             }
             client.submit(BatchRequest {
                 tenant: t as u64,
-                system,
+                system: systems[t],
                 trace: Arc::clone(&streams[t]),
                 base: 0,
                 len: len as u32,
@@ -79,6 +82,16 @@ fn submit_interleaved(
             });
         }
     }
+}
+
+/// The homogeneous form: every tenant runs the same system.
+fn submit_interleaved(
+    service: &MetadataService,
+    system: System,
+    streams: &[Arc<[AccessEvent]>],
+    batch: usize,
+) {
+    submit_interleaved_mixed(service, &vec![system; streams.len()], streams, batch);
 }
 
 #[test]
@@ -141,6 +154,72 @@ fn aliased_tenants_do_not_leak_predictions_or_metadata() {
                         ev.line().raw()
                     );
                 }
+            }
+        }
+    }
+}
+
+/// The post-Domino rivals as co-resident tenants: a Pangloss tenant and
+/// a Triangel tenant interleave through one shard worker, each on the
+/// shared adversarial shape in its own line region. Both must end
+/// byte-identical to lone single-tenant runs (digest, report, own-line
+/// membership) and free of the other rival's lines — the two systems
+/// share nothing, not even by accident of sharing a shard.
+#[test]
+fn pangloss_and_triangel_tenants_coexist_on_one_shard() {
+    let systems = [System::Pangloss, System::Triangel];
+    let base = Generator::PointerChase.generate(0x71A6E1, 500);
+    let streams: Vec<Arc<[AccessEvent]>> = (0..systems.len() as u64)
+        .map(|t| tenant_trace(&base, t))
+        .collect();
+    let service = MetadataService::start(ServiceConfig {
+        shards: 1,
+        queue_depth: 4,
+        degree: DEGREE,
+        ..ServiceConfig::default()
+    });
+    submit_interleaved_mixed(&service, &systems, &streams, 13);
+    let result = service.shutdown();
+    for (t, (system, stream)) in systems.iter().zip(&streams).enumerate() {
+        let fin = result
+            .tenant(t as u64)
+            .expect("every tenant ends in exactly one final");
+        assert!(!fin.evicted, "no budget was set, nothing may be evicted");
+        assert_eq!(fin.gap_events, 0, "blocking policy never sheds");
+        let mut reference = system.build(DEGREE);
+        let (ref_report, ref_digest) =
+            run_coverage_session(&SystemConfig::paper(), stream, reference.as_mut(), 32);
+        assert_eq!(
+            fin.digest,
+            ref_digest,
+            "{} tenant {t}: decision digest diverged from the lone run",
+            system.label()
+        );
+        assert_eq!(
+            format!("{:?}", fin.report),
+            format!("{ref_report:?}"),
+            "{} tenant {t}: coverage report diverged from the lone run",
+            system.label()
+        );
+        for ev in stream.iter() {
+            assert_eq!(
+                fin.prefetcher.knows_line(ev.line()),
+                reference.knows_line(ev.line()),
+                "{} tenant {t}: own-line membership diverged",
+                system.label()
+            );
+        }
+        for (other, other_stream) in streams.iter().enumerate() {
+            if other == t {
+                continue;
+            }
+            for ev in other_stream.iter() {
+                assert!(
+                    !fin.prefetcher.knows_line(ev.line()),
+                    "{} tenant {t}: knows the co-resident rival's line {:#x}",
+                    system.label(),
+                    ev.line().raw()
+                );
             }
         }
     }

@@ -823,6 +823,128 @@ pub fn extended_roster(scale: &Scale) -> Vec<FigureTable> {
     vec![cov, over]
 }
 
+/// The modern-rivals roster (ROADMAP item 1): the paper's two strongest
+/// temporal baselines, Domino itself, and the two post-Domino rivals.
+pub fn rivals_roster() -> [System; 5] {
+    [
+        System::Stms,
+        System::Digram,
+        System::Domino,
+        System::Pangloss,
+        System::Triangel,
+    ]
+}
+
+/// Modern-rivals head-to-head (beyond the paper; ROADMAP item 1):
+/// STMS, Digram, Domino, Pangloss and Triangel compared on coverage,
+/// prefetch accuracy, off-chip metadata traffic per demand byte, and
+/// timing-model speedup across the Table-II workload catalog, all at
+/// degree 4.
+///
+/// The traffic table is the contrast story: Domino (and STMS/Digram)
+/// pay off-chip reads and writes for their reach, while the two on-chip
+/// rivals are structurally at zero — their cost shows up as coverage
+/// lost to their bounded slabs instead.
+pub fn rivals(scale: &Scale) -> Vec<FigureTable> {
+    let system = SystemConfig::paper();
+    let scale = *scale;
+    let roster = rivals_roster();
+    let cols: Vec<String> = roster.iter().map(|s| s.label()).collect();
+    let mut cov = FigureTable::new("Rivals — coverage (degree 4)", "workload", cols.clone());
+    cov.percent = true;
+    let mut acc = FigureTable::new(
+        "Rivals — prefetch accuracy (degree 4)",
+        "workload",
+        cols.clone(),
+    );
+    acc.percent = true;
+    let mut traffic = FigureTable::new(
+        "Rivals — off-chip metadata traffic per demand byte (degree 4)",
+        "workload",
+        cols.clone(),
+    );
+    traffic.percent = true;
+    let mut speed = FigureTable::new(
+        "Rivals — speedup over baseline (degree 4)",
+        "workload",
+        cols,
+    );
+    let specs = catalog::all();
+    // Row layout mirrors Figure 14: the degree-1 baseline timing first,
+    // then one combined coverage+timing cell per rival.
+    let per_row = roster.len() + 1;
+    type RivalCell = (Option<CoverageReport>, TimingReport);
+    let mut jobs: Vec<Job<RivalCell>> = Vec::new();
+    for spec in &specs {
+        {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                (
+                    None,
+                    timing_of_observed(&system, &spec, &scale, System::Baseline, 1),
+                )
+            }));
+        }
+        for sys in roster {
+            let spec = spec.clone();
+            jobs.push(Box::new(move || {
+                (
+                    Some(coverage_of_observed(&system, &spec, &scale, sys, 4)),
+                    timing_of_observed(&system, &spec, &scale, sys, 4),
+                )
+            }));
+        }
+    }
+    let results = exec::sweep(jobs);
+    for (spec, cells) in specs.iter().zip(results.chunks(per_row)) {
+        let baseline = &cells[0].1;
+        let reports: Vec<&CoverageReport> = cells[1..]
+            .iter()
+            .map(|c| c.0.as_ref().expect("rival cells carry coverage"))
+            .collect();
+        cov.push_row(
+            spec.name.clone(),
+            reports.iter().map(|r| r.coverage()).collect(),
+        );
+        acc.push_row(
+            spec.name.clone(),
+            reports
+                .iter()
+                .map(|r| {
+                    let issued = (r.covered + r.overpredictions) as f64;
+                    if issued == 0.0 {
+                        0.0
+                    } else {
+                        r.covered as f64 / issued
+                    }
+                })
+                .collect(),
+        );
+        traffic.push_row(
+            spec.name.clone(),
+            reports
+                .iter()
+                .map(|r| {
+                    (r.metadata_read_bytes() + r.metadata_write_bytes()) as f64
+                        / r.demand_bytes().max(1) as f64
+                })
+                .collect(),
+        );
+        speed.push_row(
+            spec.name.clone(),
+            cells[1..]
+                .iter()
+                .map(|c| c.1.speedup_over(baseline))
+                .collect(),
+        );
+    }
+    cov.push_mean_row("Average");
+    acc.push_mean_row("Average");
+    traffic.push_mean_row("Average");
+    speed.push_gmean_row("GMean");
+    vec![cov, acc, traffic, speed]
+}
+
 /// Cross-validation of the two opportunity measures: the Sequitur
 /// *grammar* coverage (fraction of misses inside repeated rules) versus
 /// the longest-stream *oracle* replay the figures use. The two are

@@ -3,8 +3,9 @@
 use domino::{Domino, DominoConfig, NaiveDomino};
 use domino_mem::interface::{NoPrefetcher, Prefetcher};
 use domino_prefetchers::{
-    Digram, Ghb, GhbConfig, Isb, Markov, MarkovConfig, MultiDepthPrefetcher, NextLine, Sms,
-    SmsConfig, SpatioTemporal, Stms, StridePrefetcher, TemporalConfig, Vldp, VldpConfig,
+    Digram, Ghb, GhbConfig, Isb, Markov, MarkovConfig, MultiDepthPrefetcher, NextLine, Pangloss,
+    PanglossConfig, Sms, SmsConfig, SpatioTemporal, Stms, StridePrefetcher, TemporalConfig,
+    Triangel, TriangelConfig, Vldp, VldpConfig,
 };
 
 /// Identifies one of the evaluated prefetching systems.
@@ -39,6 +40,10 @@ pub enum System {
     MultiDepth(usize),
     /// VLDP with Domino stacked on top (Figure 16).
     VldpPlusDomino,
+    /// Pangloss (DPC-3 2019): on-chip compressed Markov chain.
+    Pangloss,
+    /// Triangel (ISCA 2024): sampler-filtered on-chip temporal.
+    Triangel,
 }
 
 impl System {
@@ -62,6 +67,8 @@ impl System {
             System::DominoNaive,
             System::MultiDepth(3),
             System::VldpPlusDomino,
+            System::Pangloss,
+            System::Triangel,
         ]
     }
 
@@ -107,6 +114,8 @@ impl System {
             System::DominoNaive => "Domino-Naive".into(),
             System::MultiDepth(n) => format!("Lookup-{n}"),
             System::VldpPlusDomino => "VLDP+Domino".into(),
+            System::Pangloss => "Pangloss".into(),
+            System::Triangel => "Triangel".into(),
         }
     }
 
@@ -143,6 +152,14 @@ impl System {
                     ..VldpConfig::default()
                 }),
                 Domino::new(domino_cfg),
+            )),
+            System::Pangloss => Box::new(Pangloss::new(
+                PanglossConfig::default()
+                    .with_degree(degree.min(domino_prefetchers::pangloss::MAX_DEGREE)),
+            )),
+            System::Triangel => Box::new(Triangel::new(
+                TriangelConfig::default()
+                    .with_degree(degree.min(domino_prefetchers::triangel::MAX_DEGREE)),
             )),
         }
     }

@@ -33,7 +33,9 @@
 //! streaming-throughput section comparing the cached-slice replay path
 //! against out-of-core `DMNOTRC1` file streaming (raw and
 //! Sequitur-compressed), with peak resident trace bytes and the
-//! source's memory budget.
+//! source's memory budget, and a rivals section with the per-system
+//! replay throughput of the modern-rivals roster (STMS, Digram, Domino,
+//! Pangloss, Triangel).
 //!
 //! With `--epoch N` (or the `DOMINO_EPOCH` environment variable) the
 //! roster figures additionally record per-epoch telemetry — one
@@ -50,7 +52,7 @@
 
 use domino_repro::sim::figures::{
     bandwidth_utilization, fig01, fig02, fig03, fig04, fig05, fig06, fig09, fig10, fig11, fig12,
-    fig13, fig14, fig15, fig16, table1, table2, Scale,
+    fig13, fig14, fig15, fig16, rivals, rivals_roster, table1, table2, Scale,
 };
 use domino_repro::sim::{
     exec, observe, run_timing_streamed, run_timing_with_batch, FigureTable, System, SystemConfig,
@@ -80,6 +82,54 @@ struct StreamingPoint {
     events_per_sec: f64,
     peak_resident_bytes: u64,
     budget_bytes: u64,
+}
+
+struct RivalPoint {
+    system: String,
+    seconds: f64,
+    events_per_sec: f64,
+}
+
+/// Replay throughput of each modern-rivals roster member on one heavy
+/// timing cell (the OLTP trace at degree 4), for the bench guard's
+/// per-system regression rule. Passes are interleaved across systems and
+/// the median taken per system, so host clock drift between runs cancels
+/// instead of biasing whichever system ran last.
+fn rivals_bench(scale: &Scale) -> Vec<RivalPoint> {
+    // Floor the trace length: at figure-smoke scales a replay lasts
+    // milliseconds and the ratio would measure thread startup.
+    let bench_events = scale.events.max(60_000);
+    let events: Vec<_> = catalog::oltp()
+        .generator(scale.seed)
+        .take(bench_events)
+        .collect();
+    let cfg = SystemConfig::paper();
+    let batch = observe::batch_size();
+    const PASSES: usize = 3;
+    let roster = rivals_roster();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(PASSES); roster.len()];
+    for _ in 0..PASSES {
+        for (sys, sample) in roster.iter().zip(samples.iter_mut()) {
+            let start = std::time::Instant::now();
+            let mut pf = sys.build(4);
+            let _ = run_timing_with_batch(&cfg, &events, pf.as_mut(), 0, batch);
+            sample.push(start.elapsed().as_secs_f64());
+        }
+    }
+    roster
+        .iter()
+        .zip(samples.iter_mut())
+        .map(|(sys, sample)| {
+            sample.sort_by(f64::total_cmp);
+            let seconds = sample[sample.len() / 2];
+            eprintln!("  {} in {seconds:.2}s", sys.label());
+            RivalPoint {
+                system: sys.label(),
+                seconds,
+                events_per_sec: bench_events as f64 / seconds,
+            }
+        })
+        .collect()
 }
 
 /// Cached-slice vs out-of-core replay of one heavy timing cell (the
@@ -285,6 +335,15 @@ fn main() {
         "bandwidth",
         show!("bandwidth", bandwidth_utilization(&scale)),
     ));
+    let rival_names = [
+        "rivals_coverage",
+        "rivals_accuracy",
+        "rivals_traffic",
+        "rivals_speedup",
+    ];
+    for (name, t) in rival_names.into_iter().zip(show!("rivals", rivals(&scale))) {
+        singles.push((name, t));
+    }
     for (name, table) in &singles {
         println!("{table}");
         save(name, table);
@@ -326,6 +385,10 @@ fn main() {
     eprintln!("streaming throughput (cached / file / sequitur)...");
     let (streaming, stream_ratio) = streaming_bench(&scale);
 
+    // Per-system replay throughput of the modern-rivals roster.
+    eprintln!("rivals throughput (one OLTP timing cell each)...");
+    let rival_points = rivals_bench(&scale);
+
     let out_base = out_dir
         .as_deref()
         .unwrap_or_else(|| std::path::Path::new("."))
@@ -337,6 +400,7 @@ fn main() {
             &timings,
             &scaling,
             &streaming,
+            &rival_points,
             stream_ratio,
             total,
             events,
@@ -370,10 +434,12 @@ fn main() {
 
 /// Renders the sweep timings as JSON by hand (the tree is tiny and the
 /// build is offline, so no serde).
+#[allow(clippy::too_many_arguments)]
 fn bench_json(
     timings: &[FigureTiming],
     scaling: &[ScalingPoint],
     streaming: &[StreamingPoint],
+    rivals: &[RivalPoint],
     stream_ratio: f64,
     total: f64,
     events: usize,
@@ -383,7 +449,7 @@ fn bench_json(
         .map(|n| n.get())
         .unwrap_or(1);
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"domino-bench-sweep/3\",\n");
+    out.push_str("  \"schema\": \"domino-bench-sweep/4\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str(&format!("  \"batch\": {},\n", observe::batch_size()));
@@ -425,6 +491,17 @@ fn bench_json(
             s.peak_resident_bytes,
             s.budget_bytes,
             if i + 1 < streaming.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rivals\": [\n");
+    for (i, r) in rivals.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"seconds\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            r.system,
+            r.seconds,
+            r.events_per_sec,
+            if i + 1 < rivals.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");

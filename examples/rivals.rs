@@ -1,0 +1,45 @@
+//! Prints the modern-rivals head-to-head on its own: STMS, Digram,
+//! Domino, Pangloss and Triangel compared on coverage, prefetch
+//! accuracy, off-chip metadata traffic per demand byte, and
+//! timing-model speedup across the Table-II workload catalog.
+//!
+//! ```sh
+//! cargo run --release --example rivals              # full scale
+//! cargo run --release --example rivals -- 20000     # events/workload
+//! cargo run --release --example rivals -- --jobs 2  # worker threads
+//! ```
+//!
+//! `tools/check.sh` runs this at a reduced event count as the
+//! rivals-smoke stage; the full-scale tables also appear in the main
+//! `figures` sweep (and its `BENCH_sweep.json` rivals section).
+
+use domino_repro::sim::exec;
+use domino_repro::sim::figures::{rivals, Scale};
+
+fn main() {
+    let mut events: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            let n = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--jobs needs a positive integer");
+            exec::set_jobs_override(Some(n));
+        } else {
+            events = Some(arg.parse().expect("events must be a positive integer"));
+        }
+    }
+    let scale = Scale {
+        events: events.unwrap_or(300_000),
+        seed: 42,
+    };
+    eprintln!(
+        "rivals head-to-head at {} events per workload on {} worker(s)...",
+        scale.events,
+        exec::jobs()
+    );
+    for table in rivals(&scale) {
+        println!("{table}");
+    }
+}

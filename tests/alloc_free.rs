@@ -95,6 +95,11 @@ fn run_once(engine: Engine, sys: &SystemConfig, trace: &[AccessEvent], p: &mut d
 fn roster() -> Vec<System> {
     let mut systems = vec![System::Baseline];
     systems.extend(System::paper_roster());
+    // The post-Domino rivals live outside the paper roster but hold the
+    // same steady-state invariant: their slabs are fixed at build time
+    // and their index maps saturate during warmup.
+    systems.push(System::Pangloss);
+    systems.push(System::Triangel);
     systems
 }
 

@@ -56,6 +56,23 @@ fn degenerate_traces() -> Vec<(&'static str, Vec<AccessEvent>)> {
     ]
 }
 
+/// Structural guard for the suite's coverage: every test here iterates
+/// `System::all()`, so the post-Domino rivals are exercised exactly as
+/// long as they stay registered. A silent roster regression would
+/// otherwise shrink this suite without failing anything.
+#[test]
+fn roster_includes_the_modern_rivals() {
+    let all = System::all();
+    for sys in [System::Pangloss, System::Triangel] {
+        assert!(
+            all.contains(&sys),
+            "{} missing from System::all(); the degenerate-trace suite \
+             no longer covers it",
+            sys.label()
+        );
+    }
+}
+
 #[test]
 fn every_system_survives_degenerate_traces() {
     let cfg = SystemConfig::paper();

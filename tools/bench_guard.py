@@ -4,7 +4,7 @@ the committed baseline.
 
 Usage: bench_guard.py BASELINE_JSON FRESH_JSON
 
-Both files must be `domino-bench-sweep/3` documents (written by
+Both files must be `domino-bench-sweep/4` documents (written by
 `cargo run --release --example figures`). The guard refuses to compare
 runs from different configurations (events per workload or batch size
 mismatch) — a cross-config ratio is meaningless, not merely noisy. It
@@ -12,8 +12,10 @@ fails (exit 1) if any figure's replay throughput (`events_per_sec`) in
 the fresh run drops more than the threshold below the committed
 baseline, and applies the same rule to each point of the jobs-scaling
 curve that the fresh host can actually drive (fresh `host_cores` >=
-the point's job count; oversubscribed points are reported but skipped)
-and to each streaming-throughput source. The streaming section is also
+the point's job count; oversubscribed points are reported but skipped),
+to each streaming-throughput source, and to each system of the
+modern-rivals roster section (per-system replay throughput of STMS,
+Digram, Domino, Pangloss, Triangel on one OLTP timing cell). The streaming section is also
 held to two absolute invariants measured on the fresh run itself: the
 raw file-backed stream must reach at least STREAM_RATIO of the
 cached-slice throughput (the out-of-core acceptance bound — skipped on
@@ -38,7 +40,7 @@ THRESHOLD = 0.25
 # the in-memory slice.
 STREAM_RATIO = 0.90
 
-SCHEMA = "domino-bench-sweep/3"
+SCHEMA = "domino-bench-sweep/4"
 
 
 def load(path):
@@ -63,6 +65,12 @@ def scaling_map(data):
 
 def streaming_map(data):
     return {s["source"]: s for s in data.get("streaming", [])}
+
+
+def rivals_map(data):
+    return {
+        r["system"]: float(r["events_per_sec"]) for r in data.get("rivals", [])
+    }
 
 
 def check_streaming_invariants(fresh):
@@ -207,6 +215,16 @@ def main():
         print()
         failed += compare("streaming", pairs)
     failed += check_streaming_invariants(fresh)
+
+    base_rivals = rivals_map(baseline)
+    if base_rivals:
+        fresh_rivals = rivals_map(fresh)
+        pairs = [
+            (f"rival:{system}", eps, fresh_rivals.get(system), None)
+            for system, eps in sorted(base_rivals.items())
+        ]
+        print()
+        failed += compare("rival system", pairs)
 
     if failed:
         print()

@@ -83,10 +83,21 @@ if [ "${1:-}" != "--fast" ]; then
         python3 tools/bench_guard.py BENCH_sweep.json "$bench_dir/BENCH_sweep.json"
     fi
 
+    mark rivals-smoke
+    echo "==> modern-rivals figure smoke"
+    # The rivals head-to-head (STMS/Digram/Domino/Pangloss/Triangel) at a
+    # reduced event count: the stage fails if any rival's cell panics,
+    # and both post-Domino systems must appear in the rendered tables.
+    rivals_out=$(mktemp)
+    trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${rivals_out:-}"' EXIT
+    cargo run --release -q --example rivals -- 6000 --jobs 2 >"$rivals_out"
+    grep -q "Pangloss" "$rivals_out"
+    grep -q "Triangel" "$rivals_out"
+
     mark trace-smoke
     echo "==> flight-recorder trace smoke run"
     trace_dir=$(mktemp -d)
-    trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "$trace_dir"' EXIT
+    trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${rivals_out:-}" "$trace_dir"' EXIT
     cargo run --release -q -p domino-sim --bin explain -- --smoke "$trace_dir"
     cargo run --release -q -p domino-sim --bin explain -- "$trace_dir" --csv >/dev/null
     if command -v python3 >/dev/null 2>&1; then
@@ -101,7 +112,7 @@ if [ "${1:-}" != "--fast" ]; then
         echo "    skipped (DOMINO_SKIP_CHECK=1)"
     else
         check_dir=$(mktemp -d)
-        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "$check_dir"' EXIT
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${rivals_out:-}" "${trace_dir:-}" "$check_dir"' EXIT
         # Any oracle violation exits nonzero and fails the gate (set -e).
         # Reproducers go to the gitignored check-failures/ so a failing
         # run leaves its shrunk trace behind for replay.
@@ -143,7 +154,7 @@ if [ "${1:-}" != "--fast" ]; then
         # 1,000 concurrent Domino tenant streams through the sharded
         # service; the schema-versioned SLO report must validate.
         service_dir=$(mktemp -d)
-        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "${check_dir:-}" "$service_dir"' EXIT
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${rivals_out:-}" "${trace_dir:-}" "${check_dir:-}" "$service_dir"' EXIT
         cargo run --release -q -p domino-service --bin domino-serve -- \
             --smoke "$service_dir"
         if command -v python3 >/dev/null 2>&1; then
@@ -164,7 +175,7 @@ if [ "${1:-}" != "--fast" ]; then
         # would not be stable), dashboard rendered once, artifacts
         # re-parsed by the independent Python implementation.
         obs_dir=$(mktemp -d)
-        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "${check_dir:-}" "${service_dir:-}" "$obs_dir"' EXIT
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${rivals_out:-}" "${trace_dir:-}" "${check_dir:-}" "${service_dir:-}" "$obs_dir"' EXIT
         cargo run --release -q -p domino-service --bin domino-serve -- \
             --tenants 64 --events 120 --batch 32 --shards 2 --clients 2 \
             --obs "$obs_dir" --obs-interval 256 --span-rate 4 \
@@ -201,7 +212,7 @@ if [ "${1:-}" != "--fast" ]; then
         # service load generator, and cross-check the format with the
         # independent stdlib-Python reimplementation.
         ingest_dir=$(mktemp -d)
-        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${trace_dir:-}" "${check_dir:-}" "${service_dir:-}" "${obs_dir:-}" "$ingest_dir"' EXIT
+        trap 'rm -rf "$smoke_dir" "${bench_dir:-}" "${rivals_out:-}" "${trace_dir:-}" "${check_dir:-}" "${service_dir:-}" "${obs_dir:-}" "$ingest_dir"' EXIT
         ingest() { cargo run --release -q -p domino-trace --bin domino-ingest -- "$@"; }
         ingest synth oltp --events 30000 --chunk-events 1000 \
             --out "$ingest_dir/oltp.dmno"
